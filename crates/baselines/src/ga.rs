@@ -1,0 +1,213 @@
+//! Genetic algorithm baseline (the paper's GALib stand-in; Figs. 1 & 16).
+//!
+//! A deliberately classical GA: tournament selection, one-point
+//! crossover, per-bit mutation, elitism — "global-only search for
+//! selecting the best candidates in each generation", which is exactly the
+//! weakness the paper contrasts against neighbor-driven Ising updates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sachi_ising::graph::IsingGraph;
+use sachi_ising::hamiltonian::energy;
+use sachi_ising::spin::{Spin, SpinVector};
+
+/// GA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GaOptions {
+    /// Population size.
+    pub population: usize,
+    /// Generations to run.
+    pub generations: u64,
+    /// Probability of crossover per offspring.
+    pub crossover_rate: f64,
+    /// Per-bit mutation probability; `None` uses `1/len`.
+    pub mutation_rate: Option<f64>,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Elites copied unchanged each generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaOptions {
+    /// A reasonable default budget for the Fig. 1/16 comparisons.
+    pub fn standard(seed: u64) -> Self {
+        GaOptions {
+            population: 64,
+            generations: 200,
+            crossover_rate: 0.9,
+            mutation_rate: None,
+            tournament: 3,
+            elitism: 2,
+            seed,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// Best bitstring found.
+    pub best: Vec<bool>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Best fitness per generation.
+    pub history: Vec<f64>,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+}
+
+impl GaOutcome {
+    /// Best bitstring as spins (bit 1 = +1).
+    pub fn best_spins(&self) -> SpinVector {
+        self.best.iter().map(|&b| Spin::from_bit(b)).collect()
+    }
+}
+
+/// Runs the GA on bitstrings of `len` bits, maximizing `fitness`.
+///
+/// # Panics
+///
+/// Panics if `len == 0`, the population is smaller than 2, or the
+/// tournament size is 0.
+pub fn run_ga(len: usize, mut fitness: impl FnMut(&[bool]) -> f64, opts: &GaOptions) -> GaOutcome {
+    assert!(len > 0, "bitstring length must be positive");
+    assert!(opts.population >= 2, "population must be at least 2");
+    assert!(opts.tournament >= 1, "tournament size must be at least 1");
+    let mutation = opts.mutation_rate.unwrap_or(1.0 / len as f64);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut evaluations = 0u64;
+
+    let mut population: Vec<Vec<bool>> = (0..opts.population)
+        .map(|_| (0..len).map(|_| rng.gen::<bool>()).collect())
+        .collect();
+    let mut scores: Vec<f64> = population
+        .iter()
+        .map(|ind| {
+            evaluations += 1;
+            fitness(ind)
+        })
+        .collect();
+
+    let mut history = Vec::with_capacity(opts.generations as usize);
+    for _ in 0..opts.generations {
+        // Elites survive unchanged.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite fitness"));
+        let mut next: Vec<Vec<bool>> =
+            order.iter().take(opts.elitism).map(|&i| population[i].clone()).collect();
+
+        let tournament_pick = |rng: &mut StdRng| -> usize {
+            (0..opts.tournament)
+                .map(|_| rng.gen_range(0..population.len()))
+                .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite fitness"))
+                .expect("tournament size >= 1")
+        };
+
+        while next.len() < opts.population {
+            let a = tournament_pick(&mut rng);
+            let b = tournament_pick(&mut rng);
+            let mut child = if rng.gen::<f64>() < opts.crossover_rate {
+                let cut = rng.gen_range(1..len.max(2));
+                let mut c = population[a][..cut.min(len)].to_vec();
+                c.extend_from_slice(&population[b][cut.min(len)..]);
+                c
+            } else {
+                population[a].clone()
+            };
+            for bit in &mut child {
+                if rng.gen::<f64>() < mutation {
+                    *bit = !*bit;
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+        scores = population
+            .iter()
+            .map(|ind| {
+                evaluations += 1;
+                fitness(ind)
+            })
+            .collect();
+        let gen_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        history.push(gen_best);
+    }
+
+    let (best_idx, _) = scores
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite fitness"))
+        .expect("non-empty population");
+    GaOutcome {
+        best: population[best_idx].clone(),
+        best_fitness: scores[best_idx],
+        history,
+        evaluations,
+    }
+}
+
+/// Runs the GA against an Ising graph, maximizing `-H` (the same objective
+/// every Ising machine minimizes).
+pub fn run_ga_on_graph(graph: &IsingGraph, opts: &GaOptions) -> GaOutcome {
+    run_ga(
+        graph.num_spins(),
+        |bits| {
+            let spins: SpinVector = bits.iter().map(|&b| Spin::from_bit(b)).collect();
+            -(energy(graph, &spins) as f64)
+        },
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sachi_ising::graph::topology;
+
+    #[test]
+    fn ga_maximizes_ones_count() {
+        let opts = GaOptions { generations: 60, ..GaOptions::standard(1) };
+        let outcome = run_ga(32, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
+        assert!(outcome.best_fitness >= 30.0, "found only {}", outcome.best_fitness);
+        assert_eq!(outcome.history.len(), 60);
+        assert!(outcome.evaluations > 0);
+    }
+
+    #[test]
+    fn ga_history_is_monotone_with_elitism() {
+        let opts = GaOptions::standard(2);
+        let outcome = run_ga(24, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
+        for pair in outcome.history.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "elitism violated: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn ga_deterministic_per_seed() {
+        let opts = GaOptions::standard(7);
+        let a = run_ga(16, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
+        let b = run_ga(16, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn ga_on_ferromagnet_aligns_spins() {
+        let g = topology::king(4, 4, |_, _| 1).unwrap();
+        let outcome = run_ga_on_graph(&g, &GaOptions::standard(3));
+        let spins = outcome.best_spins();
+        let ups = spins.count_up();
+        // GA should get close to alignment (the paper shows GA is weaker
+        // than Ising but still competent).
+        assert!(ups <= 2 || ups >= 14, "GA left mixed state: {ups} up");
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn tiny_population_rejected() {
+        let opts = GaOptions { population: 1, ..GaOptions::standard(0) };
+        let _ = run_ga(8, |_| 0.0, &opts);
+    }
+}

@@ -1,0 +1,199 @@
+//! Binary particle swarm optimization baseline (Fig. 16).
+//!
+//! "In PSO, the selection criterion considers personal best (pbest) and
+//! global best (gbest) for all candidates, where pbest is compared against
+//! gbest at the end of each iteration to update the fitness." The paper
+//! notes PSO converges faster than GA because, like Ising, its updates are
+//! informed by neighbors (here: the swarm's bests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sachi_ising::graph::IsingGraph;
+use sachi_ising::hamiltonian::energy;
+use sachi_ising::spin::{Spin, SpinVector};
+
+/// PSO hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PsoOptions {
+    /// Number of particles.
+    pub particles: usize,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Inertia weight.
+    pub inertia: f64,
+    /// Cognitive (pbest) coefficient.
+    pub cognitive: f64,
+    /// Social (gbest) coefficient.
+    pub social: f64,
+    /// Velocity clamp.
+    pub v_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PsoOptions {
+    /// A reasonable default budget for the Fig. 16 comparison.
+    pub fn standard(seed: u64) -> Self {
+        PsoOptions { particles: 32, iterations: 200, inertia: 0.7, cognitive: 1.5, social: 1.5, v_max: 4.0, seed }
+    }
+}
+
+/// Result of a PSO run.
+#[derive(Debug, Clone)]
+pub struct PsoOutcome {
+    /// Global-best bitstring.
+    pub best: Vec<bool>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Global-best fitness per iteration.
+    pub history: Vec<f64>,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+}
+
+impl PsoOutcome {
+    /// Global best as spins (bit 1 = +1).
+    pub fn best_spins(&self) -> SpinVector {
+        self.best.iter().map(|&b| Spin::from_bit(b)).collect()
+    }
+}
+
+#[inline]
+fn sigmoid(v: f64) -> f64 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Runs binary PSO on bitstrings of `len` bits, maximizing `fitness`.
+///
+/// # Panics
+///
+/// Panics if `len == 0` or there are no particles.
+pub fn run_pso(len: usize, mut fitness: impl FnMut(&[bool]) -> f64, opts: &PsoOptions) -> PsoOutcome {
+    assert!(len > 0, "bitstring length must be positive");
+    assert!(opts.particles >= 1, "need at least one particle");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut evaluations = 0u64;
+
+    let mut position: Vec<Vec<bool>> =
+        (0..opts.particles).map(|_| (0..len).map(|_| rng.gen::<bool>()).collect()).collect();
+    let mut velocity: Vec<Vec<f64>> = vec![vec![0.0; len]; opts.particles];
+    let mut pbest = position.clone();
+    let mut pbest_score: Vec<f64> = position
+        .iter()
+        .map(|p| {
+            evaluations += 1;
+            fitness(p)
+        })
+        .collect();
+    let mut gbest_idx = pbest_score
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite fitness"))
+        .map(|(i, _)| i)
+        .expect("non-empty swarm");
+    let mut gbest = pbest[gbest_idx].clone();
+    let mut gbest_score = pbest_score[gbest_idx];
+
+    let mut history = Vec::with_capacity(opts.iterations as usize);
+    for _ in 0..opts.iterations {
+        for p in 0..opts.particles {
+            for b in 0..len {
+                let r1: f64 = rng.gen();
+                let r2: f64 = rng.gen();
+                let x = if position[p][b] { 1.0 } else { 0.0 };
+                let pb = if pbest[p][b] { 1.0 } else { 0.0 };
+                let gb = if gbest[b] { 1.0 } else { 0.0 };
+                let v = opts.inertia * velocity[p][b]
+                    + opts.cognitive * r1 * (pb - x)
+                    + opts.social * r2 * (gb - x);
+                velocity[p][b] = v.clamp(-opts.v_max, opts.v_max);
+                position[p][b] = rng.gen::<f64>() < sigmoid(velocity[p][b]);
+            }
+            evaluations += 1;
+            let score = fitness(&position[p]);
+            if score > pbest_score[p] {
+                pbest_score[p] = score;
+                pbest[p] = position[p].clone();
+            }
+        }
+        // pbest vs gbest comparison at the end of each iteration.
+        gbest_idx = pbest_score
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite fitness"))
+            .map(|(i, _)| i)
+            .expect("non-empty swarm");
+        if pbest_score[gbest_idx] > gbest_score {
+            gbest_score = pbest_score[gbest_idx];
+            gbest = pbest[gbest_idx].clone();
+        }
+        history.push(gbest_score);
+    }
+
+    PsoOutcome { best: gbest, best_fitness: gbest_score, history, evaluations }
+}
+
+/// Runs PSO against an Ising graph, maximizing `-H`.
+pub fn run_pso_on_graph(graph: &IsingGraph, opts: &PsoOptions) -> PsoOutcome {
+    run_pso(
+        graph.num_spins(),
+        |bits| {
+            let spins: SpinVector = bits.iter().map(|&b| Spin::from_bit(b)).collect();
+            -(energy(graph, &spins) as f64)
+        },
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sachi_ising::graph::topology;
+
+    #[test]
+    fn pso_maximizes_ones_count() {
+        let opts = PsoOptions { iterations: 80, ..PsoOptions::standard(1) };
+        let outcome = run_pso(24, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
+        assert!(outcome.best_fitness >= 22.0, "found only {}", outcome.best_fitness);
+        assert_eq!(outcome.history.len(), 80);
+    }
+
+    #[test]
+    fn gbest_history_is_monotone() {
+        let outcome = run_pso(16, |bits| bits.iter().filter(|&&b| b).count() as f64, &PsoOptions::standard(5));
+        for pair in outcome.history.windows(2) {
+            assert!(pair[1] >= pair[0], "gbest regressed: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn pso_deterministic_per_seed() {
+        let f = |bits: &[bool]| bits.iter().filter(|&&b| b).count() as f64;
+        let a = run_pso(16, f, &PsoOptions::standard(9));
+        let b = run_pso(16, f, &PsoOptions::standard(9));
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn pso_on_ferromagnet_aligns_spins() {
+        let g = topology::king(4, 4, |_, _| 1).unwrap();
+        let outcome = run_pso_on_graph(&g, &PsoOptions::standard(2));
+        let ups = outcome.best_spins().count_up();
+        assert!(ups <= 2 || ups >= 14, "PSO left mixed state: {ups} up");
+    }
+
+    #[test]
+    fn sigmoid_behaves() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn empty_swarm_rejected() {
+        let opts = PsoOptions { particles: 0, ..PsoOptions::standard(0) };
+        let _ = run_pso(8, |_| 0.0, &opts);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation: storage-array-based update vs local read-modify-write
+//! (Fig. 8 and Sec. IV.B).
+//!
+//! Ising-CIM updates spins *locally* in the compute array: a
+//! read-modify-write that (i) makes every compute a 2-step (3+3-cycle)
+//! operation and (ii) destroys the original spin value mid-iteration —
+//! tolerable on a King's graph (no later reuse of the original value),
+//! fatal on graphs with non-local interactions. SACHI instead writes
+//! updates to the *storage* array through the adjacency matrix: compute
+//! stays 1-cycle (no read-write conflict) and the compute array keeps the
+//! original values. The paper quantifies the local-update benefit at
+//! 1M spins as only ~0.1x for King's graphs vs ~1.8x for complete graphs
+//! — not worth the 2x CPI.
+
+use sachi_bench::{ratio, section, Table};
+use sachi_core::prelude::*;
+use sachi_workloads::prelude::*;
+
+fn main() {
+    section("update policy: cycles per iteration at 1M spins");
+    let mut table = Table::new([
+        "graph",
+        "storage-update CPI (SACHI)",
+        "local-RMW CPI (2-step)",
+        "RMW penalty",
+        "reload rows avoided by RMW",
+    ]);
+    for kind in [CopKind::MolecularDynamics, CopKind::TravelingSalesman] {
+        let shape = kind.standard_shape(1_000_000);
+        let est = PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape);
+        // Local RMW doubles the compute step (read-write conflict: one
+        // cycle to compute, one to write back in place).
+        let rmw_compute = est.compute_cycles.get() * 2;
+        // What RMW buys: updated spins are already in place, so the next
+        // round's reload of *spin* bits is skipped (IC bits still reload).
+        // Spin bits are 1/(R+1) of the resident image.
+        let r = shape.resolution_bits as u64;
+        let reload_saved = if est.rounds > 1 { est.load_cycles.get() / (r + 1) } else { 0 };
+        let rmw_total = rmw_compute + est.load_cycles.get().saturating_sub(reload_saved);
+        let storage_total = est.compute_cycles.get() + est.load_cycles.get();
+        table.row([
+            kind.connectivity().to_string(),
+            storage_total.to_string(),
+            rmw_total.to_string(),
+            ratio(rmw_total as f64, storage_total as f64),
+            reload_saved.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("the RMW's reload saving never recovers its doubled compute step:");
+    println!("SACHI's storage-array update gets the best of both — 1-cycle");
+    println!("compute+update, original spins intact, and (via the adjacency-");
+    println!("matrix update of Fig. 8b) tuples that are already fresh when the");
+    println!("compute array is re-written for the next round.");
+
+    section("correctness constraint");
+    println!("local update destroys the original spin before the iteration ends;");
+    println!("on a complete graph every later tuple still needs it. SACHI's");
+    println!("functional machine demonstrates the storage-update path on complete");
+    println!("graphs (tests/golden_agreement.rs: decision TSP matches the golden");
+    println!("model exactly); Ising-CIM's envelope is King's-graph-only for this");
+    println!("reason (sachi-baselines::ising_cim rejects anything denser).");
+}

@@ -1,0 +1,53 @@
+//! Sec. IV.B.2's scaling philosophy taken to multiple cores: partition
+//! the tuples across cores and let only cross-partition spin updates
+//! touch the interconnect. Locality-aware partitions of lattice COPs
+//! scale nearly linearly; complete graphs are interconnect-bound no
+//! matter how they are split.
+
+use sachi_bench::{section, Table};
+use sachi_core::prelude::*;
+use sachi_ising::graph::topology;
+
+fn main() {
+    section("multi-core scaling: King's graph 128x128 (16,384 atoms)");
+    let king = topology::king(128, 128, |_, _| 1).expect("lattice");
+    let model = MulticoreModel::new(SachiConfig::new(DesignKind::N3));
+    let mut t = Table::new(["cores", "partition", "cut edges", "core cyc", "interconnect cyc", "speedup"]);
+    for cores in [1usize, 2, 4, 8, 16] {
+        for (label, p) in [
+            ("contiguous", Partition::contiguous(king.num_spins(), cores)),
+            ("interleaved", Partition::interleaved(king.num_spins(), cores)),
+        ] {
+            let est = model.estimate(&king, &p);
+            t.row([
+                cores.to_string(),
+                label.to_string(),
+                est.cut_edges.to_string(),
+                est.core_cycles.get().to_string(),
+                est.interconnect_cycles.get().to_string(),
+                format!("{:.2}x", est.speedup_vs_single),
+            ]);
+        }
+    }
+    t.print();
+
+    section("multi-core scaling: complete graph (1,024 cities)");
+    let complete = topology::complete(1_024, |i, j| ((i + j) % 15) as i32 + 1).expect("complete graph");
+    let mut t2 = Table::new(["cores", "cut edges", "core cyc", "interconnect cyc", "speedup"]);
+    for cores in [1usize, 4, 16] {
+        let est = model.estimate(&complete, &Partition::contiguous(1_024, cores));
+        t2.row([
+            cores.to_string(),
+            est.cut_edges.to_string(),
+            est.core_cycles.get().to_string(),
+            est.interconnect_cycles.get().to_string(),
+            format!("{:.2}x", est.speedup_vs_single),
+        ]);
+    }
+    t2.print();
+    println!();
+    println!("lattice COPs: contiguous partitions keep the cut (and hence the");
+    println!("inter-core update traffic) tiny, so cores scale. Complete graphs cut");
+    println!("most edges under any partition — the interconnect becomes the limit,");
+    println!("which is why the paper stresses minimizing inter-core interactions.");
+}

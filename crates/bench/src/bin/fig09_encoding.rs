@@ -1,0 +1,64 @@
+//! Fig. 9: the mixed-encoding worked table — spins as 1/0 bits, ICs in
+//! two's complement, dot products via in-memory XNOR (+1 for negative
+//! spins), reproduced for the paper's exact values (R = 9: J = ±135,
+//! R = 3: J = ±3) and verified against plain multiplication.
+
+use sachi_bench::{section, Table};
+use sachi_core::encoding::MixedEncoding;
+use sachi_ising::spin::Spin;
+
+fn hex(enc: &MixedEncoding, value: i64) -> String {
+    let bits = enc.encode(value).expect("value in range");
+    let word = bits.iter().rev().fold(0u64, |acc, &b| (acc << 1) | b as u64);
+    format!("{}'h{word:0width$X}", enc.bits(), width = (enc.bits() as usize).div_ceil(4))
+}
+
+fn main() {
+    section("Fig. 9 - mixed encoding scheme (paper's worked rows)");
+    let enc9 = MixedEncoding::new(9).expect("9-bit supported");
+    let enc3 = MixedEncoding::new(3).expect("3-bit supported");
+
+    let mut table = Table::new(["spin (S)", "J (R=9)", "enc(J)", "S*J", "J (R=3)", "enc(J)", "S*J"]);
+    for (spin, j9, j3) in [
+        (Spin::Down, 135i64, 3i64),
+        (Spin::Down, -135, -3),
+        (Spin::Up, 135, 3),
+        (Spin::Up, -135, -3),
+    ] {
+        table.row([
+            format!("{} (bit {})", spin, spin.bit() as u8),
+            j9.to_string(),
+            hex(&enc9, j9),
+            enc9.xnor_product(j9, spin).to_string(),
+            j3.to_string(),
+            hex(&enc3, j3),
+            enc3.xnor_product(j3, spin).to_string(),
+        ]);
+    }
+    table.print();
+    println!("(paper's canonical encodings: 135 = 9'h087, -135 = 9'h179, 3 = 3'h3, -3 = 3'h5)");
+
+    section("exhaustive verification");
+    let mut checked = 0u64;
+    for bits in 2..=12u32 {
+        let enc = MixedEncoding::new(bits).expect("in range");
+        for j in enc.min_value()..=enc.max_value() {
+            for spin in [Spin::Up, Spin::Down] {
+                assert_eq!(enc.xnor_product(j, spin), j * spin.value());
+                for si in [Spin::Up, Spin::Down] {
+                    assert_eq!(enc.reuse_aware_product(j, si, spin), j * spin.value());
+                }
+                checked += 3;
+            }
+        }
+    }
+    println!("XNOR product == signed multiply for every (J, σ) pair at R = 2..=12: {checked} checks passed");
+
+    section("eqn. 5 erratum");
+    let enc = MixedEncoding::new(8).expect("in range");
+    let j = 42;
+    let printed = enc.reuse_aware_product_as_printed(j, Spin::Up, Spin::Down);
+    let correct = enc.reuse_aware_product(j, Spin::Up, Spin::Down);
+    println!("as printed (+1 on σ_i < 0): J=42, σ_i=+1, σ_j=-1 -> {printed} (expected {correct})");
+    println!("the '+1' belongs on σ_j = -1 (cases 2 and 3), not σ_i < 0 (cases 2 and 4); see sachi-core::encoding");
+}

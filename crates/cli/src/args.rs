@@ -1,0 +1,342 @@
+//! Hand-rolled argument parsing for the `sachi` CLI (no external parser
+//! dependency; the grammar is small and fully tested).
+
+use sachi_core::config::DesignKind;
+use sachi_mem::cache::CacheHierarchy;
+use sachi_workloads::spec::CopKind;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `sachi solve ...` — functional solve with a full report.
+    Solve(SolveArgs),
+    /// `sachi compare ...` — run every machine on one problem.
+    Compare(SolveArgs),
+    /// `sachi estimate ...` — analytic model at arbitrary scale.
+    Estimate(EstimateArgs),
+    /// `sachi info` — print the configured geometry and constants.
+    Info,
+    /// `sachi help` (or `-h`/`--help`).
+    Help,
+}
+
+/// Arguments of `solve`/`compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveArgs {
+    /// Which COP to build (mutually exclusive with `file`).
+    pub cop: Option<CopKind>,
+    /// Problem size (spins; lattice COPs round to a near-square grid).
+    pub size: usize,
+    /// DIMACS/Gset file to load instead of a generated COP.
+    pub file: Option<String>,
+    /// Treat `file` as Gset max-cut format.
+    pub gset: bool,
+    /// Stationarity design.
+    pub design: DesignKind,
+    /// IC resolution override.
+    pub resolution: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Annealing restarts.
+    pub restarts: u64,
+    /// Cache hierarchy preset.
+    pub hierarchy: CacheHierarchy,
+}
+
+impl Default for SolveArgs {
+    fn default() -> Self {
+        SolveArgs {
+            cop: Some(CopKind::MolecularDynamics),
+            size: 256,
+            file: None,
+            gset: false,
+            design: DesignKind::N3,
+            resolution: None,
+            seed: 0,
+            restarts: 1,
+            hierarchy: CacheHierarchy::hpca_default(),
+        }
+    }
+}
+
+/// Arguments of `estimate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateArgs {
+    /// COP whose Fig. 4 shape to use.
+    pub cop: CopKind,
+    /// Spin count.
+    pub spins: u64,
+    /// Stationarity design.
+    pub design: DesignKind,
+    /// IC resolution override.
+    pub resolution: Option<u32>,
+    /// Assumed iterations for whole-solve totals.
+    pub iterations: u64,
+    /// Cache hierarchy preset.
+    pub hierarchy: CacheHierarchy,
+}
+
+impl Default for EstimateArgs {
+    fn default() -> Self {
+        EstimateArgs {
+            cop: CopKind::MolecularDynamics,
+            spins: 1_000_000,
+            design: DesignKind::N3,
+            resolution: None,
+            iterations: 100,
+            hierarchy: CacheHierarchy::hpca_default(),
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+fn parse_cop(s: &str) -> Result<CopKind, ArgError> {
+    match s {
+        "asset" | "asset-allocation" => Ok(CopKind::AssetAllocation),
+        "imgseg" | "segmentation" | "image-segmentation" => Ok(CopKind::ImageSegmentation),
+        "tsp" | "traveling-salesman" => Ok(CopKind::TravelingSalesman),
+        "md" | "molecular-dynamics" => Ok(CopKind::MolecularDynamics),
+        other => Err(err(format!("unknown COP '{other}' (asset|imgseg|tsp|md)"))),
+    }
+}
+
+fn parse_design(s: &str) -> Result<DesignKind, ArgError> {
+    match s {
+        "n1a" => Ok(DesignKind::N1a),
+        "n1b" => Ok(DesignKind::N1b),
+        "n2" => Ok(DesignKind::N2),
+        "n3" => Ok(DesignKind::N3),
+        other => Err(err(format!("unknown design '{other}' (n1a|n1b|n2|n3)"))),
+    }
+}
+
+fn parse_hierarchy(s: &str) -> Result<CacheHierarchy, ArgError> {
+    match s {
+        "default" | "hpca" => Ok(CacheHierarchy::hpca_default()),
+        "desktop" => Ok(CacheHierarchy::desktop()),
+        "server" => Ok(CacheHierarchy::server()),
+        other => Err(err(format!("unknown hierarchy '{other}' (default|desktop|server)"))),
+    }
+}
+
+fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, ArgError> {
+    it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+}
+
+fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveArgs, ArgError> {
+    let mut args = SolveArgs::default();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--cop" => {
+                if args.file.is_some() {
+                    return Err(err("--cop and --file are mutually exclusive"));
+                }
+                args.cop = Some(parse_cop(take_value(flag, &mut it)?)?);
+            }
+            "--size" => {
+                args.size = take_value(flag, &mut it)?.parse().map_err(|_| err("--size needs an integer"))?
+            }
+            "--file" => {
+                args.file = Some(take_value(flag, &mut it)?.to_string());
+                // The generated-COP default gives way to the file.
+                args.cop = None;
+            }
+            "--gset" => args.gset = true,
+            "--design" => args.design = parse_design(take_value(flag, &mut it)?)?,
+            "--resolution" => {
+                args.resolution =
+                    Some(take_value(flag, &mut it)?.parse().map_err(|_| err("--resolution needs an integer"))?)
+            }
+            "--seed" => {
+                args.seed = take_value(flag, &mut it)?.parse().map_err(|_| err("--seed needs an integer"))?
+            }
+            "--restarts" => {
+                args.restarts =
+                    take_value(flag, &mut it)?.parse().map_err(|_| err("--restarts needs an integer"))?
+            }
+            "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
+            other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
+        }
+    }
+    if args.restarts == 0 {
+        return Err(err("--restarts must be at least 1"));
+    }
+    if args.cop.is_none() && args.file.is_none() {
+        return Err(err("need --cop or --file"));
+    }
+    Ok(args)
+}
+
+fn parse_estimate_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<EstimateArgs, ArgError> {
+    let mut args = EstimateArgs::default();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--cop" => args.cop = parse_cop(take_value(flag, &mut it)?)?,
+            "--spins" => {
+                args.spins = take_value(flag, &mut it)?.parse().map_err(|_| err("--spins needs an integer"))?
+            }
+            "--design" => args.design = parse_design(take_value(flag, &mut it)?)?,
+            "--resolution" => {
+                args.resolution =
+                    Some(take_value(flag, &mut it)?.parse().map_err(|_| err("--resolution needs an integer"))?)
+            }
+            "--iterations" => {
+                args.iterations =
+                    take_value(flag, &mut it)?.parse().map_err(|_| err("--iterations needs an integer"))?
+            }
+            "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
+            other => return Err(err(format!("unknown flag '{other}' for estimate"))),
+        }
+    }
+    Ok(args)
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message on any malformed
+/// input.
+pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, ArgError> {
+    let mut it = argv.into_iter();
+    match it.next() {
+        None | Some("help") | Some("-h") | Some("--help") => Ok(Command::Help),
+        Some("info") => Ok(Command::Info),
+        Some("solve") => Ok(Command::Solve(parse_solve_args(it)?)),
+        Some("compare") => Ok(Command::Compare(parse_solve_args(it)?)),
+        Some("estimate") => Ok(Command::Estimate(parse_estimate_args(it)?)),
+        Some(other) => Err(err(format!("unknown command '{other}' (solve|compare|estimate|info|help)"))),
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+sachi — stationarity-aware, all-digital, near-memory Ising architecture simulator
+
+USAGE:
+  sachi solve    [--cop asset|imgseg|tsp|md] [--size N] [--file PATH [--gset]]
+                 [--design n1a|n1b|n2|n3] [--resolution R] [--seed S]
+                 [--restarts K] [--hierarchy default|desktop|server]
+  sachi compare  <same flags>         run every machine on one problem
+  sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
+                 [--iterations I] [--hierarchy ...]
+  sachi info                          print geometry and technology constants
+  sachi help
+
+EXAMPLES:
+  sachi solve --cop md --size 1024 --design n3 --restarts 4
+  sachi solve --file g05.gset --gset --design n3
+  sachi compare --cop imgseg --size 144
+  sachi estimate --cop tsp --spins 1000000 --hierarchy server
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_with_all_flags() {
+        let cmd = parse(
+            "solve --cop tsp --size 64 --design n2 --resolution 8 --seed 9 --restarts 3 --hierarchy server"
+                .split_whitespace(),
+        )
+        .unwrap();
+        match cmd {
+            Command::Solve(a) => {
+                assert_eq!(a.cop, Some(CopKind::TravelingSalesman));
+                assert_eq!(a.size, 64);
+                assert_eq!(a.design, DesignKind::N2);
+                assert_eq!(a.resolution, Some(8));
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.restarts, 3);
+                assert_eq!(a.hierarchy, CacheHierarchy::server());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_mode_clears_cop() {
+        let cmd = parse("solve --file graph.txt --gset".split_whitespace()).unwrap();
+        match cmd {
+            Command::Solve(a) => {
+                assert_eq!(a.file.as_deref(), Some("graph.txt"));
+                assert!(a.gset);
+                assert_eq!(a.cop, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cmd = parse(["solve"]).unwrap();
+        match cmd {
+            Command::Solve(a) => {
+                assert_eq!(a, SolveArgs::default());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(parse([] as [&str; 0]).unwrap(), Command::Help);
+        assert_eq!(parse(["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(["info"]).unwrap(), Command::Info);
+    }
+
+    #[test]
+    fn estimate_flags() {
+        let cmd = parse("estimate --cop imgseg --spins 200000 --iterations 50".split_whitespace()).unwrap();
+        match cmd {
+            Command::Estimate(a) => {
+                assert_eq!(a.cop, CopKind::ImageSegmentation);
+                assert_eq!(a.spins, 200_000);
+                assert_eq!(a.iterations, 50);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(parse(["solve", "--cop", "sudoku"]).unwrap_err().0.contains("unknown COP"));
+        assert!(parse(["solve", "--design", "n9"]).unwrap_err().0.contains("unknown design"));
+        assert!(parse(["solve", "--size"]).unwrap_err().0.contains("needs a value"));
+        assert!(parse(["solve", "--size", "many"]).unwrap_err().0.contains("integer"));
+        assert!(parse(["solve", "--restarts", "0"]).unwrap_err().0.contains("at least 1"));
+        assert!(parse(["launch"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(["solve", "--hierarchy", "mainframe"]).unwrap_err().0.contains("unknown hierarchy"));
+        assert!(parse(["estimate", "--wat"]).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(["solve", "--file", "g.txt", "--cop", "md"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn cop_aliases() {
+        for (alias, kind) in [
+            ("asset", CopKind::AssetAllocation),
+            ("asset-allocation", CopKind::AssetAllocation),
+            ("segmentation", CopKind::ImageSegmentation),
+            ("traveling-salesman", CopKind::TravelingSalesman),
+            ("molecular-dynamics", CopKind::MolecularDynamics),
+        ] {
+            assert_eq!(parse_cop(alias).unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Command implementations for the `sachi` CLI.
+
+use crate::args::{EstimateArgs, SolveArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi_baselines::prelude::*;
+use sachi_bench::{percent, ratio, Table};
+use sachi_core::prelude::*;
+use sachi_ising::prelude::*;
+use sachi_mem::prelude::*;
+use sachi_workloads::prelude::*;
+
+/// A built problem: graph plus an optional domain accuracy scorer.
+struct Problem {
+    name: String,
+    graph: IsingGraph,
+    accuracy: Option<Box<dyn Fn(&SpinVector) -> f64>>,
+}
+
+fn near_square(size: usize) -> (usize, usize) {
+    let side = (size as f64).sqrt().round().max(1.0) as usize;
+    (side, size.div_ceil(side))
+}
+
+fn build_problem(args: &SolveArgs) -> Result<Problem, String> {
+    if let Some(path) = &args.file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let graph = if args.gset {
+            parse_gset(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))?
+        };
+        // A pure antiferromagnetic instance reads as weighted max-cut,
+        // which gives loaded files an accuracy metric.
+        if graph.num_edges() > 0 && graph.edges().all(|(_, _, w)| w <= 0) {
+            let w = GenericMaxCut::new(path.clone(), graph);
+            let name = w.name();
+            let graph = w.graph().clone();
+            return Ok(Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) });
+        }
+        return Ok(Problem { name: path.clone(), graph, accuracy: None });
+    }
+    let kind = args.cop.expect("parser guarantees cop or file");
+    let seed = args.seed;
+    Ok(match kind {
+        CopKind::AssetAllocation => {
+            let w = AssetAllocation::new(args.size.max(2), seed);
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+        }
+        CopKind::ImageSegmentation => {
+            let (rows, cols) = near_square(args.size.max(4));
+            let w = ImageSegmentation::with_options(cols, rows, seed, Connectivity::Grid4, 6);
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+        }
+        CopKind::TravelingSalesman => {
+            let w = TspDecision::new(args.size.max(3), seed);
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+        }
+        CopKind::MolecularDynamics => {
+            let (rows, cols) = near_square(args.size.max(2));
+            let w = MolecularDynamics::new(rows, cols, seed);
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+        }
+    })
+}
+
+fn config_for(args: &SolveArgs) -> SachiConfig {
+    let mut config = SachiConfig::new(args.design).with_hierarchy(args.hierarchy);
+    if let Some(r) = args.resolution {
+        config = config.with_resolution(r);
+    }
+    config
+}
+
+fn check_resolution(args: &SolveArgs, graph: &IsingGraph) -> Result<(), String> {
+    if let Some(r) = args.resolution {
+        let required = graph.bits_required();
+        if r < required {
+            return Err(format!(
+                "--resolution {r} cannot represent this problem's coefficients (needs {required}-bit); drop the flag or pass >= {required}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `sachi solve`.
+pub fn solve(args: &SolveArgs) -> Result<(), String> {
+    let problem = build_problem(args)?;
+    let graph = &problem.graph;
+    check_resolution(args, graph)?;
+    println!("problem : {} ({} spins, {} edges, max degree {}, needs {}-bit ICs)",
+        problem.name, graph.num_spins(), graph.num_edges(), graph.max_degree(), graph.bits_required());
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x51ac_41);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, args.seed + 1);
+    let mut machine = SachiMachine::new(config_for(args));
+
+    let mut best: Option<(SolveResult, RunReport)> = None;
+    for k in 0..args.restarts {
+        let o = SolveOptions { seed: opts.seed + k, ..opts.clone() };
+        let (result, report) = machine.solve_detailed(graph, &init, &o);
+        if best.as_ref().is_none_or(|(b, _)| result.energy < b.energy) {
+            best = Some((result, report));
+        }
+    }
+    let (result, report) = best.expect("restarts >= 1");
+
+    println!("design  : {}", report.design.label());
+    println!("result  : H = {}  ({} iterations, converged: {})", result.energy, result.sweeps, result.converged);
+    if let Some(acc) = &problem.accuracy {
+        println!("accuracy: {}", percent(acc(&result.spins)));
+    }
+    println!(
+        "cycles  : {} total ({} compute, {} loading, {} rounds/iter)",
+        report.total_cycles.get(),
+        report.compute_cycles.get(),
+        report.load_cycles.get(),
+        report.rounds_per_sweep
+    );
+    println!("time    : {}  energy: {}  reuse: {:.1}", report.wall_time, report.energy.total(), report.reuse);
+    let mut breakdown = Table::new(["component", "energy"]);
+    for (c, e) in report.energy.iter() {
+        breakdown.row([c.label().to_string(), format!("{e}")]);
+    }
+    breakdown.print();
+    Ok(())
+}
+
+/// `sachi compare`.
+pub fn compare(args: &SolveArgs) -> Result<(), String> {
+    let problem = build_problem(args)?;
+    let graph = &problem.graph;
+    check_resolution(args, graph)?;
+    println!("problem: {} ({} spins)", problem.name, graph.num_spins());
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x51ac_41);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, args.seed + 1);
+
+    let golden = CpuReferenceSolver::new().solve(graph, &init, &opts);
+    let mut table = Table::new(["machine", "H", "iters", "cycles", "energy", "reuse"]);
+    for design in DesignKind::ALL {
+        let mut config = SachiConfig::new(design).with_hierarchy(args.hierarchy);
+        if let Some(r) = args.resolution {
+            config = config.with_resolution(r);
+        }
+        let (result, report) = SachiMachine::new(config).solve_detailed(graph, &init, &opts);
+        assert_eq!(result.energy, golden.energy, "machines must match the golden model");
+        table.row([
+            design.label().to_string(),
+            result.energy.to_string(),
+            result.sweeps.to_string(),
+            report.total_cycles.get().to_string(),
+            format!("{}", report.energy.total()),
+            format!("{:.1}", report.reuse),
+        ]);
+    }
+    match BrimMachine::new().solve_detailed(graph, &init, &opts) {
+        Ok((result, report)) => {
+            table.row([
+                "BRIM".to_string(),
+                result.energy.to_string(),
+                result.sweeps.to_string(),
+                report.total_cycles.get().to_string(),
+                format!("{}", report.energy.total()),
+                format!("{:.1}", report.reuse),
+            ]);
+        }
+        Err(e) => println!("BRIM skipped: {e}"),
+    }
+    match CimMachine::new().solve_detailed(graph, &init, &opts) {
+        Ok((result, report)) => {
+            table.row([
+                "Ising-CIM".to_string(),
+                result.energy.to_string(),
+                result.sweeps.to_string(),
+                report.total_cycles.get().to_string(),
+                format!("{}", report.energy.total()),
+                format!("{:.1}", report.reuse),
+            ]);
+        }
+        Err(e) => println!("Ising-CIM skipped: {e}"),
+    }
+    table.row([
+        "CPU golden".to_string(),
+        golden.energy.to_string(),
+        golden.sweeps.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.print();
+    Ok(())
+}
+
+/// `sachi estimate`.
+pub fn estimate(args: &EstimateArgs) -> Result<(), String> {
+    let mut config = SachiConfig::new(args.design).with_hierarchy(args.hierarchy);
+    if let Some(r) = args.resolution {
+        config = config.with_resolution(r);
+    }
+    let mut shape = args.cop.standard_shape(args.spins);
+    if let Some(r) = args.resolution {
+        shape = shape.with_resolution(r);
+    }
+    let model = PerfModel::new(config);
+    let iter = model.iteration(&shape);
+    let solve = model.solve(&shape, args.iterations);
+    println!(
+        "shape    : {} at {} spins (N = {}, R = {})",
+        args.cop, shape.spins, shape.neighbors_per_spin, shape.resolution_bits
+    );
+    println!("design   : {}", args.design.label());
+    println!(
+        "per iter : {} cycles effective ({} compute, {} load, {} rounds, reuse {})",
+        iter.effective_cycles.get(),
+        iter.compute_cycles.get(),
+        iter.load_cycles.get(),
+        iter.rounds,
+        iter.reuse
+    );
+    println!(
+        "residency: {} in compute array, DRAM streaming: {}",
+        if iter.fits_in_compute { "fits" } else { "overflows" },
+        if iter.uses_dram { "yes" } else { "no" }
+    );
+    println!(
+        "solve    : {} iterations -> {} cycles, {}, {}",
+        args.iterations,
+        solve.total_cycles.get(),
+        solve.wall_time,
+        solve.energy.total()
+    );
+    let base = PerfModel::new(SachiConfig::new(DesignKind::N1a).with_hierarchy(args.hierarchy));
+    println!(
+        "vs n1a   : {} speedup per iteration",
+        ratio(base.iteration(&shape).effective_cycles.get() as f64, iter.effective_cycles.get() as f64)
+    );
+    Ok(())
+}
+
+/// `sachi info`.
+pub fn info() {
+    let tech = TechnologyParams::freepdk45();
+    println!("SACHI simulator — paper configuration (HPCA 2024, Sec. V)");
+    println!();
+    for (name, h) in [
+        ("default (10KB/160KB)", CacheHierarchy::hpca_default()),
+        ("desktop (64KB/1MB)", CacheHierarchy::desktop()),
+        ("server (256KB/8MB)", CacheHierarchy::server()),
+    ] {
+        println!(
+            "hierarchy {name}: compute {} tiles x {} rows x {} bits ({}), storage {} ({} ports)",
+            h.compute.tiles(),
+            h.compute.rows_per_tile(),
+            h.compute.row_bits(),
+            h.compute.total_bits(),
+            h.storage.total_bits(),
+            h.storage.read_ports()
+        );
+    }
+    println!();
+    println!("technology: {} V, {} cycle, {} array latency", tech.vdd_volts, tech.cycle_time, tech.sram_array_latency);
+    println!(
+        "energy    : RWL {}/bit, RBL {}/bit, movement {}/bit, adder {}/bit",
+        tech.rwl_energy_per_bit(),
+        tech.rbl_energy_per_bit(),
+        tech.movement_energy_per_bit(),
+        tech.adder_energy_per_bit()
+    );
+    println!("designs   : n1a/n1b (spin stationary), n2 (IC stationary), n3 (mixed, reuse N*R)");
+}

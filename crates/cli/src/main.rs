@@ -1,0 +1,41 @@
+//! `sachi` — command-line interface to the SACHI Ising architecture
+//! simulator. Run `sachi help` for usage.
+
+mod args;
+mod commands;
+
+use args::Command;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(argv.iter().map(String::as_str)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match parsed {
+        Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        Command::Info => {
+            commands::info();
+            Ok(())
+        }
+        Command::Solve(a) => commands::solve(&a),
+        Command::Compare(a) => commands::compare(&a),
+        Command::Estimate(a) => commands::estimate(&a),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

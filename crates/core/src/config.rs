@@ -1,0 +1,174 @@
+//! SACHI machine configuration (Sec. V.1 plus the Sec. VII.2 presets).
+
+use sachi_mem::cache::CacheHierarchy;
+use sachi_mem::params::TechnologyParams;
+use std::fmt;
+
+/// The four stationarity designs of Sec. IV.D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DesignKind {
+    /// SACHI(n1a): spin stationary, bit-serial ICs, bit-major order.
+    N1a,
+    /// SACHI(n1b): spin stationary, bit-serial ICs, IC-major order.
+    N1b,
+    /// SACHI(n2): IC stationary, one neighbor per cycle, reuse R.
+    N2,
+    /// SACHI(n3): mixed stationary, reuse-aware compute, reuse N*R.
+    N3,
+}
+
+impl DesignKind {
+    /// All designs in ascending-reuse order.
+    pub const ALL: [DesignKind; 4] = [DesignKind::N1a, DesignKind::N1b, DesignKind::N2, DesignKind::N3];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::N1a => "SACHI(n1a)",
+            DesignKind::N1b => "SACHI(n1b)",
+            DesignKind::N2 => "SACHI(n2)",
+            DesignKind::N3 => "SACHI(n3)",
+        }
+    }
+}
+
+impl fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full machine configuration.
+///
+/// ```
+/// use sachi_core::config::{DesignKind, SachiConfig};
+///
+/// let config = SachiConfig::new(DesignKind::N3)
+///     .with_resolution(8)
+///     .without_prefetch();
+/// assert_eq!(config.design, DesignKind::N3);
+/// assert_eq!(config.resolution, Some(8));
+/// assert!(!config.prefetch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SachiConfig {
+    /// Which stationarity design to run.
+    pub design: DesignKind,
+    /// Compute/storage array geometry.
+    pub hierarchy: CacheHierarchy,
+    /// Technology constants.
+    pub tech: TechnologyParams,
+    /// IC resolution override; `None` derives the minimum resolution from
+    /// the graph's coefficients.
+    pub resolution: Option<u32>,
+    /// DRAM prefetcher enabled (Sec. IV.A). Disable for `abl_prefetch`.
+    pub prefetch: bool,
+    /// Tuple-rep enabled (Sec. IV.B.1). Disable for `abl_tuple_rep`.
+    pub tuple_rep: bool,
+}
+
+impl SachiConfig {
+    /// The paper's default configuration for a given design: 16x10KB
+    /// compute tiles, 160KB storage array, FreePDK-45 constants, prefetch
+    /// and tuple-rep on.
+    pub fn new(design: DesignKind) -> Self {
+        SachiConfig {
+            design,
+            hierarchy: CacheHierarchy::hpca_default(),
+            tech: TechnologyParams::freepdk45(),
+            resolution: None,
+            prefetch: true,
+            tuple_rep: true,
+        }
+    }
+
+    /// Replaces the cache hierarchy (Sec. VII.2 presets).
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: CacheHierarchy) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Replaces the technology parameters.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechnologyParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Forces a specific IC resolution (2..=32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=32`.
+    #[must_use]
+    pub fn with_resolution(mut self, bits: u32) -> Self {
+        assert!((2..=32).contains(&bits), "resolution must be 2..=32, got {bits}");
+        self.resolution = Some(bits);
+        self
+    }
+
+    /// Disables the DRAM prefetcher.
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+
+    /// Disables tuple-rep.
+    #[must_use]
+    pub fn without_tuple_rep(mut self) -> Self {
+        self.tuple_rep = false;
+        self
+    }
+}
+
+impl Default for SachiConfig {
+    /// SACHI(n3) in the paper's default configuration.
+    fn default() -> Self {
+        SachiConfig::new(DesignKind::N3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_n3_with_paper_geometry() {
+        let c = SachiConfig::default();
+        assert_eq!(c.design, DesignKind::N3);
+        assert_eq!(c.hierarchy, CacheHierarchy::hpca_default());
+        assert!(c.prefetch);
+        assert!(c.tuple_rep);
+        assert_eq!(c.resolution, None);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SachiConfig::new(DesignKind::N1a)
+            .with_hierarchy(CacheHierarchy::server())
+            .with_resolution(16)
+            .without_prefetch()
+            .without_tuple_rep();
+        assert_eq!(c.design, DesignKind::N1a);
+        assert_eq!(c.hierarchy, CacheHierarchy::server());
+        assert_eq!(c.resolution, Some(16));
+        assert!(!c.prefetch);
+        assert!(!c.tuple_rep);
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(DesignKind::N1a.label(), "SACHI(n1a)");
+        assert_eq!(format!("{}", DesignKind::N3), "SACHI(n3)");
+        assert_eq!(DesignKind::ALL.len(), 4);
+        assert!(DesignKind::N1a < DesignKind::N3);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be")]
+    fn resolution_validation() {
+        let _ = SachiConfig::default().with_resolution(1);
+    }
+}

@@ -1,0 +1,580 @@
+//! The SACHI machine: functional, fully-accounted solves.
+//!
+//! [`SachiMachine`] executes the shared iterative protocol of
+//! [`sachi_ising::solver`] with every `H_σ` computed *through the
+//! hardware*: tuples laid into an 8T SRAM tile, word-lines pulsed, products
+//! assembled from the sensed discharge pattern (bit-exact, enforced by a
+//! debug assertion against the golden local field). Alongside the solve it
+//! keeps the books the paper's evaluation needs: cycles (compute, loading,
+//! DRAM, with prefetch overlap), a per-component energy ledger, reuse,
+//! redundant discharges, queue occupancy, and update-path traffic.
+//!
+//! ### Accounting conventions
+//!
+//! * The scratch tile's *layout writes* are not billed per compute —
+//!   resident data is written once per round, which the machine bills
+//!   explicitly as reload traffic. Only the tile's word-line activations
+//!   and bit-line discharges are harvested.
+//! * Spin updates follow the Fig. 8b path: an adjacency read plus one
+//!   copy-write per relevant tuple, billed to the storage array.
+//! * When the problem exceeds the storage array, each round streams its
+//!   chunk from DRAM (64 B/cycle) with the Sec. IV.A prefetcher
+//!   overlapping the stream with compute.
+
+use crate::config::{DesignKind, SachiConfig};
+use crate::designs::{stationarity, ComputeContext};
+use crate::encoding::MixedEncoding;
+use crate::tuple::TupleStore;
+use sachi_ising::anneal::Annealer;
+use sachi_ising::graph::IsingGraph;
+use sachi_ising::hamiltonian::energy;
+use sachi_ising::solver::{decide_update, IterativeSolver, SolveOptions, SolveResult};
+use sachi_ising::spin::SpinVector;
+use sachi_mem::dram::DramController;
+use sachi_mem::energy::{EnergyComponent, EnergyLedger};
+use sachi_mem::sram::SramTile;
+use sachi_mem::units::{Bits, Cycles, Nanoseconds};
+
+/// Architecture-level statistics of one solve.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Design that ran.
+    pub design: DesignKind,
+    /// IC resolution used.
+    pub resolution_bits: u32,
+    /// Sweeps (Hamiltonian iterations) executed.
+    pub sweeps: u64,
+    /// Compute-array rounds per sweep (1 when everything fits).
+    pub rounds_per_sweep: u64,
+    /// Pure compute-array cycles.
+    pub compute_cycles: Cycles,
+    /// Loading cycles (storage→compute movement, DRAM streaming) before
+    /// prefetch overlap.
+    pub load_cycles: Cycles,
+    /// Critical-path cycles including overlap and the initial DRAM store.
+    pub total_cycles: Cycles,
+    /// Wall-clock time at the configured cycle time.
+    pub wall_time: Nanoseconds,
+    /// Per-component energy.
+    pub energy: EnergyLedger,
+    /// Achieved reuse: XNOR computes per RWL bit fetched.
+    pub reuse: f64,
+    /// Useful in-memory XNOR bit operations.
+    pub xnor_ops: u64,
+    /// Bits fetched from storage onto RWLs.
+    pub rwl_bits_fetched: u64,
+    /// Redundant bit-line discharges (Fig. 5c energy waste).
+    pub redundant_discharges: u64,
+    /// Peak XNOR-queue occupancy in bits.
+    pub queue_peak_bits: u64,
+    /// Tuple-copy writes made by the update path.
+    pub spin_copy_updates: u64,
+    /// Adjacency-matrix reads made by the update path.
+    pub adjacency_reads: u64,
+    /// Cross-tuple re-reads the no-tuple-rep ablation incurred (0 with
+    /// tuple-rep on).
+    pub cross_tuple_rereads: u64,
+    /// Prefetches issued by the DRAM controller.
+    pub prefetches: u64,
+}
+
+impl RunReport {
+    /// Cycles per Hamiltonian iteration — the paper's "CPI" metric
+    /// (Figs. 17/18).
+    pub fn cycles_per_iteration(&self) -> f64 {
+        if self.sweeps == 0 {
+            return 0.0;
+        }
+        self.total_cycles.get() as f64 / self.sweeps as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} @ {}-bit: {} iterations x {} round(s)",
+            self.design.label(),
+            self.resolution_bits,
+            self.sweeps,
+            self.rounds_per_sweep
+        )?;
+        writeln!(
+            f,
+            "  cycles : {} total ({} compute, {} loading) = {}",
+            self.total_cycles.get(),
+            self.compute_cycles.get(),
+            self.load_cycles.get(),
+            self.wall_time
+        )?;
+        writeln!(
+            f,
+            "  energy : {} | reuse {:.1} ({} XNORs / {} RWL bits)",
+            self.energy.total(),
+            self.reuse,
+            self.xnor_ops,
+            self.rwl_bits_fetched
+        )?;
+        write!(
+            f,
+            "  update : {} copies, {} adjacency reads; queue peak {} bits; {} redundant discharges",
+            self.spin_copy_updates, self.adjacency_reads, self.queue_peak_bits, self.redundant_discharges
+        )
+    }
+}
+
+/// A SACHI machine instance.
+///
+/// ```
+/// use sachi_core::prelude::*;
+/// use sachi_ising::prelude::*;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let graph = topology::king(4, 4, |_, _| 1)?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let init = SpinVector::random(16, &mut rng);
+/// let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+/// let (result, report) = machine.solve_detailed(&graph, &init, &SolveOptions::for_graph(&graph, 1));
+/// assert!(result.converged);
+/// assert!(report.total_cycles.get() > 0);
+/// # Ok::<(), sachi_ising::graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SachiMachine {
+    config: SachiConfig,
+}
+
+impl SachiMachine {
+    /// Creates a machine from a configuration.
+    pub fn new(config: SachiConfig) -> Self {
+        SachiMachine { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SachiConfig {
+        &self.config
+    }
+
+    /// Runs a solve and returns both the algorithmic result and the
+    /// architecture report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial spin vector does not match the graph, or if a
+    /// configured resolution override cannot represent the graph's
+    /// coefficients (quantize the workload first).
+    pub fn solve_detailed(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> (SolveResult, RunReport) {
+        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        let required = graph.bits_required();
+        let resolution = match self.config.resolution {
+            Some(r) => {
+                assert!(
+                    r >= required,
+                    "resolution override {r} cannot represent coefficients needing {required} bits; \
+                     quantize the workload first"
+                );
+                r
+            }
+            None => required,
+        };
+        let enc = MixedEncoding::new(resolution).expect("resolution validated by config");
+        let design = stationarity(self.config.design);
+        let tech = &self.config.tech;
+        let geometry = self.config.hierarchy.compute;
+        let storage = self.config.hierarchy.storage;
+
+        let mut spins = initial.clone();
+        let mut tuples = TupleStore::with_tuple_rep(graph, &spins, self.config.tuple_rep);
+        let mut annealer = Annealer::new(options.schedule, options.seed);
+        let mut ledger = EnergyLedger::new();
+        let mut ctx = ComputeContext::new();
+        let mut dram = if self.config.prefetch {
+            DramController::new(tech.clone())
+        } else {
+            DramController::new(tech.clone()).without_prefetch()
+        };
+
+        let n = graph.num_spins();
+        let max_degree = graph.max_degree().max(1);
+        let (tile_rows, tile_cols) = design.tile_requirements(max_degree, enc.bits(), geometry.row_bits());
+        let mut tile = SramTile::new(tile_rows, tile_cols);
+
+        // Partition spins into compute-array rounds by resident footprint.
+        let capacity_bits = geometry.total_bits().get();
+        let mut chunks: Vec<std::ops::Range<usize>> = Vec::new();
+        {
+            let mut start = 0usize;
+            let mut used = 0u64;
+            for i in 0..n {
+                let bits = design.resident_bits_per_tuple(graph.degree(i) as u64, enc.bits()).max(1);
+                if used + bits > capacity_bits && i > start {
+                    chunks.push(start..i);
+                    start = i;
+                    used = 0;
+                }
+                used += bits;
+            }
+            if start < n || n == 0 {
+                chunks.push(start..n);
+            }
+        }
+        let rounds_per_sweep = chunks.len() as u64;
+
+        // Storage-array pressure decides whether rounds stream from DRAM.
+        let storage_bits_needed = tuples.total_storage_bits(enc.bits()) + tuples.adjacency_bits();
+        let uses_dram = storage_bits_needed > storage.total_bits().get();
+
+        // Initial placement of the whole problem into DRAM (phase (a) of
+        // the Sec. V.5 cost model, charged to every machine).
+        let mut total_cycles = tech.dram_stream_cycles(Bits::new(storage_bits_needed).to_bytes_ceil());
+        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * storage_bits_needed);
+
+        let mut compute_cycles = Cycles::ZERO;
+        let mut load_cycles = Cycles::ZERO;
+        let mut annealer_decisions = 0u64;
+        let mut total_flips = 0u64;
+        let mut sweeps = 0u64;
+        let mut converged = false;
+        let mut trace = Vec::new();
+        let schedule_fill = design.idle_cycles(max_degree as u64, enc.bits()) + 3;
+
+        while sweeps < options.max_sweeps {
+            let mut flips_this_sweep = 0u64;
+            for (round, chunk) in chunks.iter().enumerate() {
+                // --- loading for this round ---
+                let chunk_resident: u64 = chunk
+                    .clone()
+                    .map(|i| design.resident_bits_per_tuple(graph.degree(i) as u64, enc.bits()))
+                    .sum();
+                let reload = sweeps == 0 || rounds_per_sweep > 1;
+                let mut round_load = Cycles::ZERO;
+                if reload && chunk_resident > 0 {
+                    // Storage -> compute: fixed movement latency plus one
+                    // row per cycle.
+                    let rows = chunk_resident.div_ceil(geometry.row_bits() as u64);
+                    round_load = tech.storage_to_compute_cycles() + Cycles::new(rows);
+                    ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * chunk_resident);
+                    ledger.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * chunk_resident);
+                    if uses_dram {
+                        let chunk_storage: u64 =
+                            chunk.clone().map(|i| tuples.tuple(i).storage_bits(enc.bits())).sum();
+                        let dram_cycles = dram.load(Bits::new(chunk_storage), &mut ledger);
+                        // The Sec. IV.A prefetcher hides the DRAM stream
+                        // entirely; without it, the stream serializes.
+                        if !self.config.prefetch {
+                            round_load += dram_cycles;
+                        }
+                    }
+                }
+
+                // --- compute for this round ---
+                // Tiles process disjoint tuples concurrently; the round
+                // takes as long as its busiest tile. SACHI(n1a) fills
+                // tiles blockwise ("successive spins in the same tile"),
+                // which is the load imbalance Fig. 17(iii) calls out;
+                // n1b/n2/n3 interleave.
+                let num_tiles = geometry.tiles();
+                let chunk_len = chunk.len().max(1);
+                let mut tile_sums = vec![0u64; num_tiles];
+                for (pos, i) in chunk.clone().enumerate() {
+                    let cycles_before_tuple = ctx.cycles;
+                    let h_sigma = {
+                        let tuple = tuples.tuple(i);
+                        design.compute_tuple(&mut tile, &enc, tuple, spins.get(i), &mut ctx)
+                    };
+                    let tuple_cycles = ctx.cycles - cycles_before_tuple;
+                    let assigned = match self.config.design {
+                        DesignKind::N1a => pos * num_tiles / chunk_len,
+                        _ => pos % num_tiles,
+                    };
+                    tile_sums[assigned.min(num_tiles - 1)] += tuple_cycles;
+                    debug_assert_eq!(
+                        h_sigma,
+                        sachi_ising::hamiltonian::local_field(graph, &spins, i),
+                        "hardware H_σ diverged from golden model at spin {i}"
+                    );
+                    if !self.config.tuple_rep {
+                        // Count the cross-tuple re-reads the ablation incurs.
+                        tuples.local_field(i);
+                    }
+                    let current = spins.get(i);
+                    let new = decide_update(current, h_sigma, &mut annealer);
+                    annealer_decisions += 1;
+                    if new != current {
+                        spins.set(i, new);
+                        flips_this_sweep += 1;
+                        // Fig. 8b update path: adjacency read + relevant
+                        // tuple copy writes in the storage array.
+                        let copies = tuples.update_spin(i, new);
+                        ledger.record(EnergyComponent::SramRead, tech.rbl_energy_per_bit() * copies);
+                        ledger.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * copies);
+                        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * 1u64);
+                    }
+                }
+                let round_compute =
+                    Cycles::new(tile_sums.iter().copied().max().unwrap_or(0) + schedule_fill);
+                compute_cycles += round_compute;
+                load_cycles += round_load;
+                // The first round of the solve cannot overlap with anything;
+                // later rounds overlap their (pre)load with compute.
+                if sweeps == 0 && round == 0 {
+                    total_cycles += round_load + round_compute;
+                } else {
+                    total_cycles += dram.effective_round_cycles(round_compute, round_load);
+                }
+            }
+
+            sweeps += 1;
+            total_flips += flips_this_sweep;
+            if options.record_trace {
+                trace.push(energy(graph, &spins));
+            }
+            let frozen = annealer.is_frozen();
+            annealer.cool();
+            if flips_this_sweep == 0 && frozen {
+                converged = true;
+                break;
+            }
+        }
+
+        // Harvest the tile's compute events (layout writes intentionally
+        // excluded — billed as reload traffic above).
+        let stats = tile.stats();
+        ledger.record(EnergyComponent::RwlDrive, tech.rwl_energy_per_bit() * stats.rwl_activations);
+        ledger.record(EnergyComponent::RblDischarge, tech.rbl_energy_per_bit() * stats.rbl_discharges);
+        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+        if uses_dram {
+            // Driven data the storage array cannot cache re-streams from
+            // DRAM every sweep.
+            ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+        }
+        ledger.record(EnergyComponent::NearMemoryAdd, tech.adder_energy_per_bit() * ctx.adder_bit_ops);
+        ledger.record(EnergyComponent::DecisionLogic, tech.adder_energy_per_bit() * ctx.decisions);
+        ledger.record(EnergyComponent::Annealer, tech.annealer_energy_per_decision() * annealer_decisions);
+
+        let report = RunReport {
+            design: self.config.design,
+            resolution_bits: enc.bits(),
+            sweeps,
+            rounds_per_sweep,
+            compute_cycles,
+            load_cycles,
+            total_cycles,
+            wall_time: total_cycles.to_time(tech.cycle_time),
+            energy: ledger,
+            reuse: ctx.reuse(),
+            xnor_ops: ctx.xnor_ops,
+            rwl_bits_fetched: ctx.rwl_bits_fetched,
+            redundant_discharges: stats.redundant_discharges,
+            queue_peak_bits: ctx.queue_peak_bits,
+            spin_copy_updates: tuples.spin_copy_updates(),
+            adjacency_reads: tuples.adjacency_reads(),
+            cross_tuple_rereads: tuples.cross_tuple_rereads(),
+            prefetches: dram.prefetches_issued(),
+        };
+        let result = SolveResult {
+            energy: energy(graph, &spins),
+            spins,
+            sweeps,
+            flips: total_flips,
+            converged,
+            trace,
+        };
+        (result, report)
+    }
+}
+
+impl IterativeSolver for SachiMachine {
+    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
+        self.solve_detailed(graph, initial, options).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sachi_ising::graph::topology;
+    use sachi_ising::solver::CpuReferenceSolver;
+    use sachi_mem::cache::{CacheGeometry, CacheHierarchy};
+
+    fn king_setup(seed: u64) -> (IsingGraph, SpinVector, SolveOptions) {
+        let g = topology::king(5, 5, |i, j| ((i * 3 + j) % 7) as i32 + 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = SpinVector::random(25, &mut rng);
+        let opts = SolveOptions::for_graph(&g, seed ^ 0xabc);
+        (g, init, opts)
+    }
+
+    #[test]
+    fn every_design_matches_the_golden_trajectory() {
+        let (g, init, opts) = king_setup(3);
+        let opts = opts.with_trace();
+        let mut reference = CpuReferenceSolver::new();
+        let golden = reference.solve(&g, &init, &opts);
+        for design in DesignKind::ALL {
+            let mut machine = SachiMachine::new(SachiConfig::new(design));
+            let (result, report) = machine.solve_detailed(&g, &init, &opts);
+            assert_eq!(result.energy, golden.energy, "{design} final energy");
+            assert_eq!(result.trace, golden.trace, "{design} H trajectory");
+            assert_eq!(result.sweeps, golden.sweeps, "{design} iteration count");
+            assert_eq!(result.spins, golden.spins, "{design} spins");
+            assert_eq!(report.sweeps, result.sweeps);
+        }
+    }
+
+    #[test]
+    fn designs_rank_by_cycles_and_reuse() {
+        let (g, init, opts) = king_setup(7);
+        let mut by_design = std::collections::HashMap::new();
+        for design in DesignKind::ALL {
+            let mut machine = SachiMachine::new(SachiConfig::new(design));
+            let (_, report) = machine.solve_detailed(&g, &init, &opts);
+            by_design.insert(design, report);
+        }
+        // Cycles: n3 < n2 < n1b <= n1a.
+        assert!(by_design[&DesignKind::N3].compute_cycles < by_design[&DesignKind::N2].compute_cycles);
+        assert!(by_design[&DesignKind::N2].compute_cycles < by_design[&DesignKind::N1b].compute_cycles);
+        assert!(by_design[&DesignKind::N1b].compute_cycles <= by_design[&DesignKind::N1a].compute_cycles);
+        // Reuse: n1 ~ 1, n2 ~ R, n3 ~ N*R.
+        assert!(by_design[&DesignKind::N1a].reuse < 1.5);
+        assert!(by_design[&DesignKind::N2].reuse > by_design[&DesignKind::N1a].reuse);
+        assert!(by_design[&DesignKind::N3].reuse > by_design[&DesignKind::N2].reuse);
+        // Queue only exists for n1.
+        assert!(by_design[&DesignKind::N1a].queue_peak_bits > by_design[&DesignKind::N1b].queue_peak_bits);
+        assert_eq!(by_design[&DesignKind::N3].queue_peak_bits, 0);
+        // Redundant discharges are an n1 phenomenon.
+        assert!(by_design[&DesignKind::N1a].redundant_discharges > 0);
+        assert_eq!(by_design[&DesignKind::N3].redundant_discharges, 0);
+        // Energy: the reuse-aware design wins.
+        assert!(
+            by_design[&DesignKind::N3].energy.total() < by_design[&DesignKind::N1a].energy.total(),
+            "n3 {} vs n1a {}",
+            by_design[&DesignKind::N3].energy.total(),
+            by_design[&DesignKind::N1a].energy.total()
+        );
+    }
+
+    #[test]
+    fn tiny_compute_array_forces_rounds_and_reloads() {
+        let (g, init, opts) = king_setup(11);
+        // A compute array that holds only a few tuples.
+        let small = CacheHierarchy {
+            compute: CacheGeometry::new(1, 4, 64, 1),
+            storage: CacheGeometry::sachi_storage_default(),
+        };
+        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(small));
+        let (result, report) = machine.solve_detailed(&g, &init, &opts);
+        assert!(report.rounds_per_sweep > 1, "expected multiple rounds");
+        assert!(report.load_cycles > Cycles::ZERO);
+        // Functional result is unaffected by geometry.
+        let mut reference = CpuReferenceSolver::new();
+        let golden = reference.solve(&g, &init, &opts);
+        assert_eq!(result.energy, golden.energy);
+    }
+
+    #[test]
+    fn small_storage_array_streams_from_dram() {
+        let (g, init, opts) = king_setup(13);
+        let tiny_storage = CacheHierarchy {
+            compute: CacheGeometry::new(1, 4, 64, 1),
+            storage: CacheGeometry::new(1, 2, 64, 2),
+        };
+        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny_storage));
+        let (_, report) = machine.solve_detailed(&g, &init, &opts);
+        assert!(report.energy.component(EnergyComponent::DramAccess).get() > 0.0);
+        assert!(report.prefetches > 0, "prefetcher should fire on DRAM-streamed rounds");
+    }
+
+    #[test]
+    fn prefetch_shortens_critical_path() {
+        let (g, init, opts) = king_setup(17);
+        let small = CacheHierarchy {
+            compute: CacheGeometry::new(1, 4, 64, 1),
+            storage: CacheGeometry::new(1, 2, 64, 2),
+        };
+        let run = |prefetch: bool| {
+            let config = if prefetch {
+                SachiConfig::new(DesignKind::N2).with_hierarchy(small)
+            } else {
+                SachiConfig::new(DesignKind::N2).with_hierarchy(small).without_prefetch()
+            };
+            let mut machine = SachiMachine::new(config);
+            machine.solve_detailed(&g, &init, &opts).1
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with.total_cycles < without.total_cycles,
+            "prefetch {} !< no-prefetch {}",
+            with.total_cycles,
+            without.total_cycles
+        );
+        // Functional behavior identical either way.
+        assert_eq!(with.sweeps, without.sweeps);
+    }
+
+    #[test]
+    fn tuple_rep_ablation_counts_rereads() {
+        let (g, init, opts) = king_setup(19);
+        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3).without_tuple_rep());
+        let (_, report) = machine.solve_detailed(&g, &init, &opts);
+        assert!(report.cross_tuple_rereads > 0);
+        let mut with_rep = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+        let (_, rep_report) = with_rep.solve_detailed(&g, &init, &opts);
+        assert_eq!(rep_report.cross_tuple_rereads, 0);
+    }
+
+    #[test]
+    fn run_report_display_is_informative() {
+        let (g, init, opts) = king_setup(31);
+        let mut machine = SachiMachine::new(SachiConfig::default());
+        let (_, report) = machine.solve_detailed(&g, &init, &opts);
+        let text = format!("{report}");
+        assert!(text.contains("SACHI(n3)"), "{text}");
+        assert!(text.contains("iterations"), "{text}");
+        assert!(text.contains("reuse"), "{text}");
+        assert!(text.contains("cycles"), "{text}");
+    }
+
+    #[test]
+    fn update_path_traffic_is_reported() {
+        let (g, init, opts) = king_setup(23);
+        let mut machine = SachiMachine::new(SachiConfig::default());
+        let (result, report) = machine.solve_detailed(&g, &init, &opts);
+        if result.flips > 0 {
+            assert!(report.spin_copy_updates > 0);
+            assert!(report.adjacency_reads > 0);
+        }
+        assert!(report.wall_time.get() > 0.0);
+        assert!(report.cycles_per_iteration() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution override")]
+    fn too_small_resolution_override_rejected() {
+        let g = topology::king(3, 3, |_, _| 100).unwrap();
+        let init = SpinVector::filled(9, sachi_ising::spin::Spin::Up);
+        let mut machine = SachiMachine::new(SachiConfig::default().with_resolution(4));
+        let _ = machine.solve_detailed(&g, &init, &SolveOptions::for_graph(&g, 0));
+    }
+
+    #[test]
+    fn resolution_override_widens_encoding() {
+        let (g, init, opts) = king_setup(29);
+        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N2).with_resolution(16));
+        let (_, report) = machine.solve_detailed(&g, &init, &opts);
+        assert_eq!(report.resolution_bits, 16);
+        // Same trajectory as the reference regardless of width.
+        let mut reference = CpuReferenceSolver::new();
+        let golden = reference.solve(&g, &init, &opts);
+        let (result, _) = machine.solve_detailed(&g, &init, &opts);
+        assert_eq!(result.energy, golden.energy);
+    }
+}

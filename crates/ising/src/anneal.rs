@@ -1,0 +1,369 @@
+//! Simulated annealing: geometric cooling schedule and the Metropolis
+//! acceptance criterion.
+//!
+//! The paper implements annealing "by probabilistically flipping based on
+//! the Metropolis acceptance criterion, comparing likelihood against a
+//! predefined value within the annealer block" (Sec. VI.6). The annealer is
+//! a small digital block shared by every design, so the *same* schedule and
+//! RNG stream must drive every machine for their H trajectories to agree.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the temperature descends between sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cooling {
+    /// Multiply by a factor in `(0, 1)` each sweep.
+    Geometric(f64),
+    /// Subtract a positive step each sweep (clamped at zero).
+    Linear(f64),
+}
+
+/// Cooling schedule: geometric (the paper's) or linear.
+///
+/// Temperature starts at `initial_temperature` and descends after every
+/// sweep until it falls below `freeze_threshold`, after which the
+/// annealer stops proposing uphill flips.
+///
+/// ```
+/// use sachi_ising::anneal::Schedule;
+///
+/// let s = Schedule::new(8.0, 0.5, 0.1);
+/// let temps: Vec<f64> = s.temperatures().take(4).collect();
+/// assert_eq!(temps, vec![8.0, 4.0, 2.0, 1.0]);
+/// assert_eq!(s.sweeps_until_frozen(), 7); // 8 * 0.5^7 = 0.0625 < 0.1
+///
+/// let lin = Schedule::linear(8.0, 2.0, 0.1);
+/// let temps: Vec<f64> = lin.temperatures().take(4).collect();
+/// assert_eq!(temps, vec![8.0, 6.0, 4.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    initial_temperature: f64,
+    cooling: Cooling,
+    freeze_threshold: f64,
+}
+
+impl Schedule {
+    /// Creates a geometric schedule (the paper's Metropolis annealer).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial_temperature > 0`, `0 < cooling_factor < 1`,
+    /// and `freeze_threshold > 0`.
+    pub fn new(initial_temperature: f64, cooling_factor: f64, freeze_threshold: f64) -> Self {
+        assert!(initial_temperature > 0.0, "initial temperature must be positive");
+        assert!((0.0..1.0).contains(&cooling_factor) && cooling_factor > 0.0, "cooling factor must be in (0, 1)");
+        assert!(freeze_threshold > 0.0, "freeze threshold must be positive");
+        Schedule { initial_temperature, cooling: Cooling::Geometric(cooling_factor), freeze_threshold }
+    }
+
+    /// Creates a linear schedule (temperature falls by `step` per sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial_temperature > 0`, `step > 0`, and
+    /// `freeze_threshold > 0`.
+    pub fn linear(initial_temperature: f64, step: f64, freeze_threshold: f64) -> Self {
+        assert!(initial_temperature > 0.0, "initial temperature must be positive");
+        assert!(step > 0.0, "linear cooling step must be positive");
+        assert!(freeze_threshold > 0.0, "freeze threshold must be positive");
+        Schedule { initial_temperature, cooling: Cooling::Linear(step), freeze_threshold }
+    }
+
+    /// A schedule suited to coefficients of magnitude `max_abs` (start hot
+    /// enough to flip against the strongest bond).
+    pub fn for_coefficient_range(max_abs: i64) -> Self {
+        let t0 = (2.0 * max_abs.max(1) as f64).max(1.0);
+        Schedule::new(t0, 0.9, 0.05)
+    }
+
+    /// Quick schedule for unit tests (few sweeps).
+    pub fn fast() -> Self {
+        Schedule::new(2.0, 0.5, 0.5)
+    }
+
+    /// Starting temperature.
+    pub fn initial_temperature(&self) -> f64 {
+        self.initial_temperature
+    }
+
+    /// The cooling rule.
+    pub fn cooling(&self) -> Cooling {
+        self.cooling
+    }
+
+    /// Applies one cooling step to a temperature.
+    pub fn cool_once(&self, temperature: f64) -> f64 {
+        match self.cooling {
+            Cooling::Geometric(f) => temperature * f,
+            Cooling::Linear(step) => (temperature - step).max(0.0),
+        }
+    }
+
+    /// Temperature below which the annealer stops.
+    pub fn freeze_threshold(&self) -> f64 {
+        self.freeze_threshold
+    }
+
+    /// Iterator over the temperature sequence (unbounded; pair with
+    /// [`Schedule::sweeps_until_frozen`]).
+    pub fn temperatures(&self) -> impl Iterator<Item = f64> {
+        let schedule = *self;
+        let mut t = self.initial_temperature;
+        std::iter::from_fn(move || {
+            let current = t;
+            t = schedule.cool_once(t);
+            Some(current)
+        })
+    }
+
+    /// Number of sweeps until the temperature drops below the freeze
+    /// threshold.
+    pub fn sweeps_until_frozen(&self) -> u64 {
+        let mut t = self.initial_temperature;
+        let mut sweeps = 0;
+        while t >= self.freeze_threshold {
+            t = self.cool_once(t);
+            sweeps += 1;
+        }
+        sweeps
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::new(10.0, 0.95, 0.05)
+    }
+}
+
+/// The annealer block: current temperature plus a seeded RNG.
+///
+/// ```
+/// use sachi_ising::anneal::{Annealer, Schedule};
+///
+/// let mut a = Annealer::new(Schedule::default(), 42);
+/// assert!(a.accept(-5)); // downhill moves always accepted
+/// a.freeze();
+/// assert!(!a.accept(1)); // frozen: uphill moves always rejected
+/// ```
+#[derive(Debug, Clone)]
+pub struct Annealer {
+    schedule: Schedule,
+    temperature: f64,
+    rng: StdRng,
+    uphill_accepted: u64,
+    uphill_rejected: u64,
+}
+
+impl Annealer {
+    /// Creates an annealer at the schedule's initial temperature.
+    pub fn new(schedule: Schedule, seed: u64) -> Self {
+        Annealer {
+            schedule,
+            temperature: schedule.initial_temperature(),
+            rng: StdRng::seed_from_u64(seed),
+            uphill_accepted: 0,
+            uphill_rejected: 0,
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Whether the annealer has cooled past the freeze threshold.
+    pub fn is_frozen(&self) -> bool {
+        self.temperature < self.schedule.freeze_threshold()
+    }
+
+    /// Probability of accepting a move with energy change `delta`.
+    pub fn acceptance_probability(&self, delta: i64) -> f64 {
+        if delta <= 0 {
+            1.0
+        } else if self.is_frozen() {
+            0.0
+        } else {
+            (-(delta as f64) / self.temperature).exp()
+        }
+    }
+
+    /// Metropolis decision for a move with energy change `delta`.
+    /// Downhill and neutral moves are always accepted.
+    pub fn accept(&mut self, delta: i64) -> bool {
+        if delta <= 0 {
+            return true;
+        }
+        if self.is_frozen() {
+            self.uphill_rejected += 1;
+            return false;
+        }
+        let accepted = self.rng.gen::<f64>() < self.acceptance_probability(delta);
+        if accepted {
+            self.uphill_accepted += 1;
+        } else {
+            self.uphill_rejected += 1;
+        }
+        accepted
+    }
+
+    /// Cools by one schedule step (call once per sweep).
+    pub fn cool(&mut self) {
+        self.temperature = self.schedule.cool_once(self.temperature);
+    }
+
+    /// Drops the temperature to zero immediately.
+    pub fn freeze(&mut self) {
+        self.temperature = 0.0;
+    }
+
+    /// Uphill moves accepted so far.
+    pub fn uphill_accepted(&self) -> u64 {
+        self.uphill_accepted
+    }
+
+    /// Uphill moves rejected so far.
+    pub fn uphill_rejected(&self) -> u64 {
+        self.uphill_rejected
+    }
+
+    /// Borrow of the internal RNG for auxiliary randomness that must stay
+    /// on the same deterministic stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_validation() {
+        let s = Schedule::new(4.0, 0.5, 1.0);
+        assert_eq!(s.initial_temperature(), 4.0);
+        assert_eq!(s.sweeps_until_frozen(), 3); // 4, 2, 1 -> 0.5 < 1
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn bad_cooling_factor_rejected() {
+        let _ = Schedule::new(1.0, 1.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial temperature")]
+    fn bad_temperature_rejected() {
+        let _ = Schedule::new(0.0, 0.5, 0.1);
+    }
+
+    #[test]
+    fn coefficient_range_schedule_scales() {
+        let small = Schedule::for_coefficient_range(1);
+        let large = Schedule::for_coefficient_range(1000);
+        assert!(large.initial_temperature() > small.initial_temperature());
+        assert!(small.initial_temperature() >= 1.0);
+    }
+
+    #[test]
+    fn downhill_always_accepted() {
+        let mut a = Annealer::new(Schedule::default(), 1);
+        for d in [-100, -1, 0] {
+            assert!(a.accept(d));
+        }
+        assert_eq!(a.uphill_accepted() + a.uphill_rejected(), 0);
+    }
+
+    #[test]
+    fn acceptance_probability_decays_with_delta_and_cooling() {
+        let mut a = Annealer::new(Schedule::new(10.0, 0.5, 0.01), 1);
+        let p_small = a.acceptance_probability(1);
+        let p_big = a.acceptance_probability(50);
+        assert!(p_small > p_big);
+        let before = a.acceptance_probability(5);
+        a.cool();
+        let after = a.acceptance_probability(5);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn frozen_annealer_rejects_uphill() {
+        let mut a = Annealer::new(Schedule::default(), 1);
+        a.freeze();
+        assert!(a.is_frozen());
+        assert!(!a.accept(1));
+        assert!(a.accept(-1));
+        assert_eq!(a.acceptance_probability(1), 0.0);
+        assert_eq!(a.uphill_rejected(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let deltas = [3, 1, 7, 2, 9, 4, 1, 1, 5];
+        let run = |seed| {
+            let mut a = Annealer::new(Schedule::default(), seed);
+            deltas.iter().map(|&d| a.accept(d)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn hot_annealer_accepts_some_uphill() {
+        let mut a = Annealer::new(Schedule::new(1000.0, 0.99, 0.1), 5);
+        let accepted = (0..100).filter(|_| a.accept(1)).count();
+        assert!(accepted > 80, "hot annealer accepted only {accepted}/100");
+    }
+
+    #[test]
+    fn linear_schedule_descends_and_freezes() {
+        let s = Schedule::linear(10.0, 3.0, 0.5);
+        let temps: Vec<f64> = s.temperatures().take(5).collect();
+        assert_eq!(temps, vec![10.0, 7.0, 4.0, 1.0, 0.0]);
+        assert_eq!(s.sweeps_until_frozen(), 4);
+        assert_eq!(s.cooling(), Cooling::Linear(3.0));
+        // Linear cooling clamps at zero, never negative.
+        assert_eq!(s.cool_once(1.0), 0.0);
+        let mut a = Annealer::new(s, 1);
+        for _ in 0..10 {
+            a.cool();
+        }
+        assert!(a.is_frozen());
+        assert!(a.temperature() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn linear_schedule_validates_step() {
+        let _ = Schedule::linear(1.0, 0.0, 0.1);
+    }
+
+    #[test]
+    fn linear_and_geometric_solve_equally_well_on_easy_instances() {
+        use crate::graph::topology;
+        use crate::solver::{CpuReferenceSolver, IterativeSolver, SolveOptions};
+        use crate::spin::SpinVector;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = topology::king(5, 5, |_, _| 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = SpinVector::random(25, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        for schedule in [Schedule::new(4.0, 0.9, 0.05), Schedule::linear(4.0, 0.2, 0.05)] {
+            let opts = SolveOptions { schedule, ..SolveOptions::for_graph(&g, 3) };
+            let r = solver.solve(&g, &init, &opts);
+            assert!(r.converged);
+            let ups = r.spins.count_up();
+            assert!(ups <= 3 || ups >= 22, "{schedule:?} left mixed state: {ups}");
+        }
+    }
+
+    #[test]
+    fn temperatures_iterator_is_geometric() {
+        let s = Schedule::new(1.0, 0.1, 0.001);
+        let t: Vec<f64> = s.temperatures().take(3).collect();
+        assert!((t[0] - 1.0).abs() < 1e-12);
+        assert!((t[1] - 0.1).abs() < 1e-12);
+        assert!((t[2] - 0.01).abs() < 1e-12);
+    }
+}

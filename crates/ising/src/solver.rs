@@ -1,0 +1,353 @@
+//! The iterative solve protocol and the golden-model CPU solver.
+//!
+//! Every Ising machine in this workspace — the four SACHI stationarity
+//! designs, BRIM, and Ising-CIM — executes the *same* algorithm: sweep the
+//! spins, update each by the sign rule (eqn. 3), and let the shared
+//! annealer block propose Metropolis uphill flips. The paper leans on this
+//! ("the number of iterations across SACHI designs is the same, as they all
+//! arrive at the same H at the end of each iteration"), and we enforce it:
+//! the per-spin decision lives in [`decide_update`], and integration tests
+//! assert that every machine's H trajectory equals
+//! [`CpuReferenceSolver`]'s.
+//!
+//! Update visibility is *sequential within a sweep* (an updated spin is
+//! seen by later spins of the same sweep). In SACHI hardware this is the
+//! storage-array-based update of Fig. 8b: each computed spin is written to
+//! the storage array and propagated to the relevant tuples via the
+//! adjacency matrix, so tuples computed later in the sweep observe it.
+
+use crate::anneal::{Annealer, Schedule};
+use crate::graph::IsingGraph;
+use crate::hamiltonian::{energy, local_field, update_rule};
+use crate::spin::{Spin, SpinVector};
+use rand::Rng;
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Hard cap on sweeps (Hamiltonian iterations).
+    pub max_sweeps: u64,
+    /// Annealing schedule.
+    pub schedule: Schedule,
+    /// RNG seed for the annealer block.
+    pub seed: u64,
+    /// Record the post-sweep energy trace (Fig. 19a).
+    pub record_trace: bool,
+}
+
+impl SolveOptions {
+    /// Options matched to a graph's coefficient range.
+    pub fn for_graph(graph: &IsingGraph, seed: u64) -> Self {
+        SolveOptions {
+            max_sweeps: 10_000,
+            schedule: Schedule::for_coefficient_range(graph.max_abs_coefficient()),
+            seed,
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the sweep cap.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: u64) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_sweeps: 10_000, schedule: Schedule::default(), seed: 0, record_trace: false }
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Final spin configuration.
+    pub spins: SpinVector,
+    /// Final Hamiltonian energy.
+    pub energy: i64,
+    /// Sweeps executed (the paper's "iterations").
+    pub sweeps: u64,
+    /// Total spin flips applied.
+    pub flips: u64,
+    /// True if the solve reached the converged state (no flips in a full
+    /// sweep with the annealer frozen) before `max_sweeps`.
+    pub converged: bool,
+    /// Post-sweep energies, if requested.
+    pub trace: Vec<i64>,
+}
+
+/// The per-spin decision shared by every machine: deterministic sign update
+/// (eqn. 3) plus a Metropolis proposal when the deterministic rule keeps
+/// the spin.
+///
+/// Zero-cost flips (`H_σ = 0` ties) are accepted with probability 1/2
+/// while the annealer is live — the standard Metropolis treatment.
+/// Without it, domain walls (whose motion is a ΔH = 0 move) cannot
+/// diffuse and cyclic instances freeze two walls apart from the optimum.
+/// Once the annealer freezes, ties keep the current value so sweeps can
+/// reach quiescence and the convergence detector can fire.
+///
+/// Returns the new spin value. Machines presenting the same `h_sigma`
+/// sequence to the same-seeded annealer make identical decisions.
+#[inline]
+pub fn decide_update(current: Spin, h_sigma: i64, annealer: &mut Annealer) -> Spin {
+    let desired = update_rule(h_sigma, current);
+    if desired != current {
+        return desired;
+    }
+    // Flipping a spin that the sign rule keeps costs ΔH = -2 σ H_σ >= 0.
+    let delta = -2 * current.value() * h_sigma;
+    if !annealer.is_frozen() {
+        if delta == 0 {
+            // Tie: heat-bath coin flip.
+            if annealer.rng().gen::<bool>() {
+                return current.flipped();
+            }
+        } else if annealer.accept(delta) {
+            return current.flipped();
+        }
+    }
+    current
+}
+
+/// An iterative Ising machine: anything that can run the solve protocol.
+pub trait IterativeSolver {
+    /// Runs the solve from `initial` and returns the outcome.
+    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult;
+}
+
+/// Golden-model software solver: the exact protocol with none of the
+/// hardware modeling. Architecture simulators must match its output
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuReferenceSolver;
+
+impl CpuReferenceSolver {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        CpuReferenceSolver
+    }
+}
+
+impl IterativeSolver for CpuReferenceSolver {
+    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
+        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        let mut spins = initial.clone();
+        let mut annealer = Annealer::new(options.schedule, options.seed);
+        let mut trace = Vec::new();
+        let mut total_flips = 0u64;
+        let mut sweeps = 0u64;
+        let mut converged = false;
+
+        while sweeps < options.max_sweeps {
+            let mut flips_this_sweep = 0u64;
+            for i in 0..graph.num_spins() {
+                let h_sigma = local_field(graph, &spins, i);
+                let current = spins.get(i);
+                let new = decide_update(current, h_sigma, &mut annealer);
+                if new != current {
+                    spins.set(i, new);
+                    flips_this_sweep += 1;
+                }
+            }
+            sweeps += 1;
+            total_flips += flips_this_sweep;
+            if options.record_trace {
+                trace.push(energy(graph, &spins));
+            }
+            let frozen = annealer.is_frozen();
+            annealer.cool();
+            if flips_this_sweep == 0 && frozen {
+                converged = true;
+                break;
+            }
+        }
+
+        SolveResult { energy: energy(graph, &spins), spins, sweeps, flips: total_flips, converged, trace }
+    }
+}
+
+/// Runs `restarts` independent solves (seeds `options.seed + k`) and
+/// returns the best-energy result. Standard practice for simulated
+/// annealing, used by the examples and the Fig. 16/19 harnesses.
+///
+/// # Panics
+///
+/// Panics if `restarts == 0`.
+pub fn solve_multi_start<S: IterativeSolver>(
+    solver: &mut S,
+    graph: &IsingGraph,
+    initial: &SpinVector,
+    options: &SolveOptions,
+    restarts: u64,
+) -> SolveResult {
+    assert!(restarts > 0, "need at least one restart");
+    let mut best: Option<SolveResult> = None;
+    for k in 0..restarts {
+        let opts = SolveOptions { seed: options.seed + k, ..options.clone() };
+        let result = solver.solve(graph, initial, &opts);
+        if best.as_ref().is_none_or(|b| result.energy < b.energy) {
+            best = Some(result);
+        }
+    }
+    best.expect("restarts > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{topology, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ferromagnet_reaches_ground_state() {
+        // King's graph, all J = +1: ground state is all spins aligned.
+        let g = topology::king(6, 6, |_, _| 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = SpinVector::random(36, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(&g, 7);
+        let result = solver.solve(&g, &init, &opts);
+        assert!(result.converged, "did not converge in {} sweeps", result.sweeps);
+        let ups = result.spins.count_up();
+        assert!(ups == 0 || ups == 36, "not aligned: {ups} up");
+        assert_eq!(result.energy, -(g.num_edges() as i64));
+    }
+
+    #[test]
+    fn antiferromagnetic_pair_settles() {
+        let g = GraphBuilder::new(2).edge(0, 1, -7).build().unwrap();
+        let init = SpinVector::from_spins(&[Spin::Up, Spin::Up]);
+        let mut solver = CpuReferenceSolver::new();
+        let result = solver.solve(&g, &init, &SolveOptions::for_graph(&g, 3));
+        assert_eq!(result.energy, -7);
+        assert_ne!(result.spins.get(0), result.spins.get(1));
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = topology::complete(12, |i, j| ((i * 3 + j * 5) % 11) as i32 - 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = SpinVector::random(12, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(&g, 99).with_trace();
+        let a = solver.solve(&g, &init, &opts);
+        let b = solver.solve(&g, &init, &opts);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.spins, b.spins);
+        assert_eq!(a.sweeps, b.sweeps);
+    }
+
+    #[test]
+    fn trace_records_every_sweep_and_ends_low() {
+        let g = topology::grid4(5, 5, |_, _| 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let init = SpinVector::random(25, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let result = solver.solve(&g, &init, &SolveOptions::for_graph(&g, 5).with_trace());
+        assert_eq!(result.trace.len() as u64, result.sweeps);
+        assert_eq!(*result.trace.last().unwrap(), result.energy);
+        // The trace's final value is its minimum (greedy tail).
+        assert_eq!(result.trace.iter().min(), result.trace.last());
+    }
+
+    #[test]
+    fn max_sweeps_caps_work() {
+        let g = topology::complete(20, |i, j| if (i + j) % 2 == 0 { 3 } else { -3 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let init = SpinVector::random(20, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions { max_sweeps: 2, ..SolveOptions::for_graph(&g, 1) };
+        let result = solver.solve(&g, &init, &opts);
+        assert_eq!(result.sweeps, 2);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn decide_update_follows_sign_rule() {
+        let mut a = Annealer::new(Schedule::default(), 0);
+        a.freeze();
+        assert_eq!(decide_update(Spin::Up, 5, &mut a), Spin::Down);
+        assert_eq!(decide_update(Spin::Down, -5, &mut a), Spin::Up);
+        // Frozen annealer cannot flip an already-optimal spin.
+        assert_eq!(decide_update(Spin::Up, -5, &mut a), Spin::Up);
+        assert_eq!(decide_update(Spin::Down, 0, &mut a), Spin::Down);
+    }
+
+    #[test]
+    fn annealing_escapes_local_minimum_more_often_than_greedy() {
+        // A frustrated instance where greedy from a bad start gets stuck:
+        // two triangles sharing an edge with mixed signs.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 3)
+            .edge(1, 2, 3)
+            .edge(0, 2, -3)
+            .edge(2, 3, 3)
+            .edge(1, 3, -3)
+            .build()
+            .unwrap();
+        let init = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Up, Spin::Down]);
+        let mut solver = CpuReferenceSolver::new();
+        // Exhaustive ground-state search over 16 configurations.
+        let mut best = i64::MAX;
+        for mask in 0..16u32 {
+            let s: SpinVector =
+                (0..4).map(|b| Spin::from_bit((mask >> b) & 1 == 1)).collect();
+            best = best.min(energy(&g, &s));
+        }
+        let hits = (0..20)
+            .filter(|&seed| {
+                let r = solver.solve(&g, &init, &SolveOptions::for_graph(&g, seed));
+                r.energy == best
+            })
+            .count();
+        assert!(hits >= 12, "annealing found ground state only {hits}/20 times");
+    }
+
+    #[test]
+    fn multi_start_never_worse_than_single() {
+        let g = topology::complete(14, |i, j| ((i * 7 + j * 3) % 13) as i32 - 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let init = SpinVector::random(14, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(&g, 5);
+        let single = solver.solve(&g, &init, &opts);
+        let multi = solve_multi_start(&mut solver, &g, &init, &opts, 8);
+        assert!(multi.energy <= single.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_rejected() {
+        let g = GraphBuilder::new(2).edge(0, 1, 1).build().unwrap();
+        let init = SpinVector::filled(2, Spin::Up);
+        let mut solver = CpuReferenceSolver::new();
+        let _ = solve_multi_start(&mut solver, &g, &init, &SolveOptions::default(), 0);
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        let init = SpinVector::filled(4, Spin::Up);
+        let mut solver = CpuReferenceSolver::new();
+        let mut opts = SolveOptions::for_graph(&g, 0);
+        opts.schedule = Schedule::fast();
+        let result = solver.solve(&g, &init, &opts);
+        assert!(result.converged);
+        assert_eq!(result.energy, 0);
+        // Isolated spins sit on H_σ = 0 ties: the live annealer coin-flips
+        // them, so flips may be non-zero, but quiescence follows freezing.
+    }
+}

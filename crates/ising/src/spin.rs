@@ -1,0 +1,360 @@
+//! Spins and packed spin vectors.
+//!
+//! SACHI's mixed encoding (Sec. IV.C) stores a `+1` spin as bit `1` and a
+//! `-1` spin as bit `0`; that convention is baked into [`Spin::bit`] /
+//! [`Spin::from_bit`] and used verbatim by the architecture crates.
+
+use std::fmt;
+
+/// A binary Ising spin, `+1` (up) or `-1` (down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Spin {
+    /// `σ = -1`, encoded as bit `0`.
+    Down,
+    /// `σ = +1`, encoded as bit `1`.
+    Up,
+}
+
+impl Spin {
+    /// The numeric value, `+1` or `-1`.
+    #[inline]
+    pub const fn value(self) -> i64 {
+        match self {
+            Spin::Up => 1,
+            Spin::Down => -1,
+        }
+    }
+
+    /// The SACHI bit encoding: `+1 -> 1`, `-1 -> 0`.
+    #[inline]
+    pub const fn bit(self) -> bool {
+        matches!(self, Spin::Up)
+    }
+
+    /// Decodes the SACHI bit encoding.
+    #[inline]
+    pub const fn from_bit(bit: bool) -> Spin {
+        if bit {
+            Spin::Up
+        } else {
+            Spin::Down
+        }
+    }
+
+    /// Constructs from `+1`/`-1`.
+    ///
+    /// Returns `None` for any other value.
+    #[inline]
+    pub const fn from_value(v: i64) -> Option<Spin> {
+        match v {
+            1 => Some(Spin::Up),
+            -1 => Some(Spin::Down),
+            _ => None,
+        }
+    }
+
+    /// The opposite spin.
+    #[inline]
+    #[must_use]
+    pub const fn flipped(self) -> Spin {
+        match self {
+            Spin::Up => Spin::Down,
+            Spin::Down => Spin::Up,
+        }
+    }
+}
+
+impl Default for Spin {
+    /// Defaults to `+1`, matching a zero-initialized... no: matching the
+    /// paper's green "+1" initialization in Fig. 2. (`Down` would encode as
+    /// bit 0, but `Default` is a software convenience, not a hardware
+    /// reset value.)
+    fn default() -> Self {
+        Spin::Up
+    }
+}
+
+impl fmt::Display for Spin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Spin::Up => write!(f, "+1"),
+            Spin::Down => write!(f, "-1"),
+        }
+    }
+}
+
+impl std::ops::Neg for Spin {
+    type Output = Spin;
+    fn neg(self) -> Spin {
+        self.flipped()
+    }
+}
+
+/// A densely packed vector of spins (one bit each).
+///
+/// ```
+/// use sachi_ising::spin::{Spin, SpinVector};
+///
+/// let mut s = SpinVector::filled(5, Spin::Up);
+/// s.set(2, Spin::Down);
+/// assert_eq!(s.get(2), Spin::Down);
+/// assert_eq!(s.count_up(), 4);
+/// assert_eq!(s.iter().map(Spin::value).sum::<i64>(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SpinVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SpinVector {
+    /// Creates a vector of `len` spins, all equal to `init`.
+    pub fn filled(len: usize, init: Spin) -> Self {
+        let words = len.div_ceil(64);
+        let fill = if init.bit() { u64::MAX } else { 0 };
+        let mut v = SpinVector { words: vec![fill; words], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a vector from explicit spins.
+    pub fn from_spins(spins: &[Spin]) -> Self {
+        let mut v = SpinVector::filled(spins.len(), Spin::Down);
+        for (i, &s) in spins.iter().enumerate() {
+            v.set(i, s);
+        }
+        v
+    }
+
+    /// Creates a vector with spins drawn uniformly at random.
+    pub fn random<R: rand::Rng>(len: usize, rng: &mut R) -> Self {
+        let mut v = SpinVector::filled(len, Spin::Down);
+        for i in 0..len {
+            v.set(i, Spin::from_bit(rng.gen::<bool>()));
+        }
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no spins.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The spin at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> Spin {
+        assert!(index < self.len, "spin index {index} out of bounds for {}", self.len);
+        Spin::from_bit((self.words[index / 64] >> (index % 64)) & 1 == 1)
+    }
+
+    /// Sets the spin at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn set(&mut self, index: usize, spin: Spin) {
+        assert!(index < self.len, "spin index {index} out of bounds for {}", self.len);
+        let word = &mut self.words[index / 64];
+        if spin.bit() {
+            *word |= 1 << (index % 64);
+        } else {
+            *word &= !(1 << (index % 64));
+        }
+    }
+
+    /// Flips the spin at `index` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn flip(&mut self, index: usize) -> Spin {
+        let new = self.get(index).flipped();
+        self.set(index, new);
+        new
+    }
+
+    /// Number of `+1` spins.
+    pub fn count_up(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the spins.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { vec: self, index: 0 }
+    }
+
+    /// Collects into a `Vec<Spin>`.
+    pub fn to_vec(&self) -> Vec<Spin> {
+        self.iter().collect()
+    }
+
+    /// Hamming distance to another spin vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn distance(&self, other: &SpinVector) -> usize {
+        assert_eq!(self.len, other.len, "spin vectors must have equal length");
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for SpinVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpinVector[len={}; ", self.len)?;
+        for i in 0..self.len.min(32) {
+            write!(f, "{}", if self.get(i).bit() { '1' } else { '0' })?;
+        }
+        if self.len > 32 {
+            write!(f, "...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Spin> for SpinVector {
+    fn from_iter<T: IntoIterator<Item = Spin>>(iter: T) -> Self {
+        let spins: Vec<Spin> = iter.into_iter().collect();
+        SpinVector::from_spins(&spins)
+    }
+}
+
+/// Iterator over the spins of a [`SpinVector`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    vec: &'a SpinVector,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Spin;
+
+    fn next(&mut self) -> Option<Spin> {
+        if self.index < self.vec.len {
+            let s = self.vec.get(self.index);
+            self.index += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spin_value_bit_roundtrip() {
+        assert_eq!(Spin::Up.value(), 1);
+        assert_eq!(Spin::Down.value(), -1);
+        assert!(Spin::Up.bit());
+        assert!(!Spin::Down.bit());
+        assert_eq!(Spin::from_bit(true), Spin::Up);
+        assert_eq!(Spin::from_bit(false), Spin::Down);
+        assert_eq!(Spin::from_value(1), Some(Spin::Up));
+        assert_eq!(Spin::from_value(-1), Some(Spin::Down));
+        assert_eq!(Spin::from_value(0), None);
+        assert_eq!(Spin::Up.flipped(), Spin::Down);
+        assert_eq!(-Spin::Down, Spin::Up);
+        assert_eq!(format!("{} {}", Spin::Up, Spin::Down), "+1 -1");
+        assert_eq!(Spin::default(), Spin::Up);
+    }
+
+    #[test]
+    fn vector_get_set_flip() {
+        let mut v = SpinVector::filled(100, Spin::Down);
+        assert_eq!(v.len(), 100);
+        assert!(!v.is_empty());
+        assert_eq!(v.count_up(), 0);
+        v.set(63, Spin::Up);
+        v.set(64, Spin::Up);
+        v.set(99, Spin::Up);
+        assert_eq!(v.count_up(), 3);
+        assert_eq!(v.get(63), Spin::Up);
+        assert_eq!(v.get(0), Spin::Down);
+        assert_eq!(v.flip(99), Spin::Down);
+        assert_eq!(v.count_up(), 2);
+    }
+
+    #[test]
+    fn filled_up_masks_tail_bits() {
+        let v = SpinVector::filled(65, Spin::Up);
+        assert_eq!(v.count_up(), 65);
+        let w = SpinVector::filled(64, Spin::Up);
+        assert_eq!(w.count_up(), 64);
+    }
+
+    #[test]
+    fn from_spins_and_iter() {
+        let spins = [Spin::Up, Spin::Down, Spin::Up];
+        let v = SpinVector::from_spins(&spins);
+        assert_eq!(v.to_vec(), spins);
+        let collected: SpinVector = spins.into_iter().collect();
+        assert_eq!(collected, v);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn distance_counts_differing_spins() {
+        let a = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Up]);
+        let b = SpinVector::from_spins(&[Spin::Up, Spin::Up, Spin::Down]);
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = SpinVector::random(1000, &mut r1);
+        let b = SpinVector::random(1000, &mut r2);
+        assert_eq!(a, b);
+        // Not degenerate: roughly half up.
+        let ups = a.count_up();
+        assert!(ups > 400 && ups < 600, "ups = {ups}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v = SpinVector::filled(3, Spin::Up);
+        let _ = v.get(3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v = SpinVector::filled(2, Spin::Up);
+        assert!(format!("{v:?}").contains("len=2"));
+        let long = SpinVector::filled(40, Spin::Down);
+        assert!(format!("{long:?}").contains("..."));
+    }
+}

@@ -1,0 +1,246 @@
+//! DRAM controller with the counter-based prefetcher of Sec. IV.A.
+//!
+//! CIM accesses have structured, predictable address patterns: the compute
+//! array is consumed top-to-bottom, one row per cycle. SACHI's DRAM
+//! controller therefore keeps a counter of the rows not yet computed; when
+//! it drops to a threshold equal to the DRAM→storage + storage→compute
+//! movement latency, a prefetch is issued so the next round's data arrives
+//! exactly when the current round drains.
+
+use crate::energy::{EnergyComponent, EnergyLedger};
+use crate::params::TechnologyParams;
+use crate::units::{Bits, Cycles, Picojoules};
+
+/// Counter-based prefetch unit.
+///
+/// ```
+/// use sachi_mem::dram::PrefetchCounter;
+///
+/// // 10 rows left to compute, prefetch must lead by 4 cycles.
+/// let mut pf = PrefetchCounter::new(10, 4);
+/// let mut issued_at = None;
+/// for cycle in 0..10 {
+///     if pf.consume_row() {
+///         issued_at = Some(cycle);
+///     }
+/// }
+/// assert_eq!(issued_at, Some(5)); // fired when remaining hit the threshold
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchCounter {
+    remaining_rows: u64,
+    threshold: u64,
+    issued: bool,
+}
+
+impl PrefetchCounter {
+    /// Creates a counter for a round of `rows` compute-array rows with the
+    /// given lead `threshold` (in rows == cycles, since one row is consumed
+    /// per cycle).
+    pub fn new(rows: u64, threshold: u64) -> Self {
+        PrefetchCounter { remaining_rows: rows, threshold, issued: false }
+    }
+
+    /// Rows not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining_rows
+    }
+
+    /// Whether the prefetch for the next round has been issued.
+    pub fn issued(&self) -> bool {
+        self.issued
+    }
+
+    /// Consumes one row (one compute cycle). Returns `true` on the cycle
+    /// the prefetch request fires.
+    pub fn consume_row(&mut self) -> bool {
+        if self.remaining_rows == 0 {
+            return false;
+        }
+        self.remaining_rows -= 1;
+        if !self.issued && self.remaining_rows <= self.threshold {
+            self.issued = true;
+            return true;
+        }
+        false
+    }
+
+    /// Re-arms the counter for the next round.
+    pub fn rearm(&mut self, rows: u64) {
+        self.remaining_rows = rows;
+        self.issued = false;
+    }
+}
+
+/// Behavioural DRAM + controller model.
+#[derive(Debug, Clone)]
+pub struct DramController {
+    params: TechnologyParams,
+    prefetch_enabled: bool,
+    /// Cumulative statistics.
+    loads: u64,
+    bits_loaded: u64,
+    prefetches_issued: u64,
+}
+
+impl DramController {
+    /// Creates a controller with prefetching enabled (the paper's design).
+    pub fn new(params: TechnologyParams) -> Self {
+        DramController { params, prefetch_enabled: true, loads: 0, bits_loaded: 0, prefetches_issued: 0 }
+    }
+
+    /// Disables the prefetcher (ablation `abl_prefetch`).
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch_enabled = false;
+        self
+    }
+
+    /// Whether prefetching is enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch_enabled
+    }
+
+    /// Technology parameters in use.
+    pub fn params(&self) -> &TechnologyParams {
+        &self.params
+    }
+
+    /// Cycles to stream `payload` from DRAM over the 64 B/cycle bus.
+    pub fn stream_cycles(&self, payload: Bits) -> Cycles {
+        self.params.dram_stream_cycles(payload.to_bytes_ceil())
+    }
+
+    /// The prefetch threshold in rows: the counter must fire early enough
+    /// to cover DRAM→storage streaming plus storage→compute movement.
+    pub fn prefetch_threshold_rows(&self, next_round_payload: Bits) -> u64 {
+        (self.stream_cycles(next_round_payload) + self.params.storage_to_compute_cycles()).get()
+    }
+
+    /// Books one load of `payload` bits and returns the cycles it occupies
+    /// on the bus. Call [`DramController::effective_round_cycles`] to decide
+    /// how much of that shows up on the critical path.
+    pub fn load(&mut self, payload: Bits, ledger: &mut EnergyLedger) -> Cycles {
+        self.loads += 1;
+        self.bits_loaded += payload.get();
+        ledger.record(EnergyComponent::DramAccess, self.params.movement_energy_per_bit() * payload.get());
+        // Controller bookkeeping: one counter update per streamed beat,
+        // priced as an adder op per 64-byte beat.
+        let beats = self.stream_cycles(payload).get();
+        ledger.record(EnergyComponent::DramController, self.params.adder_energy_per_bit() * beats);
+        self.stream_cycles(payload)
+    }
+
+    /// Critical-path cycles of a compute round of `compute` cycles whose
+    /// *next* round needs `load` cycles of DRAM streaming.
+    ///
+    /// With the prefetcher, the load overlaps compute and only the excess
+    /// (if the load is longer than the round) is exposed. Without it, the
+    /// full load serializes after the round.
+    pub fn effective_round_cycles(&mut self, compute: Cycles, load: Cycles) -> Cycles {
+        if load > Cycles::ZERO && self.prefetch_enabled {
+            self.prefetches_issued += 1;
+        }
+        if self.prefetch_enabled {
+            compute.max(load)
+        } else {
+            compute + load
+        }
+    }
+
+    /// Number of `load` calls so far.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Total bits loaded so far.
+    pub fn bits_loaded(&self) -> Bits {
+        Bits::new(self.bits_loaded)
+    }
+
+    /// Number of prefetches issued so far.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// Energy to initially place `payload` bits into DRAM (the paper charges
+    /// this "(a) storing input variables and ICs onto DRAM" phase to every
+    /// design, SACHI and baselines alike).
+    pub fn initial_store_energy(&self, payload: Bits) -> Picojoules {
+        self.params.movement_energy_per_bit() * payload.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_counter_fires_at_threshold() {
+        let mut pf = PrefetchCounter::new(5, 2);
+        assert!(!pf.consume_row()); // remaining 4
+        assert!(!pf.consume_row()); // remaining 3
+        assert!(pf.consume_row()); // remaining 2 == threshold -> fire
+        assert!(pf.issued());
+        assert!(!pf.consume_row()); // already issued
+        assert!(!pf.consume_row());
+        assert_eq!(pf.remaining(), 0);
+        assert!(!pf.consume_row()); // drained
+        pf.rearm(3);
+        assert!(!pf.issued());
+        assert_eq!(pf.remaining(), 3);
+    }
+
+    #[test]
+    fn threshold_larger_than_round_fires_immediately() {
+        let mut pf = PrefetchCounter::new(3, 10);
+        assert!(pf.consume_row());
+    }
+
+    #[test]
+    fn stream_cycles_uses_bus_width() {
+        let ctrl = DramController::new(TechnologyParams::default());
+        assert_eq!(ctrl.stream_cycles(Bits::from_bytes(64)), Cycles::new(1));
+        assert_eq!(ctrl.stream_cycles(Bits::from_bytes(100)), Cycles::new(2));
+    }
+
+    #[test]
+    fn prefetch_threshold_covers_both_hops() {
+        let ctrl = DramController::new(TechnologyParams::default());
+        // 640 B -> 10 bus cycles; +20 cycles storage->compute movement.
+        assert_eq!(ctrl.prefetch_threshold_rows(Bits::from_bytes(640)), 30);
+    }
+
+    #[test]
+    fn load_books_energy_and_stats() {
+        let mut ctrl = DramController::new(TechnologyParams::default());
+        let mut ledger = EnergyLedger::new();
+        let cycles = ctrl.load(Bits::from_bytes(128), &mut ledger);
+        assert_eq!(cycles, Cycles::new(2));
+        assert_eq!(ctrl.loads(), 1);
+        assert_eq!(ctrl.bits_loaded(), Bits::from_bytes(128));
+        // 1024 bits at 1 pJ/bit.
+        assert!((ledger.component(EnergyComponent::DramAccess).get() - 1024.0).abs() < 1e-9);
+        assert!(ledger.component(EnergyComponent::DramController).get() > 0.0);
+    }
+
+    #[test]
+    fn prefetch_overlaps_load_with_compute() {
+        let mut with = DramController::new(TechnologyParams::default());
+        let mut without = DramController::new(TechnologyParams::default()).without_prefetch();
+        let compute = Cycles::new(100);
+        let load = Cycles::new(30);
+        assert_eq!(with.effective_round_cycles(compute, load), Cycles::new(100));
+        assert_eq!(without.effective_round_cycles(compute, load), Cycles::new(130));
+        assert_eq!(with.prefetches_issued(), 1);
+        assert_eq!(without.prefetches_issued(), 0);
+        // A load longer than the round exposes only the excess... i.e. max.
+        assert_eq!(with.effective_round_cycles(Cycles::new(10), Cycles::new(40)), Cycles::new(40));
+    }
+
+    #[test]
+    fn initial_store_energy_is_1pj_per_bit() {
+        let ctrl = DramController::new(TechnologyParams::default());
+        let e = ctrl.initial_store_energy(Bits::new(100));
+        assert!((e.get() - 100.0).abs() < 1e-9);
+    }
+}

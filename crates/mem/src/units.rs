@@ -1,0 +1,443 @@
+//! Strongly-typed units used throughout the simulator.
+//!
+//! The SACHI evaluation reasons about three quantities: clock cycles
+//! (performance), picojoules (energy), and bits/bytes (capacity and data
+//! movement). Mixing these up silently is the classic architecture-simulator
+//! bug, so each gets a newtype with only the arithmetic that makes physical
+//! sense ([C-NEWTYPE]).
+//!
+//! ```
+//! use sachi_mem::units::{Cycles, Nanoseconds, Picojoules};
+//!
+//! let per_iteration = Cycles::new(63);
+//! let iterations = 1_000u64;
+//! let total = per_iteration * iterations;
+//! let wall = total.to_time(Nanoseconds::new(5.0));
+//! assert_eq!(total, Cycles::new(63_000));
+//! assert!((wall.get() - 315_000.0).abs() < 1e-9);
+//! let e = Picojoules::new(0.05) * 800.0;
+//! assert!((e.get() - 40.0).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A count of clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Wall-clock time for this many cycles at the given cycle time.
+    #[inline]
+    pub fn to_time(self, cycle_time: Nanoseconds) -> Nanoseconds {
+        Nanoseconds(self.0 as f64 * cycle_time.0)
+    }
+
+    /// Saturating subtraction, useful when computing overlap slack.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two counts (e.g. overlapping compute with prefetch).
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// Ratio of two cycle counts as `f64` (speedup computations).
+    #[inline]
+    pub fn ratio(self, rhs: Cycles) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Energy in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Picojoules(f64);
+
+impl Picojoules {
+    /// Zero energy.
+    pub const ZERO: Picojoules = Picojoules(0.0);
+
+    /// Creates an energy value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj` is negative or not finite; energy ledgers are
+    /// append-only and a negative entry would corrupt every total.
+    #[inline]
+    pub fn new(pj: f64) -> Self {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be finite and non-negative, got {pj}");
+        Picojoules(pj)
+    }
+
+    /// Returns the raw value in picojoules.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to microjoules (used for whole-solve totals).
+    #[inline]
+    pub fn to_microjoules(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Ratio of two energies (improvement factors).
+    #[inline]
+    pub fn ratio(self, rhs: Picojoules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Picojoules {
+    type Output = Picojoules;
+    #[inline]
+    fn add(self, rhs: Picojoules) -> Picojoules {
+        Picojoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picojoules {
+    #[inline]
+    fn add_assign(&mut self, rhs: Picojoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Picojoules {
+    type Output = Picojoules;
+    #[inline]
+    fn mul(self, rhs: f64) -> Picojoules {
+        Picojoules::new(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Picojoules {
+    type Output = Picojoules;
+    #[inline]
+    fn mul(self, rhs: u64) -> Picojoules {
+        Picojoules(self.0 * rhs as f64)
+    }
+}
+
+impl Div<f64> for Picojoules {
+    type Output = Picojoules;
+    #[inline]
+    fn div(self, rhs: f64) -> Picojoules {
+        Picojoules::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Picojoules {
+    fn sum<I: Iterator<Item = Picojoules>>(iter: I) -> Picojoules {
+        Picojoules(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for Picojoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} uJ", self.0 * 1e-6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} nJ", self.0 * 1e-3)
+        } else {
+            write!(f, "{:.3} pJ", self.0)
+        }
+    }
+}
+
+/// Time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Nanoseconds(f64);
+
+impl Nanoseconds {
+    /// Creates a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn new(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative, got {ns}");
+        Nanoseconds(ns)
+    }
+
+    /// Returns the raw value in nanoseconds.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Number of whole clock cycles needed to cover this duration
+    /// (rounded up).
+    #[inline]
+    pub fn to_cycles(self, cycle_time: Nanoseconds) -> Cycles {
+        Cycles((self.0 / cycle_time.0).ceil() as u64)
+    }
+}
+
+impl Add for Nanoseconds {
+    type Output = Nanoseconds;
+    #[inline]
+    fn add(self, rhs: Nanoseconds) -> Nanoseconds {
+        Nanoseconds(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Nanoseconds {
+    type Output = Nanoseconds;
+    #[inline]
+    fn mul(self, rhs: f64) -> Nanoseconds {
+        Nanoseconds::new(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Nanoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.0 * 1e-6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} us", self.0 * 1e-3)
+        } else {
+            write!(f, "{:.3} ns", self.0)
+        }
+    }
+}
+
+/// A capacity or transfer size in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// Zero bits.
+    pub const ZERO: Bits = Bits(0);
+
+    /// Creates a bit count.
+    #[inline]
+    pub const fn new(bits: u64) -> Self {
+        Bits(bits)
+    }
+
+    /// Creates a bit count from bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Bits(bytes * 8)
+    }
+
+    /// Creates a bit count from kibibytes.
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Bits(kib * 1024 * 8)
+    }
+
+    /// Returns the raw bit count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whole bytes needed to hold this many bits (rounded up).
+    #[inline]
+    pub const fn to_bytes_ceil(self) -> u64 {
+        self.0.div_ceil(8)
+    }
+
+    /// Whether this capacity can hold `other`.
+    #[inline]
+    pub const fn holds(self, other: Bits) -> bool {
+        self.0 >= other.0
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+    #[inline]
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bits {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Bits {
+    type Output = Bits;
+    #[inline]
+    fn mul(self, rhs: u64) -> Bits {
+        Bits(self.0 * rhs)
+    }
+}
+
+impl Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        Bits(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.0 as f64 / 8.0;
+        if bytes >= 1024.0 * 1024.0 {
+            write!(f, "{:.2} MiB", bytes / (1024.0 * 1024.0))
+        } else if bytes >= 1024.0 {
+            write!(f, "{:.2} KiB", bytes / 1024.0)
+        } else {
+            write!(f, "{} bits", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!(a + b, Cycles::new(13));
+        assert_eq!(a - b, Cycles::new(7));
+        assert_eq!(a * 4, Cycles::new(40));
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(13));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn cycles_sum_and_ratio() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)].into_iter().sum();
+        assert_eq!(total, Cycles::new(6));
+        assert!((Cycles::new(300).ratio(Cycles::new(100)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_wall_clock() {
+        // The paper's 5 ns cycle: 200 cycles -> 1 us.
+        let t = Cycles::new(200).to_time(Nanoseconds::new(5.0));
+        assert!((t.get() - 1000.0).abs() < 1e-9);
+        assert_eq!(format!("{}", Cycles::new(7)), "7 cycles");
+    }
+
+    #[test]
+    fn picojoules_arithmetic_and_display() {
+        let rwl = Picojoules::new(0.05);
+        let total = rwl * 1000u64 + Picojoules::new(1.0);
+        assert!((total.get() - 51.0).abs() < 1e-12);
+        assert_eq!(format!("{}", Picojoules::new(0.5)), "0.500 pJ");
+        assert_eq!(format!("{}", Picojoules::new(2500.0)), "2.500 nJ");
+        assert_eq!(format!("{}", Picojoules::new(3.2e6)), "3.200 uJ");
+        assert!((Picojoules::new(80.0).ratio(Picojoules::new(1.0)) - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be finite")]
+    fn negative_energy_rejected() {
+        let _ = Picojoules::new(-1.0);
+    }
+
+    #[test]
+    fn nanoseconds_to_cycles_rounds_up() {
+        // The 100 ns storage->compute movement at 5 ns/cycle is 20 cycles.
+        let cycle = Nanoseconds::new(5.0);
+        assert_eq!(Nanoseconds::new(100.0).to_cycles(cycle), Cycles::new(20));
+        assert_eq!(Nanoseconds::new(101.0).to_cycles(cycle), Cycles::new(21));
+        assert_eq!(format!("{}", Nanoseconds::new(0.5)), "0.500 ns");
+        assert_eq!(format!("{}", Nanoseconds::new(1500.0)), "1.500 us");
+        assert_eq!(format!("{}", Nanoseconds::new(2.5e6)), "2.500 ms");
+    }
+
+    #[test]
+    fn bits_conversions() {
+        assert_eq!(Bits::from_bytes(64), Bits::new(512));
+        assert_eq!(Bits::from_kib(10), Bits::new(81920));
+        assert_eq!(Bits::new(9).to_bytes_ceil(), 2);
+        assert!(Bits::from_kib(64).holds(Bits::from_kib(10)));
+        assert!(!Bits::from_kib(10).holds(Bits::from_kib(64)));
+        assert_eq!(format!("{}", Bits::new(100)), "100 bits");
+        assert_eq!(format!("{}", Bits::from_kib(10)), "10.00 KiB");
+        assert_eq!(format!("{}", Bits::from_kib(4096)), "4.00 MiB");
+    }
+
+    #[test]
+    fn bits_sum() {
+        let total: Bits = [Bits::new(3), Bits::new(5)].into_iter().sum();
+        assert_eq!(total, Bits::new(8));
+        assert_eq!(Bits::new(3) * 4, Bits::new(12));
+    }
+}

@@ -1,0 +1,102 @@
+//! Max-cut helpers shared by the cut-style workloads (image segmentation
+//! and decision TSP).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi_ising::graph::IsingGraph;
+use sachi_ising::spin::SpinVector;
+
+/// Cut weight of `spins` on `graph`: sum of `|J|` over edges whose
+/// endpoints differ.
+pub fn cut_weight(graph: &IsingGraph, spins: &SpinVector) -> i64 {
+    graph
+        .edges()
+        .filter(|&(i, j, _)| spins.get(i as usize) != spins.get(j as usize))
+        .map(|(_, _, w)| (w as i64).abs())
+        .sum()
+}
+
+/// Multi-start greedy local-search max-cut, used as an accuracy reference.
+/// Bounded effort: restarts shrink as the graph grows.
+pub fn best_cut_reference(graph: &IsingGraph, seed: u64) -> i64 {
+    let n = graph.num_spins();
+    if n == 0 {
+        return 0;
+    }
+    let restarts = if n <= 512 {
+        5
+    } else if n <= 4_096 {
+        3
+    } else {
+        1
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    let mut best = 0i64;
+    for _ in 0..restarts {
+        let mut spins = SpinVector::random(n, &mut rng);
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..n {
+                let mut gain = 0i64;
+                for (j, w) in graph.neighbors(i) {
+                    let cut_now = spins.get(i) != spins.get(j as usize);
+                    gain += (w as i64).abs() * if cut_now { -1 } else { 1 };
+                }
+                if gain > 0 {
+                    spins.flip(i);
+                    improved = true;
+                }
+            }
+        }
+        best = best.max(cut_weight(graph, &spins));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sachi_ising::graph::{topology, GraphBuilder};
+    use sachi_ising::spin::Spin;
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let g = GraphBuilder::new(3).edge(0, 1, -5).edge(1, 2, 3).build().unwrap();
+        let s = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Down]);
+        assert_eq!(cut_weight(&g, &s), 5);
+        let all = SpinVector::filled(3, Spin::Up);
+        assert_eq!(cut_weight(&g, &all), 0);
+    }
+
+    #[test]
+    fn reference_finds_optimal_bipartite_cut() {
+        // A 4-cycle is bipartite: best cut takes all 4 edges.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, -2)
+            .edge(1, 2, -2)
+            .edge(2, 3, -2)
+            .edge(3, 0, -2)
+            .build()
+            .unwrap();
+        assert_eq!(best_cut_reference(&g, 0), 8);
+    }
+
+    #[test]
+    fn reference_is_local_optimum_on_complete_graph() {
+        let g = topology::complete(10, |i, j| -(((i + j) % 5 + 1) as i32)).unwrap();
+        let best = best_cut_reference(&g, 1);
+        assert!(best > 0);
+        // Upper bound: total |weight|.
+        let total: i64 = g.edges().map(|(_, _, w)| (w as i64).abs()).sum();
+        assert!(best <= total);
+        // Complete graphs have cut >= half of total at a local optimum.
+        assert!(best * 2 >= total, "cut {best} below half of {total}");
+    }
+
+    #[test]
+    fn empty_graph_reference_is_zero() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(best_cut_reference(&g, 3), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Molecular dynamics (Sec. V.2d): King's-graph ferromagnetic ground
+//! state on SACHI vs the Ising-CIM baseline at Ising-CIM's 2-bit maximum
+//! resolution — the Fig. 15d/e comparison in miniature.
+//!
+//! ```sh
+//! cargo run --release --example molecular_dynamics -- [side]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi::prelude::*;
+
+fn main() {
+    let side: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    // Ising-CIM's envelope: unsigned 2-bit ICs, King's graph.
+    let workload = MolecularDynamics::with_resolution(side, side, 33, 2);
+    let graph = workload.graph();
+    println!(
+        "{side}x{side} lattice, {} atoms, ground-state energy {}",
+        graph.num_spins(),
+        workload.ground_energy()
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 9);
+
+    let mut sachi = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let (s_result, s_report) = sachi.solve_detailed(graph, &init, &opts);
+
+    let mut cim = CimMachine::new();
+    let (c_result, c_report) = cim.solve_detailed(graph, &init, &opts).expect("within Ising-CIM envelope");
+
+    // Same algorithm, same trajectory — only the hardware differs.
+    assert_eq!(s_result.energy, c_result.energy);
+    assert_eq!(s_result.sweeps, c_result.sweeps);
+
+    println!("\n{:<12} {:>12} {:>14} {:>8}", "machine", "cycles", "energy", "reuse");
+    println!(
+        "{:<12} {:>12} {:>14} {:>8.1}",
+        "SACHI(n3)",
+        s_report.total_cycles.get(),
+        format!("{}", s_report.energy.total()),
+        s_report.reuse
+    );
+    println!(
+        "{:<12} {:>12} {:>14} {:>8.1}",
+        "Ising-CIM",
+        c_report.total_cycles.get(),
+        format!("{}", c_report.energy.total()),
+        c_report.reuse
+    );
+    println!(
+        "\nspeedup {:.1}x, energy improvement {:.1}x, reuse advantage {:.0}x",
+        c_report.total_cycles.ratio(s_report.total_cycles),
+        c_report.energy.total().ratio(s_report.energy.total()),
+        s_report.reuse / c_report.reuse
+    );
+    println!(
+        "final accuracy {:.2}% ({} of {} bond weight satisfied)",
+        workload.accuracy(&s_result.spins) * 100.0,
+        workload.satisfied_bond_weight(&s_result.spins),
+        -workload.ground_energy()
+    );
+}

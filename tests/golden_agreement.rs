@@ -1,0 +1,144 @@
+//! Cross-crate integration: every machine in the workspace — the four
+//! SACHI stationarity designs, BRIM, and Ising-CIM — must reproduce the
+//! golden CPU solver's Hamiltonian trajectory exactly, on every workload
+//! family. This is the paper's premise that architecture changes the
+//! cost of an iteration, never its result ("they all arrive at the same H
+//! at the end of each iteration").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi::prelude::*;
+
+fn golden(graph: &IsingGraph, init: &SpinVector, opts: &SolveOptions) -> SolveResult {
+    CpuReferenceSolver::new().solve(graph, init, opts)
+}
+
+fn assert_matches(label: &str, golden: &SolveResult, got: &SolveResult) {
+    assert_eq!(got.energy, golden.energy, "{label}: final energy");
+    assert_eq!(got.sweeps, golden.sweeps, "{label}: iteration count");
+    assert_eq!(got.trace, golden.trace, "{label}: H trajectory");
+    assert_eq!(got.spins, golden.spins, "{label}: final spins");
+    assert_eq!(got.flips, golden.flips, "{label}: flip count");
+}
+
+fn check_all_sachi_designs(graph: &IsingGraph, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, seed ^ 0x9e37).with_trace();
+    let reference = golden(graph, &init, &opts);
+    for design in DesignKind::ALL {
+        let mut machine = SachiMachine::new(SachiConfig::new(design));
+        let got = machine.solve(graph, &init, &opts);
+        assert_matches(design.label(), &reference, &got);
+    }
+}
+
+#[test]
+fn sachi_designs_match_golden_on_molecular_dynamics() {
+    let w = MolecularDynamics::new(6, 6, 3);
+    check_all_sachi_designs(w.graph(), 1);
+}
+
+#[test]
+fn sachi_designs_match_golden_on_asset_allocation() {
+    let w = AssetAllocation::new(24, 5);
+    check_all_sachi_designs(w.graph(), 2);
+}
+
+#[test]
+fn sachi_designs_match_golden_on_image_segmentation() {
+    let w = ImageSegmentation::with_options(8, 8, 7, Connectivity::Grid4, 6);
+    check_all_sachi_designs(w.graph(), 3);
+}
+
+#[test]
+fn sachi_designs_match_golden_on_dense_segmentation() {
+    let w = ImageSegmentation::new(8, 8, 9);
+    check_all_sachi_designs(w.graph(), 4);
+}
+
+#[test]
+fn sachi_designs_match_golden_on_decision_tsp() {
+    let w = TspDecision::new(20, 11);
+    check_all_sachi_designs(w.graph(), 5);
+}
+
+#[test]
+fn sachi_designs_match_golden_on_tour_tsp() {
+    let w = TspTour::new(5, 13);
+    check_all_sachi_designs(w.graph(), 6);
+}
+
+#[test]
+fn brim_matches_golden_within_its_envelope() {
+    // BRIM: <= 1000 nodes, signed 4-bit.
+    let w = MolecularDynamics::new(8, 8, 17);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(7);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 19).with_trace();
+    let reference = golden(graph, &init, &opts);
+    let mut brim = BrimMachine::new();
+    let (got, report) = brim.solve_detailed(graph, &init, &opts).expect("within BRIM envelope");
+    assert_matches("BRIM", &reference, &got);
+    assert!((report.reuse - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn ising_cim_matches_golden_within_its_envelope() {
+    // Ising-CIM: King's graph, unsigned 2-bit.
+    let w = MolecularDynamics::with_resolution(8, 8, 23, 2);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(8);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 29).with_trace();
+    let reference = golden(graph, &init, &opts);
+    let mut cim = CimMachine::new();
+    let (got, report) = cim.solve_detailed(graph, &init, &opts).expect("within Ising-CIM envelope");
+    assert_matches("Ising-CIM", &reference, &got);
+    assert!((report.reuse - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn all_machines_agree_with_each_other_on_shared_envelope() {
+    // The intersection of every machine's envelope: small 2-bit King's
+    // graph. One problem, seven machines, one trajectory.
+    let w = MolecularDynamics::with_resolution(6, 6, 31, 2);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(9);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 37).with_trace();
+    let reference = golden(graph, &init, &opts);
+
+    for design in DesignKind::ALL {
+        let got = SachiMachine::new(SachiConfig::new(design)).solve(graph, &init, &opts);
+        assert_matches(design.label(), &reference, &got);
+    }
+    let (brim, _) = BrimMachine::new().solve_detailed(graph, &init, &opts).expect("BRIM envelope");
+    assert_matches("BRIM", &reference, &brim);
+    let (cim, _) = CimMachine::new().solve_detailed(graph, &init, &opts).expect("CIM envelope");
+    assert_matches("Ising-CIM", &reference, &cim);
+}
+
+#[test]
+fn geometry_never_changes_results() {
+    // Shrinking the compute/storage arrays forces rounds and DRAM
+    // streaming but must not perturb the functional outcome.
+    let w = MolecularDynamics::new(7, 7, 41);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(10);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 43).with_trace();
+    let reference = golden(graph, &init, &opts);
+    for hierarchy in [CacheHierarchy::hpca_default(), CacheHierarchy::desktop(), CacheHierarchy::server()] {
+        let got = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy))
+            .solve(graph, &init, &opts);
+        assert_matches("hierarchy preset", &reference, &got);
+    }
+    let tiny = CacheHierarchy {
+        compute: CacheGeometry::new(1, 4, 64, 1),
+        storage: CacheGeometry::new(1, 2, 64, 2),
+    };
+    let got = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny)).solve(graph, &init, &opts);
+    assert_matches("tiny hierarchy", &reference, &got);
+}

@@ -1,0 +1,143 @@
+//! End-to-end solution quality: each COP solved on SACHI reaches a
+//! sensible accuracy against its domain reference, and the classical
+//! baselines behave as Figs. 1/16 describe (Ising >= GA on quality).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi::prelude::*;
+
+fn best_of_restarts(
+    machine: &mut SachiMachine,
+    graph: &IsingGraph,
+    init: &SpinVector,
+    restarts: u64,
+    score: impl Fn(&SpinVector) -> f64,
+) -> SpinVector {
+    let mut best: Option<(f64, SpinVector)> = None;
+    for seed in 0..restarts {
+        // A slower-than-default schedule: these tests assert solution
+        // quality, not convergence speed.
+        let opts = SolveOptions {
+            schedule: Schedule::new(
+                (2 * graph.max_abs_coefficient().max(1)) as f64,
+                0.95,
+                0.05,
+            ),
+            ..SolveOptions::for_graph(graph, seed)
+        };
+        let (result, _) = machine.solve_detailed(graph, init, &opts);
+        let s = score(&result.spins);
+        if best.as_ref().is_none_or(|(b, _)| s > *b) {
+            best = Some((s, result.spins));
+        }
+    }
+    best.expect("restarts > 0").1
+}
+
+#[test]
+fn asset_allocation_balances_within_one_percent() {
+    let w = AssetAllocation::new(48, 7);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(1);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 4, |s| w.accuracy(s));
+    assert!(w.accuracy(&spins) > 0.99, "accuracy {}", w.accuracy(&spins));
+    // Karmarkar-Karp (exact-ish) still wins on raw imbalance.
+    let (kk, _) = karmarkar_karp(w.values());
+    assert!(w.accuracy(&kk) >= w.accuracy(&spins) - 0.01);
+}
+
+#[test]
+fn segmentation_reaches_95_percent_objective() {
+    let w = ImageSegmentation::with_options(12, 12, 3, Connectivity::Grid4, 6);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(2);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 5, |s| w.accuracy(s));
+    assert!(w.accuracy(&spins) > 0.95, "accuracy {}", w.accuracy(&spins));
+    // It must actually cut boundary weight, not just smooth everything.
+    assert!(w.cut_weight(&spins) > 0);
+}
+
+#[test]
+fn molecular_dynamics_reaches_ground_state_quality() {
+    let w = MolecularDynamics::new(8, 8, 5);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(3);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 4, |s| w.accuracy(s));
+    assert!(w.accuracy(&spins) > 0.97, "accuracy {}", w.accuracy(&spins));
+    // LAMMPS stand-in from the SAME annealed state cannot improve much.
+    let (descended, _) = lattice_descent(&w, &spins, 50);
+    assert!(w.accuracy(&descended) >= w.accuracy(&spins));
+}
+
+#[test]
+fn tsp_tour_quality_close_to_two_opt() {
+    let w = TspTour::new(7, 9);
+    let graph = w.graph();
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let mut best_len = i64::MAX;
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let (result, _) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        best_len = best_len.min(w.decoded_length(&result.spins));
+    }
+    let ref_len = w.reference_length();
+    assert!(
+        (best_len as f64) < ref_len as f64 * 1.3,
+        "Ising tour {best_len} vs 2-opt {ref_len}"
+    );
+}
+
+#[test]
+fn fig1_ising_beats_ga_on_segmentation_quality() {
+    let w = ImageSegmentation::with_options(10, 10, 13, Connectivity::Grid4, 6);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(4);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let ising = best_of_restarts(&mut machine, graph, &init, 8, |s| w.accuracy(s));
+    let ga = run_ga_on_graph(graph, &GaOptions::standard(5));
+    let ising_acc = w.accuracy(&ising);
+    let ga_acc = w.accuracy(&ga.best_spins());
+    assert!(
+        ising_acc >= ga_acc - 0.01,
+        "Ising {ising_acc} should match or beat GA {ga_acc}"
+    );
+    assert!(ising_acc > 0.9);
+}
+
+#[test]
+fn pso_and_ga_are_competent_but_not_exact() {
+    let w = MolecularDynamics::new(6, 6, 15);
+    let graph = w.graph();
+    let ga = run_ga_on_graph(graph, &GaOptions::standard(6));
+    let pso = run_pso_on_graph(graph, &PsoOptions::standard(7));
+    for (label, acc) in [("GA", w.accuracy(&ga.best_spins())), ("PSO", w.accuracy(&pso.best_spins()))] {
+        assert!(acc > 0.7, "{label} accuracy {acc}");
+    }
+}
+
+#[test]
+fn edmonds_karp_and_ising_agree_on_the_disc() {
+    // The min-cut reference and a good Ising segmentation should label
+    // most pixels identically (up to global flip).
+    let w = ImageSegmentation::with_options(12, 12, 19, Connectivity::Grid4, 6);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(5);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let ising = best_of_restarts(&mut machine, graph, &init, 6, |s| w.accuracy(s));
+    let (flow_labels, _) = edmonds_karp_segmentation(&w);
+    let n = graph.num_spins();
+    let distance = ising.distance(&flow_labels).min(n - ising.distance(&flow_labels));
+    assert!(
+        distance < n / 4,
+        "Ising and min-cut disagree on {distance}/{n} pixels"
+    );
+}
