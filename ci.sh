@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate, in the order a reviewer would want failures surfaced:
+# formatting first (cheapest), then the lint gates, then the test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "ci: all gates passed"

@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API the
+//! workspace's benchmarks use.
+//!
+//! The growth container has no registry access, so the workspace patches
+//! `criterion` to this crate (see the root `Cargo.toml`). Benchmarks
+//! compile and *run* — each `Bencher::iter` body executes a fixed warmup
+//! plus a timed batch, and a `name ... time/iter` line is printed — but
+//! there is no statistical analysis, no outlier rejection, and no HTML
+//! report. The numbers are indicative, the harness wiring is identical.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Timed iterations per measurement. Small because the stand-in reports a
+/// single batch rather than a sampled distribution.
+const TIMED_ITERS: u32 = 30;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: TIMED_ITERS,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), TIMED_ITERS, &mut f);
+        self
+    }
+}
+
+/// A named benchmark group, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(
+            &format!("{}/{}", self.name, id),
+            sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op in the stand-in; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-benchmark timing handle, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: a short warmup, then `iters` timed executions.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.nanos_per_iter = Some(elapsed.as_nanos() as f64 / self.iters as f64);
+    }
+}
+
+fn run_one(name: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters,
+        nanos_per_iter: None,
+    };
+    f(&mut bencher);
+    match bencher.nanos_per_iter {
+        Some(ns) if ns >= 1e6 => println!("{name:<50} {:>10.3} ms/iter", ns / 1e6),
+        Some(ns) if ns >= 1e3 => println!("{name:<50} {:>10.3} us/iter", ns / 1e3),
+        Some(ns) => println!("{name:<50} {:>10.1} ns/iter", ns),
+        None => println!("{name:<50}   (no iter() call)"),
+    }
+}
+
+/// Declares a group-runner function over benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_records_timing() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.bench_with_input(BenchmarkId::new("param", 42), &3u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // 3 warmup + 5 timed.
+        assert_eq!(runs, 8);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("xnor", 8).to_string(), "xnor/8");
+    }
+}

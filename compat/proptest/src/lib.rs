@@ -1,0 +1,339 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The growth container has no registry access, so the workspace patches
+//! `proptest` to this crate (see the root `Cargo.toml`). It keeps the
+//! source-level API of the property tests intact — `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`,
+//! integer-range strategies, `prop::collection::vec` and `.prop_map` —
+//! while replacing the engine with a deterministic sampler:
+//!
+//! * every test runs `ProptestConfig::cases` iterations (default
+//!   [`DEFAULT_CASES`]) with inputs drawn from a per-case seeded
+//!   [`rand::rngs::StdRng`], so failures reproduce exactly across runs;
+//! * there is **no shrinking** — a failing case panics with the
+//!   generated inputs visible in the assertion message instead;
+//! * `prop_assert*` are plain `assert*` (panic, not `Err`), which is
+//!   equivalent under this runner.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Cases run per property when no `proptest_config` is given. The real
+/// crate defaults to 256; 64 keeps the tier-1 suite fast while still
+/// sweeping each property broadly.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A generator of test values, mirroring `proptest::strategy::Strategy`
+    /// minus shrinking. Object-safe so `prop_oneof!` can box mixed arms.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring `prop_map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type — the coercion behind
+    /// `prop_oneof!`.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Strategy for any value of `T`, produced by [`super::arbitrary::any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen::<T>()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+}
+
+/// `any::<T>()`, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use super::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = ($cfg).cases;
+                for __case in 0..__cases as u64 {
+                    // Stable per-case seed: identical across runs, distinct
+                    // across cases, salted per-test by the line number so
+                    // sibling tests explore different streams.
+                    let __seed = (__case + 1)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(line!() as u64);
+                    let mut __rng =
+                        <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, panicking with the message on
+/// failure (no shrinking under this runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniformly picks one of several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm),)+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = prop::collection::vec(any::<bool>(), 3..9);
+        let a = strat.generate(&mut StdRng::seed_from_u64(5));
+        let b = strat.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert!((3..9).contains(&a.len()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i64..=4, z in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!(z < 5);
+        }
+
+        #[test]
+        fn map_and_tuples_compose(v in (0u32..10, any::<bool>()).prop_map(|(n, b)| if b { n + 10 } else { n })) {
+            prop_assert!(v < 20);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![0u32..1, 10u32..11, 20u32..21]) {
+            prop_assert!(v == 0 || v == 10 || v == 20);
+        }
+    }
+}

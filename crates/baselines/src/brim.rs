@@ -58,7 +58,10 @@ impl fmt::Display for BrimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BrimError::TooManyNodes { nodes } => {
-                write!(f, "BRIM supports at most {BRIM_MAX_NODES} nodes, got {nodes}")
+                write!(
+                    f,
+                    "BRIM supports at most {BRIM_MAX_NODES} nodes, got {nodes}"
+                )
             }
             BrimError::ResolutionTooHigh { required } => {
                 write!(f, "BRIM supports signed {BRIM_MAX_RESOLUTION}-bit ICs, graph needs {required}-bit")
@@ -103,7 +106,10 @@ impl BrimConfig {
 
     /// The paper's worst-case BRIM (13 cycles per H compute).
     pub fn worst_case() -> Self {
-        BrimConfig { cycles_per_h: 13, ..BrimConfig::best_case() }
+        BrimConfig {
+            cycles_per_h: 13,
+            ..BrimConfig::best_case()
+        }
     }
 }
 
@@ -139,7 +145,9 @@ pub struct BrimMachine {
 impl BrimMachine {
     /// Creates a best-case BRIM.
     pub fn new() -> Self {
-        BrimMachine { config: BrimConfig::best_case() }
+        BrimMachine {
+            config: BrimConfig::best_case(),
+        }
     }
 
     /// Creates a BRIM with an explicit configuration.
@@ -160,7 +168,9 @@ impl BrimMachine {
     /// than signed 4-bit coefficients.
     pub fn check_limits(&self, graph: &IsingGraph) -> Result<(), BrimError> {
         if graph.num_spins() > BRIM_MAX_NODES {
-            return Err(BrimError::TooManyNodes { nodes: graph.num_spins() });
+            return Err(BrimError::TooManyNodes {
+                nodes: graph.num_spins(),
+            });
         }
         let required = graph.bits_required();
         if required > BRIM_MAX_RESOLUTION {
@@ -192,12 +202,15 @@ impl BrimMachine {
         let tech = &self.config.tech;
         let movement =
             tech.movement_energy_per_bit() * (spins * max_degree * resolution_bits as u64);
-        let sweep_time_ns =
-            Cycles::new(self.cycles_per_sweep(spins, max_degree)).to_time(tech.cycle_time).get();
+        let sweep_time_ns = Cycles::new(self.cycles_per_sweep(spins, max_degree))
+            .to_time(tech.cycle_time)
+            .get();
         let power_mw = self.oscillator_power_mw(spins, max_degree)
             + self.config.dac_mw * self.config.dac_banks as f64
             + self.config.bank_logic_mw * self.config.dac_banks as f64;
-        movement + Picojoules::new(power_mw * sweep_time_ns) + tech.annealer_energy_per_decision() * spins
+        movement
+            + Picojoules::new(power_mw * sweep_time_ns)
+            + tech.annealer_energy_per_decision() * spins
     }
 
     /// Runs a solve with full accounting.
@@ -216,7 +229,11 @@ impl BrimMachine {
         options: &SolveOptions,
     ) -> Result<(SolveResult, BrimReport), BrimError> {
         self.check_limits(graph)?;
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let tech = &self.config.tech;
         let r = BRIM_MAX_RESOLUTION as u64;
         let n = graph.num_spins();
@@ -230,7 +247,10 @@ impl BrimMachine {
         // (n^2-ish switch fabric, but only existing edges carry data).
         let ic_bits_program = 2 * graph.num_edges() as u64 * r;
         let mut total_cycles = tech.dram_stream_cycles(ic_bits_program.div_ceil(8));
-        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * ic_bits_program);
+        ledger.record(
+            EnergyComponent::DramAccess,
+            tech.movement_energy_per_bit() * ic_bits_program,
+        );
 
         let cycles_per_sweep = self.cycles_per_sweep(n as u64, max_degree);
         let sweep_time_ns = Cycles::new(cycles_per_sweep).to_time(tech.cycle_time).get();
@@ -252,7 +272,10 @@ impl BrimMachine {
                 // DAC-converted for this single compute.
                 let fetched = graph.degree(i) as u64 * r;
                 ic_bits_fetched += fetched;
-                ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * fetched);
+                ledger.record(
+                    EnergyComponent::DataMovement,
+                    tech.movement_energy_per_bit() * fetched,
+                );
                 let current = spins.get(i);
                 let new = decide_update(current, h_sigma, &mut annealer);
                 if new != current {
@@ -262,9 +285,18 @@ impl BrimMachine {
             }
             // Power-derived per-sweep energy: oscillator + DAC + logic run
             // for the sweep duration. mW x ns = pJ.
-            ledger.record(EnergyComponent::Oscillator, Picojoules::new(osc_mw * sweep_time_ns));
-            ledger.record(EnergyComponent::Dac, Picojoules::new(dac_mw * sweep_time_ns));
-            ledger.record(EnergyComponent::DigitalLogic, Picojoules::new(logic_mw * sweep_time_ns));
+            ledger.record(
+                EnergyComponent::Oscillator,
+                Picojoules::new(osc_mw * sweep_time_ns),
+            );
+            ledger.record(
+                EnergyComponent::Dac,
+                Picojoules::new(dac_mw * sweep_time_ns),
+            );
+            ledger.record(
+                EnergyComponent::DigitalLogic,
+                Picojoules::new(logic_mw * sweep_time_ns),
+            );
             ledger.record(
                 EnergyComponent::Annealer,
                 tech.annealer_energy_per_decision() * n as u64,
@@ -313,8 +345,15 @@ impl Default for BrimMachine {
 impl IterativeSolver for BrimMachine {
     /// Runs the solve, panicking on architectural limit violations (use
     /// [`BrimMachine::solve_detailed`] for recoverable handling).
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
-        self.solve_detailed(graph, initial, options).expect("graph exceeds BRIM limits").0
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult {
+        self.solve_detailed(graph, initial, options)
+            .expect("graph exceeds BRIM limits")
+            .0
     }
 }
 
@@ -352,7 +391,10 @@ mod tests {
     fn limits_enforced() {
         let brim = BrimMachine::new();
         let big = topology::star(1_001, |_| 1).unwrap();
-        assert_eq!(brim.check_limits(&big).unwrap_err(), BrimError::TooManyNodes { nodes: 1_001 });
+        assert_eq!(
+            brim.check_limits(&big).unwrap_err(),
+            BrimError::TooManyNodes { nodes: 1_001 }
+        );
         let precise = topology::star(4, |_| 100).unwrap();
         assert_eq!(
             brim.check_limits(&precise).unwrap_err(),

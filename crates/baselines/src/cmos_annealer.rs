@@ -55,13 +55,22 @@ impl fmt::Display for CmosAnnealerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CmosAnnealerError::TooManySpins { spins } => {
-                write!(f, "CMOS annealer holds {CMOS_ANNEALER_MAX_SPINS} spins, got {spins}")
+                write!(
+                    f,
+                    "CMOS annealer holds {CMOS_ANNEALER_MAX_SPINS} spins, got {spins}"
+                )
             }
             CmosAnnealerError::NotKingsGraph { max_degree } => {
-                write!(f, "CMOS annealer supports King's graphs (degree <= 8), got {max_degree}")
+                write!(
+                    f,
+                    "CMOS annealer supports King's graphs (degree <= 8), got {max_degree}"
+                )
             }
             CmosAnnealerError::CoefficientNotTernary { value } => {
-                write!(f, "CMOS annealer supports ternary coefficients, got {value}")
+                write!(
+                    f,
+                    "CMOS annealer supports ternary coefficients, got {value}"
+                )
             }
         }
     }
@@ -103,7 +112,11 @@ impl CmosAnnealer {
     /// Panics if `width == 0`.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "lattice width must be positive");
-        CmosAnnealer { tech: TechnologyParams::freepdk45(), cycles_per_phase: 2, width }
+        CmosAnnealer {
+            tech: TechnologyParams::freepdk45(),
+            cycles_per_phase: 2,
+            width,
+        }
     }
 
     /// Checks the chip's envelope.
@@ -113,10 +126,14 @@ impl CmosAnnealer {
     /// Returns [`CmosAnnealerError`] outside the envelope.
     pub fn check_limits(&self, graph: &IsingGraph) -> Result<(), CmosAnnealerError> {
         if graph.num_spins() > CMOS_ANNEALER_MAX_SPINS {
-            return Err(CmosAnnealerError::TooManySpins { spins: graph.num_spins() });
+            return Err(CmosAnnealerError::TooManySpins {
+                spins: graph.num_spins(),
+            });
         }
         if graph.max_degree() > 8 {
-            return Err(CmosAnnealerError::NotKingsGraph { max_degree: graph.max_degree() });
+            return Err(CmosAnnealerError::NotKingsGraph {
+                max_degree: graph.max_degree(),
+            });
         }
         for (_, _, w) in graph.edges() {
             if !(-1..=1).contains(&w) {
@@ -160,7 +177,11 @@ impl CmosAnnealer {
         options: &SolveOptions,
     ) -> Result<(SolveResult, CmosAnnealerReport), CmosAnnealerError> {
         self.check_limits(graph)?;
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let n = graph.num_spins();
         let mut spins = initial.clone();
         let mut annealer = Annealer::new(options.schedule, options.seed);
@@ -170,8 +191,14 @@ impl CmosAnnealer {
         // Loading: spins + ternary ICs (2 bits each) into the on-chip SRAM.
         let payload_bits = n as u64 + 2 * graph.num_edges() as u64 * 2;
         let mut total_cycles = self.tech.dram_stream_cycles(payload_bits.div_ceil(8));
-        ledger.record(EnergyComponent::DramAccess, self.tech.movement_energy_per_bit() * payload_bits);
-        ledger.record(EnergyComponent::SramWrite, self.tech.sram_write_energy_per_bit() * payload_bits);
+        ledger.record(
+            EnergyComponent::DramAccess,
+            self.tech.movement_energy_per_bit() * payload_bits,
+        );
+        ledger.record(
+            EnergyComponent::SramWrite,
+            self.tech.sram_write_energy_per_bit() * payload_bits,
+        );
 
         let mut sweeps = 0u64;
         let mut total_flips = 0u64;
@@ -203,7 +230,10 @@ impl CmosAnnealer {
                     spins.set(i, new);
                     flips_this_sweep += 1;
                     // Local update write.
-                    ledger.record(EnergyComponent::SramWrite, self.tech.sram_write_energy_per_bit() * 1u64);
+                    ledger.record(
+                        EnergyComponent::SramWrite,
+                        self.tech.sram_write_energy_per_bit() * 1u64,
+                    );
                 }
                 // Phase energy: every cell reads its 8 neighbor spins and
                 // ternary ICs into its MAC.
@@ -212,9 +242,15 @@ impl CmosAnnealer {
                     EnergyComponent::SramRead,
                     self.tech.rbl_energy_per_bit() * (cells * 8 * 3),
                 );
-                ledger.record(EnergyComponent::NearMemoryAdd, self.tech.adder_energy_per_bit() * (cells * 8 * 2));
+                ledger.record(
+                    EnergyComponent::NearMemoryAdd,
+                    self.tech.adder_energy_per_bit() * (cells * 8 * 2),
+                );
             }
-            ledger.record(EnergyComponent::Annealer, self.tech.annealer_energy_per_decision() * n as u64);
+            ledger.record(
+                EnergyComponent::Annealer,
+                self.tech.annealer_energy_per_decision() * n as u64,
+            );
             total_cycles += Cycles::new(self.cycles_per_sweep());
             sweeps += 1;
             total_flips += flips_this_sweep;
@@ -280,7 +316,10 @@ mod tests {
     fn envelope_enforced() {
         let chip = CmosAnnealer::new(10);
         let dense = topology::complete(10, |_, _| 1).unwrap();
-        assert!(matches!(chip.check_limits(&dense), Err(CmosAnnealerError::NotKingsGraph { .. })));
+        assert!(matches!(
+            chip.check_limits(&dense),
+            Err(CmosAnnealerError::NotKingsGraph { .. })
+        ));
         let heavy = topology::king(3, 3, |_, _| 2).unwrap();
         assert!(matches!(
             chip.check_limits(&heavy),
@@ -299,7 +338,10 @@ mod tests {
         let (chip_result, report) = chip.solve_detailed(&g, &init, &opts).unwrap();
         let golden = CpuReferenceSolver::new().solve(&g, &init, &opts);
         // Different update semantics -> different trajectory...
-        assert_ne!(chip_result.trace, golden.trace, "group-parallel should diverge");
+        assert_ne!(
+            chip_result.trace, golden.trace,
+            "group-parallel should diverge"
+        );
         // ...but comparable final quality on the ferromagnet.
         let bound = golden.energy + (golden.energy.abs() / 5);
         assert!(

@@ -95,8 +95,11 @@ pub fn run_ga(len: usize, mut fitness: impl FnMut(&[bool]) -> f64, opts: &GaOpti
         // Elites survive unchanged.
         let mut order: Vec<usize> = (0..population.len()).collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite fitness"));
-        let mut next: Vec<Vec<bool>> =
-            order.iter().take(opts.elitism).map(|&i| population[i].clone()).collect();
+        let mut next: Vec<Vec<bool>> = order
+            .iter()
+            .take(opts.elitism)
+            .map(|&i| population[i].clone())
+            .collect();
 
         let tournament_pick = |rng: &mut StdRng| -> usize {
             (0..opts.tournament)
@@ -168,9 +171,16 @@ mod tests {
 
     #[test]
     fn ga_maximizes_ones_count() {
-        let opts = GaOptions { generations: 60, ..GaOptions::standard(1) };
+        let opts = GaOptions {
+            generations: 60,
+            ..GaOptions::standard(1)
+        };
         let outcome = run_ga(32, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
-        assert!(outcome.best_fitness >= 30.0, "found only {}", outcome.best_fitness);
+        assert!(
+            outcome.best_fitness >= 30.0,
+            "found only {}",
+            outcome.best_fitness
+        );
         assert_eq!(outcome.history.len(), 60);
         assert!(outcome.evaluations > 0);
     }
@@ -207,7 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "population")]
     fn tiny_population_rejected() {
-        let opts = GaOptions { population: 1, ..GaOptions::standard(0) };
+        let opts = GaOptions {
+            population: 1,
+            ..GaOptions::standard(0)
+        };
         let _ = run_ga(8, |_| 0.0, &opts);
     }
 }

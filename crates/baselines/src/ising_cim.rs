@@ -54,10 +54,16 @@ impl fmt::Display for CimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CimError::NotKingsGraph { max_degree } => {
-                write!(f, "Ising-CIM supports King's graphs (degree <= 8), got degree {max_degree}")
+                write!(
+                    f,
+                    "Ising-CIM supports King's graphs (degree <= 8), got degree {max_degree}"
+                )
             }
             CimError::CoefficientOutOfRange { value } => {
-                write!(f, "Ising-CIM supports unsigned 2-bit ICs (0..=3), got {value}")
+                write!(
+                    f,
+                    "Ising-CIM supports unsigned 2-bit ICs (0..=3), got {value}"
+                )
             }
         }
     }
@@ -127,7 +133,9 @@ pub struct CimMachine {
 impl CimMachine {
     /// Creates the paper-parameterized model.
     pub fn new() -> Self {
-        CimMachine { config: CimConfig::paper() }
+        CimMachine {
+            config: CimConfig::paper(),
+        }
     }
 
     /// Creates a model with an explicit configuration.
@@ -147,7 +155,9 @@ impl CimMachine {
     /// Returns [`CimError`] for non-King's graphs or out-of-range ICs.
     pub fn check_limits(&self, graph: &IsingGraph) -> Result<(), CimError> {
         if graph.max_degree() > KINGS_GRAPH_MAX_DEGREE {
-            return Err(CimError::NotKingsGraph { max_degree: graph.max_degree() });
+            return Err(CimError::NotKingsGraph {
+                max_degree: graph.max_degree(),
+            });
         }
         for (_, _, w) in graph.edges() {
             if !(0..=3).contains(&w) {
@@ -177,7 +187,8 @@ impl CimMachine {
         let edram = tech.edram_xnor_power_factor;
         let r = CIM_MAX_RESOLUTION as u64;
         tech.rwl_energy_per_bit() * ((spins * degree * r * 2) as f64 * edram)
-            + tech.rbl_energy_per_bit() * ((spins * degree * self.config.array_columns) as f64 * 0.5 * edram)
+            + tech.rbl_energy_per_bit()
+                * ((spins * degree * self.config.array_columns) as f64 * 0.5 * edram)
             + tech.sram_write_energy_per_bit() * (spins as f64 * edram)
             + tech.annealer_energy_per_decision() * spins
     }
@@ -213,7 +224,11 @@ impl CimMachine {
         options: &SolveOptions,
     ) -> Result<(SolveResult, CimReport), CimError> {
         self.check_limits(graph)?;
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let tech = &self.config.tech;
         let n = graph.num_spins();
         let r = CIM_MAX_RESOLUTION as u64;
@@ -228,7 +243,10 @@ impl CimMachine {
         // written twice.
         let payload_bits = n as u64 * (KINGS_GRAPH_MAX_DEGREE as u64 * r + 1) + duplicated * r;
         let mut total_cycles = tech.dram_stream_cycles(payload_bits.div_ceil(8));
-        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * payload_bits);
+        ledger.record(
+            EnergyComponent::DramAccess,
+            tech.movement_energy_per_bit() * payload_bits,
+        );
         ledger.record(
             EnergyComponent::SramWrite,
             tech.sram_write_energy_per_bit() * payload_bits * edram,
@@ -270,11 +288,17 @@ impl CimMachine {
                     // Edge-cell broadcast to adjacent arrays when the spin
                     // is duplicated.
                     if arrays_used > 1 {
-                        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * 1u64);
+                        ledger.record(
+                            EnergyComponent::DataMovement,
+                            tech.movement_energy_per_bit() * 1u64,
+                        );
                     }
                 }
             }
-            ledger.record(EnergyComponent::Annealer, tech.annealer_energy_per_decision() * n as u64);
+            ledger.record(
+                EnergyComponent::Annealer,
+                tech.annealer_energy_per_decision() * n as u64,
+            );
             total_cycles += Cycles::new(cycles_per_sweep);
 
             sweeps += 1;
@@ -320,8 +344,15 @@ impl Default for CimMachine {
 impl IterativeSolver for CimMachine {
     /// Runs the solve, panicking on envelope violations (use
     /// [`CimMachine::solve_detailed`] for recoverable handling).
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
-        self.solve_detailed(graph, initial, options).expect("graph outside Ising-CIM envelope").0
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult {
+        self.solve_detailed(graph, initial, options)
+            .expect("graph outside Ising-CIM envelope")
+            .0
     }
 }
 
@@ -358,7 +389,10 @@ mod tests {
     fn envelope_enforced() {
         let cim = CimMachine::new();
         let complete = topology::complete(10, |_, _| 1).unwrap();
-        assert_eq!(cim.check_limits(&complete).unwrap_err(), CimError::NotKingsGraph { max_degree: 9 });
+        assert_eq!(
+            cim.check_limits(&complete).unwrap_err(),
+            CimError::NotKingsGraph { max_degree: 9 }
+        );
         let signed = topology::king(3, 3, |_, _| -1).unwrap();
         assert_eq!(
             cim.check_limits(&signed).unwrap_err(),

@@ -21,7 +21,7 @@
 //! only the architecture model, never the algorithm.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod brim;
 pub mod cmos_annealer;
@@ -36,6 +36,8 @@ pub mod prelude {
     pub use crate::cmos_annealer::{CmosAnnealer, CmosAnnealerError, CmosAnnealerReport};
     pub use crate::ga::{run_ga, run_ga_on_graph, GaOptions, GaOutcome};
     pub use crate::ising_cim::{CimConfig, CimError, CimMachine, CimReport};
-    pub use crate::optsolv::{edmonds_karp_segmentation, karmarkar_karp, lattice_descent, tsp_reference};
+    pub use crate::optsolv::{
+        edmonds_karp_segmentation, karmarkar_karp, lattice_descent, tsp_reference,
+    };
     pub use crate::pso::{run_pso, run_pso_on_graph, PsoOptions, PsoOutcome};
 }

@@ -23,7 +23,11 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Concorde stand-in: returns `(tour, length)` for a distance matrix.
 pub fn tsp_reference(dist: &[Vec<i64>]) -> (Vec<usize>, i64) {
     let tour = two_opt_tour(dist);
-    let len = if tour.is_empty() { 0 } else { tour_length(&tour, dist) };
+    let len = if tour.is_empty() {
+        0
+    } else {
+        tour_length(&tour, dist)
+    };
     (tour, len)
 }
 
@@ -42,7 +46,11 @@ pub fn karmarkar_karp(values: &[i64]) -> (SpinVector, i64) {
     // other side.
     let mut same_child: Vec<Option<usize>> = vec![None; n];
     let mut opposite_child: Vec<Option<usize>> = vec![None; n];
-    let mut heap: BinaryHeap<(i64, usize)> = values.iter().enumerate().map(|(i, &v)| (v.abs(), i)).collect();
+    let mut heap: BinaryHeap<(i64, usize)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v.abs(), i))
+        .collect();
     while heap.len() > 1 {
         let (a, na) = heap.pop().expect("len > 1");
         let (b, nb) = heap.pop().expect("len > 1");
@@ -87,7 +95,12 @@ pub fn edmonds_karp_segmentation(image: &ImageSegmentation) -> (SpinVector, i64)
     let mut heads: Vec<Vec<usize>> = vec![Vec::new(); nodes];
     let mut to: Vec<usize> = Vec::new();
     let mut cap: Vec<i64> = Vec::new();
-    let add_edge = |heads: &mut Vec<Vec<usize>>, to: &mut Vec<usize>, cap: &mut Vec<i64>, u: usize, v: usize, c: i64| {
+    let add_edge = |heads: &mut Vec<Vec<usize>>,
+                    to: &mut Vec<usize>,
+                    cap: &mut Vec<i64>,
+                    u: usize,
+                    v: usize,
+                    c: i64| {
         heads[u].push(to.len());
         to.push(v);
         cap.push(c);
@@ -177,7 +190,11 @@ pub fn edmonds_karp_segmentation(image: &ImageSegmentation) -> (SpinVector, i64)
 /// LAMMPS stand-in: greedy lattice relaxation — repeated deterministic
 /// sweeps of the sign rule until quiescent. Returns the spins and the
 /// number of sweeps used.
-pub fn lattice_descent(md: &MolecularDynamics, initial: &SpinVector, max_sweeps: u64) -> (SpinVector, u64) {
+pub fn lattice_descent(
+    md: &MolecularDynamics,
+    initial: &SpinVector,
+    max_sweeps: u64,
+) -> (SpinVector, u64) {
     let graph = md.graph();
     let mut spins = initial.clone();
     let mut sweeps = 0;
@@ -225,14 +242,22 @@ mod tests {
         // finds it.
         let (assignment, imbalance) = karmarkar_karp(&[1, 2, 3, 4]);
         assert_eq!(imbalance, 0);
-        let signed: i64 = [1, 2, 3, 4].iter().zip(assignment.iter()).map(|(&v, s)| v * s.value()).sum();
+        let signed: i64 = [1, 2, 3, 4]
+            .iter()
+            .zip(assignment.iter())
+            .map(|(&v, s)| v * s.value())
+            .sum();
         assert_eq!(signed.abs(), 0);
         // The classic {4..8} example: differencing stops at imbalance 2
         // even though a perfect split exists — KK is a heuristic, and the
         // reconstruction must agree with the differencing result.
         let (assignment, imbalance) = karmarkar_karp(&[4, 5, 6, 7, 8]);
         assert_eq!(imbalance, 2);
-        let signed: i64 = [4, 5, 6, 7, 8].iter().zip(assignment.iter()).map(|(&v, s)| v * s.value()).sum();
+        let signed: i64 = [4, 5, 6, 7, 8]
+            .iter()
+            .zip(assignment.iter())
+            .map(|(&v, s)| v * s.value())
+            .sum();
         assert_eq!(signed.abs(), 2);
     }
 
@@ -242,8 +267,16 @@ mod tests {
         use rand::Rng;
         let values: Vec<i64> = (0..40).map(|_| rng.gen_range(1..10_000)).collect();
         let (assignment, imbalance) = karmarkar_karp(&values);
-        let signed: i64 = values.iter().zip(assignment.iter()).map(|(&v, s)| v * s.value()).sum();
-        assert_eq!(signed.abs(), imbalance, "reconstruction inconsistent with differencing");
+        let signed: i64 = values
+            .iter()
+            .zip(assignment.iter())
+            .map(|(&v, s)| v * s.value())
+            .sum();
+        assert_eq!(
+            signed.abs(),
+            imbalance,
+            "reconstruction inconsistent with differencing"
+        );
         // KK is near-optimal on random instances: imbalance far below max value.
         assert!(imbalance < 10_000, "imbalance {imbalance}");
     }
@@ -262,7 +295,10 @@ mod tests {
         assert!(flow > 0);
         let fg = labels.count_up();
         // The bright disc covers a meaningful minority of the image.
-        assert!(fg > 5 && fg < 139, "degenerate segmentation: {fg} foreground");
+        assert!(
+            fg > 5 && fg < 139,
+            "degenerate segmentation: {fg} foreground"
+        );
         // Foreground should be brighter on average than background.
         let pixels = image.pixels();
         let (mut fg_sum, mut fg_n, mut bg_sum, mut bg_n) = (0u64, 0u64, 0u64, 0u64);
@@ -275,7 +311,10 @@ mod tests {
                 bg_n += 1;
             }
         }
-        assert!(fg_sum * bg_n > bg_sum * fg_n, "foreground darker than background");
+        assert!(
+            fg_sum * bg_n > bg_sum * fg_n,
+            "foreground darker than background"
+        );
     }
 
     #[test]

@@ -34,7 +34,15 @@ pub struct PsoOptions {
 impl PsoOptions {
     /// A reasonable default budget for the Fig. 16 comparison.
     pub fn standard(seed: u64) -> Self {
-        PsoOptions { particles: 32, iterations: 200, inertia: 0.7, cognitive: 1.5, social: 1.5, v_max: 4.0, seed }
+        PsoOptions {
+            particles: 32,
+            iterations: 200,
+            inertia: 0.7,
+            cognitive: 1.5,
+            social: 1.5,
+            v_max: 4.0,
+            seed,
+        }
     }
 }
 
@@ -68,14 +76,19 @@ fn sigmoid(v: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `len == 0` or there are no particles.
-pub fn run_pso(len: usize, mut fitness: impl FnMut(&[bool]) -> f64, opts: &PsoOptions) -> PsoOutcome {
+pub fn run_pso(
+    len: usize,
+    mut fitness: impl FnMut(&[bool]) -> f64,
+    opts: &PsoOptions,
+) -> PsoOutcome {
     assert!(len > 0, "bitstring length must be positive");
     assert!(opts.particles >= 1, "need at least one particle");
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut evaluations = 0u64;
 
-    let mut position: Vec<Vec<bool>> =
-        (0..opts.particles).map(|_| (0..len).map(|_| rng.gen::<bool>()).collect()).collect();
+    let mut position: Vec<Vec<bool>> = (0..opts.particles)
+        .map(|_| (0..len).map(|_| rng.gen::<bool>()).collect())
+        .collect();
     let mut velocity: Vec<Vec<f64>> = vec![vec![0.0; len]; opts.particles];
     let mut pbest = position.clone();
     let mut pbest_score: Vec<f64> = position
@@ -130,7 +143,12 @@ pub fn run_pso(len: usize, mut fitness: impl FnMut(&[bool]) -> f64, opts: &PsoOp
         history.push(gbest_score);
     }
 
-    PsoOutcome { best: gbest, best_fitness: gbest_score, history, evaluations }
+    PsoOutcome {
+        best: gbest,
+        best_fitness: gbest_score,
+        history,
+        evaluations,
+    }
 }
 
 /// Runs PSO against an Ising graph, maximizing `-H`.
@@ -152,15 +170,26 @@ mod tests {
 
     #[test]
     fn pso_maximizes_ones_count() {
-        let opts = PsoOptions { iterations: 80, ..PsoOptions::standard(1) };
+        let opts = PsoOptions {
+            iterations: 80,
+            ..PsoOptions::standard(1)
+        };
         let outcome = run_pso(24, |bits| bits.iter().filter(|&&b| b).count() as f64, &opts);
-        assert!(outcome.best_fitness >= 22.0, "found only {}", outcome.best_fitness);
+        assert!(
+            outcome.best_fitness >= 22.0,
+            "found only {}",
+            outcome.best_fitness
+        );
         assert_eq!(outcome.history.len(), 80);
     }
 
     #[test]
     fn gbest_history_is_monotone() {
-        let outcome = run_pso(16, |bits| bits.iter().filter(|&&b| b).count() as f64, &PsoOptions::standard(5));
+        let outcome = run_pso(
+            16,
+            |bits| bits.iter().filter(|&&b| b).count() as f64,
+            &PsoOptions::standard(5),
+        );
         for pair in outcome.history.windows(2) {
             assert!(pair[1] >= pair[0], "gbest regressed: {pair:?}");
         }
@@ -193,7 +222,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one particle")]
     fn empty_swarm_rejected() {
-        let opts = PsoOptions { particles: 0, ..PsoOptions::standard(0) };
+        let opts = PsoOptions {
+            particles: 0,
+            ..PsoOptions::standard(0)
+        };
         let _ = run_pso(8, |_| 0.0, &opts);
     }
 }

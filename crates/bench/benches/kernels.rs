@@ -22,9 +22,16 @@ fn bench_sram(c: &mut Criterion) {
         b.iter(|| black_box(tile.compute_xnor_full_row(black_box(37), true).unwrap()))
     });
     group.bench_function("compute_xnor_bit_of_800", |b| {
-        b.iter(|| black_box(tile.compute_xnor_bit(black_box(37), true, 0..800, 399).unwrap()))
+        b.iter(|| {
+            black_box(
+                tile.compute_xnor_bit(black_box(37), true, 0..800, 399)
+                    .unwrap(),
+            )
+        })
     });
-    group.bench_function("write_row_800", |b| b.iter(|| tile.write_row(black_box(11), &pattern).unwrap()));
+    group.bench_function("write_row_800", |b| {
+        b.iter(|| tile.write_row(black_box(11), &pattern).unwrap())
+    });
     group.finish();
 }
 
@@ -36,9 +43,13 @@ fn bench_encoding(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("xnor_product", bits), &j, |b, &j| {
             b.iter(|| black_box(enc.xnor_product(black_box(j), Spin::Down)))
         });
-        group.bench_with_input(BenchmarkId::new("reuse_aware_product", bits), &j, |b, &j| {
-            b.iter(|| black_box(enc.reuse_aware_product(black_box(j), Spin::Up, Spin::Down)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reuse_aware_product", bits),
+            &j,
+            |b, &j| {
+                b.iter(|| black_box(enc.reuse_aware_product(black_box(j), Spin::Up, Spin::Down)))
+            },
+        );
     }
     group.finish();
 }
@@ -56,7 +67,9 @@ fn bench_local_field(c: &mut Criterion) {
     group.bench_function("local_field_complete_256", |b| {
         b.iter(|| black_box(local_field(&complete, &spins_complete, black_box(128))))
     });
-    group.bench_function("energy_kings_1024", |b| b.iter(|| black_box(energy(&king, &spins_king))));
+    group.bench_function("energy_kings_1024", |b| {
+        b.iter(|| black_box(energy(&king, &spins_king)))
+    });
     group.finish();
 }
 
@@ -68,7 +81,7 @@ fn bench_designs(c: &mut Criterion) {
     let store = TupleStore::new(&graph, &spins);
     let enc = MixedEncoding::new(graph.bits_required()).unwrap();
     // An interior tuple with the full 8-neighbor fan-in.
-    let tuple = store.tuple(17 * 1 + 5 * 16 / 16 + 100);
+    let tuple = store.tuple(122);
     for design in DesignKind::ALL {
         let d = stationarity(design);
         let (rows, cols) = d.tile_requirements(graph.max_degree(), enc.bits(), 800);
@@ -124,7 +137,9 @@ fn bench_extensions(c: &mut Criterion) {
         })
     });
     // L1 cache trace throughput.
-    let trace: Vec<u64> = (0..10_000u64).map(|i| (i.wrapping_mul(2654435761) % (1 << 18)) & !0x7).collect();
+    let trace: Vec<u64> = (0..10_000u64)
+        .map(|i| (i.wrapping_mul(2654435761) % (1 << 18)) & !0x7)
+        .collect();
     group.bench_function("l1_cache_10k_accesses", |b| {
         b.iter(|| {
             let mut l1 = L1Cache::typical_l1();

@@ -29,15 +29,27 @@ fn main() {
         let config = if prefetch {
             SachiConfig::new(DesignKind::N3).with_hierarchy(tiny)
         } else {
-            SachiConfig::new(DesignKind::N3).with_hierarchy(tiny).without_prefetch()
+            SachiConfig::new(DesignKind::N3)
+                .with_hierarchy(tiny)
+                .without_prefetch()
         };
         SachiMachine::new(config).solve_detailed(graph, &init, &opts)
     };
     let (res_on, on) = run(true);
     let (res_off, off) = run(false);
-    assert_eq!(res_on.energy, res_off.energy, "ablation must not change results");
+    assert_eq!(
+        res_on.energy, res_off.energy,
+        "ablation must not change results"
+    );
 
-    let mut table = Table::new(["prefetch", "rounds/iter", "compute cyc", "load cyc", "total cyc", "prefetches"]);
+    let mut table = Table::new([
+        "prefetch",
+        "rounds/iter",
+        "compute cyc",
+        "load cyc",
+        "total cyc",
+        "prefetches",
+    ]);
     table.row([
         "on".to_string(),
         on.rounds_per_sweep.to_string(),
@@ -62,7 +74,8 @@ fn main() {
     );
 
     section("analytic model at paper scale (per-iteration CPI)");
-    let mut model_table = Table::new(["workload", "spins", "CPI w/ prefetch", "CPI w/o", "speedup"]);
+    let mut model_table =
+        Table::new(["workload", "spins", "CPI w/ prefetch", "CPI w/o", "speedup"]);
     for (kind, spins) in [
         (CopKind::MolecularDynamics, 1_000_000u64),
         (CopKind::ImageSegmentation, 1_000_000),
@@ -70,13 +83,17 @@ fn main() {
     ] {
         let shape = kind.standard_shape(spins);
         let on = PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape);
-        let off = PerfModel::new(SachiConfig::new(DesignKind::N3).without_prefetch()).iteration(&shape);
+        let off =
+            PerfModel::new(SachiConfig::new(DesignKind::N3).without_prefetch()).iteration(&shape);
         model_table.row([
             kind.label().to_string(),
             spins.to_string(),
             on.effective_cycles.get().to_string(),
             off.effective_cycles.get().to_string(),
-            ratio(off.effective_cycles.get() as f64, on.effective_cycles.get() as f64),
+            ratio(
+                off.effective_cycles.get() as f64,
+                on.effective_cycles.get() as f64,
+            ),
         ]);
     }
     model_table.print();

@@ -31,12 +31,20 @@ fn main() {
     ]);
 
     let cases: Vec<(String, IsingGraph)> = vec![
-        ("molecular dynamics 16x16".to_string(), MolecularDynamics::new(16, 16, 1).graph().clone()),
+        (
+            "molecular dynamics 16x16".to_string(),
+            MolecularDynamics::new(16, 16, 1).graph().clone(),
+        ),
         (
             "image segmentation 14x14".to_string(),
-            ImageSegmentation::with_options(14, 14, 2, Connectivity::Grid4, 6).graph().clone(),
+            ImageSegmentation::with_options(14, 14, 2, Connectivity::Grid4, 6)
+                .graph()
+                .clone(),
         ),
-        ("decision TSP n=96".to_string(), TspDecision::new(96, 3).graph().clone()),
+        (
+            "decision TSP n=96".to_string(),
+            TspDecision::new(96, 3).graph().clone(),
+        ),
     ];
 
     for (name, graph) in cases {
@@ -44,9 +52,14 @@ fn main() {
         let init = SpinVector::random(graph.num_spins(), &mut rng);
         let opts = SolveOptions::for_graph(&graph, 7);
 
-        let (s_result, s) = SachiMachine::new(SachiConfig::new(DesignKind::N3)).solve_detailed(&graph, &init, &opts);
-        let (r_result, r) = ResidentN3Machine::new(SachiConfig::new(DesignKind::N3)).solve_detailed(&graph, &init, &opts);
-        assert_eq!(s_result.energy, r_result.energy, "{name}: machines must agree");
+        let (s_result, s) = SachiMachine::new(SachiConfig::new(DesignKind::N3))
+            .solve_detailed(&graph, &init, &opts);
+        let (r_result, r) = ResidentN3Machine::new(SachiConfig::new(DesignKind::N3))
+            .solve_detailed(&graph, &init, &opts);
+        assert_eq!(
+            s_result.energy, r_result.energy,
+            "{name}: machines must agree"
+        );
         assert_eq!(s_result.sweeps, r_result.sweeps);
 
         for (label, rep) in [("scratch", &s), ("resident", &r)] {

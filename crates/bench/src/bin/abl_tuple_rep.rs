@@ -27,12 +27,20 @@ fn main() {
     ]);
 
     let cases: Vec<(String, IsingGraph)> = vec![
-        ("molecular dynamics 16x16".to_string(), MolecularDynamics::new(16, 16, 1).graph().clone()),
+        (
+            "molecular dynamics 16x16".to_string(),
+            MolecularDynamics::new(16, 16, 1).graph().clone(),
+        ),
         (
             "image segmentation 16x16".to_string(),
-            ImageSegmentation::with_options(16, 16, 2, Connectivity::Grid4, 6).graph().clone(),
+            ImageSegmentation::with_options(16, 16, 2, Connectivity::Grid4, 6)
+                .graph()
+                .clone(),
         ),
-        ("decision TSP n=64".to_string(), TspDecision::new(64, 3).graph().clone()),
+        (
+            "decision TSP n=64".to_string(),
+            TspDecision::new(64, 3).graph().clone(),
+        ),
     ];
 
     for (name, graph) in cases {
@@ -40,11 +48,15 @@ fn main() {
         let init = SpinVector::random(graph.num_spins(), &mut rng);
         let opts = SolveOptions::for_graph(&graph, 9);
 
-        let (result_rep, with_rep) =
-            SachiMachine::new(SachiConfig::new(DesignKind::N3)).solve_detailed(&graph, &init, &opts);
-        let (result_norep, without) = SachiMachine::new(SachiConfig::new(DesignKind::N3).without_tuple_rep())
+        let (result_rep, with_rep) = SachiMachine::new(SachiConfig::new(DesignKind::N3))
             .solve_detailed(&graph, &init, &opts);
-        assert_eq!(result_rep.energy, result_norep.energy, "ablation must not change results");
+        let (result_norep, without) =
+            SachiMachine::new(SachiConfig::new(DesignKind::N3).without_tuple_rep())
+                .solve_detailed(&graph, &init, &opts);
+        assert_eq!(
+            result_rep.energy, result_norep.energy,
+            "ablation must not change results"
+        );
         assert_eq!(with_rep.cross_tuple_rereads, 0);
 
         // Each cross-tuple re-read is a storage access that contends with
@@ -52,7 +64,8 @@ fn main() {
         // serializes into the round (the "performance bottlenecks with
         // control overhead" of Sec. IV.B.1).
         let reread_cycles = without.cross_tuple_rereads / 2;
-        let slowdown = (with_rep.compute_cycles.get() + reread_cycles) as f64 / with_rep.compute_cycles.get() as f64;
+        let slowdown = (with_rep.compute_cycles.get() + reread_cycles) as f64
+            / with_rep.compute_cycles.get() as f64;
         // Tuple-rep's cost: each edge's IC is stored twice instead of once.
         let r = with_rep.resolution_bits as u64;
         let extra_bits = graph.num_edges() as u64 * r;

@@ -35,7 +35,11 @@ fn main() {
         // round's reload of *spin* bits is skipped (IC bits still reload).
         // Spin bits are 1/(R+1) of the resident image.
         let r = shape.resolution_bits as u64;
-        let reload_saved = if est.rounds > 1 { est.load_cycles.get() / (r + 1) } else { 0 };
+        let reload_saved = if est.rounds > 1 {
+            est.load_cycles.get() / (r + 1)
+        } else {
+            0
+        };
         let rmw_total = rmw_compute + est.load_cycles.get().saturating_sub(reload_saved);
         let storage_total = est.compute_cycles.get() + est.load_cycles.get();
         table.row([

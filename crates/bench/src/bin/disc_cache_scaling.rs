@@ -12,18 +12,34 @@ fn main() {
     section("Sec. VII.2 - cache scaling for 1M-spin TSP on SACHI(n3)");
     let shape = CopKind::TravelingSalesman.standard_shape(1_000_000);
     let presets: [(&str, CacheHierarchy, &str); 3] = [
-        ("10KB/160KB (paper default)", CacheHierarchy::hpca_default(), "1x/1x"),
+        (
+            "10KB/160KB (paper default)",
+            CacheHierarchy::hpca_default(),
+            "1x/1x",
+        ),
         ("64KB/1MB", CacheHierarchy::desktop(), "~5x/8x"),
         ("256KB/8MB", CacheHierarchy::server(), "~16x/20x"),
     ];
     let base = PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape);
-    let mut table = Table::new(["preset", "CPI", "speedup", "energy/iter", "energy gain", "paper", "rounds"]);
+    let mut table = Table::new([
+        "preset",
+        "CPI",
+        "speedup",
+        "energy/iter",
+        "energy gain",
+        "paper",
+        "rounds",
+    ]);
     for (name, hierarchy, paper) in presets {
-        let est = PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy)).iteration(&shape);
+        let est = PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy))
+            .iteration(&shape);
         table.row([
             name.to_string(),
             est.effective_cycles.get().to_string(),
-            ratio(base.effective_cycles.get() as f64, est.effective_cycles.get() as f64),
+            ratio(
+                base.effective_cycles.get() as f64,
+                est.effective_cycles.get() as f64,
+            ),
             format!("{}", est.energy.total()),
             ratio(base.energy.total().get(), est.energy.total().get()),
             paper.to_string(),
@@ -37,9 +53,16 @@ fn main() {
     for kind in CopKind::ALL {
         let s = kind.standard_shape(1_000_000);
         let cpi = |h| {
-            PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(h)).iteration(&s).effective_cycles.get()
+            PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(h))
+                .iteration(&s)
+                .effective_cycles
+                .get()
         };
-        let (b, d, v) = (cpi(CacheHierarchy::hpca_default()), cpi(CacheHierarchy::desktop()), cpi(CacheHierarchy::server()));
+        let (b, d, v) = (
+            cpi(CacheHierarchy::hpca_default()),
+            cpi(CacheHierarchy::desktop()),
+            cpi(CacheHierarchy::server()),
+        );
         check.row([
             kind.label().to_string(),
             b.to_string(),

@@ -22,9 +22,9 @@ fn conventional_trace(len: usize, seed: u64) -> Vec<u64> {
     let mut trace = Vec::with_capacity(len);
     for i in 0..len {
         let addr = match i % 4 {
-            0 | 1 => (i as u64) * 8,                      // sequential words
-            2 => (i as u64 % 512) * 256,                  // strided
-            _ => rng.gen_range(0..1u64 << 20) & !0x7,     // random
+            0 | 1 => (i as u64) * 8,                  // sequential words
+            2 => (i as u64 % 512) * 256,              // strided
+            _ => rng.gen_range(0..1u64 << 20) & !0x7, // random
         };
         trace.push(addr);
     }
@@ -83,11 +83,26 @@ fn main() {
     let cold_rate = cold_h as f64 / (cold_h + cold_m) as f64;
 
     let mut t2 = Table::new(["phase", "value"]);
-    t2.row(["re-run hit rate, warm cache (no launch)".to_string(), percent(warm_rate)]);
-    t2.row(["lines flushed entering compute mode".to_string(), launch.lines_flushed_entering.to_string()]);
-    t2.row(["mode-switch cycles (SPR + flush drain)".to_string(), launch.mode_switch_cycles.get().to_string()]);
-    t2.row(["solve cycles inside the launch".to_string(), launch.report.total_cycles.get().to_string()]);
-    t2.row(["re-run hit rate after the launch (cold)".to_string(), percent(cold_rate)]);
+    t2.row([
+        "re-run hit rate, warm cache (no launch)".to_string(),
+        percent(warm_rate),
+    ]);
+    t2.row([
+        "lines flushed entering compute mode".to_string(),
+        launch.lines_flushed_entering.to_string(),
+    ]);
+    t2.row([
+        "mode-switch cycles (SPR + flush drain)".to_string(),
+        launch.mode_switch_cycles.get().to_string(),
+    ]);
+    t2.row([
+        "solve cycles inside the launch".to_string(),
+        launch.report.total_cycles.get().to_string(),
+    ]);
+    t2.row([
+        "re-run hit rate after the launch (cold)".to_string(),
+        percent(cold_rate),
+    ]);
     t2.print();
     println!(
         "mode-switch overhead is {} of the launch's own cycles — repurposing",

@@ -12,11 +12,21 @@ fn main() {
     section("multi-core scaling: King's graph 128x128 (16,384 atoms)");
     let king = topology::king(128, 128, |_, _| 1).expect("lattice");
     let model = MulticoreModel::new(SachiConfig::new(DesignKind::N3));
-    let mut t = Table::new(["cores", "partition", "cut edges", "core cyc", "interconnect cyc", "speedup"]);
+    let mut t = Table::new([
+        "cores",
+        "partition",
+        "cut edges",
+        "core cyc",
+        "interconnect cyc",
+        "speedup",
+    ]);
     for cores in [1usize, 2, 4, 8, 16] {
         for (label, p) in [
             ("contiguous", Partition::contiguous(king.num_spins(), cores)),
-            ("interleaved", Partition::interleaved(king.num_spins(), cores)),
+            (
+                "interleaved",
+                Partition::interleaved(king.num_spins(), cores),
+            ),
         ] {
             let est = model.estimate(&king, &p);
             t.row([
@@ -32,8 +42,15 @@ fn main() {
     t.print();
 
     section("multi-core scaling: complete graph (1,024 cities)");
-    let complete = topology::complete(1_024, |i, j| ((i + j) % 15) as i32 + 1).expect("complete graph");
-    let mut t2 = Table::new(["cores", "cut edges", "core cyc", "interconnect cyc", "speedup"]);
+    let complete =
+        topology::complete(1_024, |i, j| ((i + j) % 15) as i32 + 1).expect("complete graph");
+    let mut t2 = Table::new([
+        "cores",
+        "cut edges",
+        "core cyc",
+        "interconnect cyc",
+        "speedup",
+    ]);
     for cores in [1usize, 4, 16] {
         let est = model.estimate(&complete, &Partition::contiguous(1_024, cores));
         t2.row([

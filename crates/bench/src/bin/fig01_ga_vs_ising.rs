@@ -41,7 +41,10 @@ fn ga_solve(workload: &dyn Workload, target: f64, seed: u64) -> (f64, Option<Dur
     let mut generations = 25u64;
     let mut reached = None;
     while generations <= 3_200 {
-        let opts = GaOptions { generations, ..GaOptions::standard(seed) };
+        let opts = GaOptions {
+            generations,
+            ..GaOptions::standard(seed)
+        };
         let (outcome, t) = timed(|| run_ga_on_graph(graph, &opts));
         if workload.accuracy(&outcome.best_spins()) >= target {
             reached = Some(t);
@@ -77,7 +80,9 @@ fn main() {
             percent(ga_acc),
             duration(ising_time),
             ga_time.map_or("never (capped)".to_string(), duration),
-            ga_time.map_or("inf".to_string(), |t| ratio(t.as_secs_f64(), ising_time.as_secs_f64())),
+            ga_time.map_or("inf".to_string(), |t| {
+                ratio(t.as_secs_f64(), ising_time.as_secs_f64())
+            }),
         ]);
     }
 
@@ -93,7 +98,9 @@ fn main() {
             percent(ga_acc),
             duration(ising_time),
             ga_time.map_or("never (capped)".to_string(), duration),
-            ga_time.map_or("inf".to_string(), |t| ratio(t.as_secs_f64(), ising_time.as_secs_f64())),
+            ga_time.map_or("inf".to_string(), |t| {
+                ratio(t.as_secs_f64(), ising_time.as_secs_f64())
+            }),
         ]);
     }
     table.print();

@@ -11,7 +11,17 @@ use sachi_workloads::prelude::*;
 
 fn render(spins: &SpinVector, width: usize) -> Vec<String> {
     (0..spins.len() / width)
-        .map(|r| (0..width).map(|c| if spins.get(r * width + c).bit() { '#' } else { '.' }).collect())
+        .map(|r| {
+            (0..width)
+                .map(|c| {
+                    if spins.get(r * width + c).bit() {
+                        '#'
+                    } else {
+                        '.'
+                    }
+                })
+                .collect()
+        })
         .collect()
 }
 
@@ -22,12 +32,17 @@ fn main() {
     let graph = w.graph();
     println!("pixels (grayscale):");
     for r in 0..3 {
-        let row: Vec<String> = (0..4).map(|c| format!("{:>3}", w.pixels()[r * 4 + c])).collect();
+        let row: Vec<String> = (0..4)
+            .map(|c| format!("{:>3}", w.pixels()[r * 4 + c]))
+            .collect();
         println!("  {}", row.join(" "));
     }
     println!("\nedges as interaction coefficients (J = θ - |Δp|, quantized):");
     for (u, v, j) in graph.edges() {
-        println!("  σ{u} -- σ{v}: J = {j:>3}  ({})", if j > 0 { "same segment" } else { "boundary" });
+        println!(
+            "  σ{u} -- σ{v}: J = {j:>3}  ({})",
+            if j > 0 { "same segment" } else { "boundary" }
+        );
     }
 
     section("random initialization -> converged segmentation");
@@ -36,7 +51,8 @@ fn main() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let mut best: Option<(f64, SolveResult)> = None;
     for seed in 0..6 {
-        let (result, _) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        let (result, _) =
+            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
         let acc = w.accuracy(&result.spins);
         if best.as_ref().is_none_or(|(b, _)| acc > *b) {
             best = Some((acc, result));
@@ -45,7 +61,10 @@ fn main() {
     let (acc, result) = best.expect("restarts ran");
     let before = render(&init, 4);
     let after = render(&result.spins, 4);
-    println!("  initial (random)      converged ({} iterations)", result.sweeps);
+    println!(
+        "  initial (random)      converged ({} iterations)",
+        result.sweeps
+    );
     for (b, a) in before.iter().zip(after.iter()) {
         println!("  {b}                  {a}");
     }

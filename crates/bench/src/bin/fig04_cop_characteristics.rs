@@ -70,8 +70,14 @@ fn main() {
     for kind in CopKind::ALL {
         rounds.row([
             kind.label().to_string(),
-            model.iteration(&kind.standard_shape(1_000)).rounds.to_string(),
-            model.iteration(&kind.standard_shape(1_000_000)).rounds.to_string(),
+            model
+                .iteration(&kind.standard_shape(1_000))
+                .rounds
+                .to_string(),
+            model
+                .iteration(&kind.standard_shape(1_000_000))
+                .rounds
+                .to_string(),
         ]);
     }
     rounds.print();

@@ -19,23 +19,31 @@ fn main() {
     // Spins σ1=+1, σ2=-1, σ3=+1 stored in one row; J14's bit driven on
     // the shared RWL; only column 0 (σ1) is sensed.
     let mut tile = SramTile::new(1, 3);
-    tile.write_row(0, &[Spin::Up.bit(), Spin::Down.bit(), Spin::Up.bit()]).expect("layout");
+    tile.write_row(0, &[Spin::Up.bit(), Spin::Down.bit(), Spin::Up.bit()])
+        .expect("layout");
     let j14_bit = true;
     let sensed = tile.compute_xnor_bit(0, j14_bit, 0..3, 0).expect("compute");
     let stats = *tile.stats();
     println!("driven J14 bit = 1 against row [σ1=+1, σ2=-1, σ3=+1], sensing only σ1's column:");
     println!("  sensed XNOR(σ1, J14) = {sensed}");
-    println!("  bit-lines discharged: {} (useful: {}, redundant: {})",
-        stats.rbl_discharges, stats.rbl_discharges - stats.redundant_discharges, stats.redundant_discharges);
+    println!(
+        "  bit-lines discharged: {} (useful: {}, redundant: {})",
+        stats.rbl_discharges,
+        stats.rbl_discharges - stats.redundant_discharges,
+        stats.redundant_discharges
+    );
     let params = TechnologyParams::freepdk45();
-    println!("  redundant energy this access: {}", stats.redundant_energy(&params));
+    println!(
+        "  redundant energy this access: {}",
+        stats.redundant_energy(&params)
+    );
     assert_eq!(stats.redundant_discharges, 1); // σ3 discharged uselessly (σ2's XNOR is 0)
 
     section("reuse per design on the same 8-neighbor tuple (N = 8, R = 4)");
     let enc = MixedEncoding::new(4).expect("4-bit");
-    let graph = sachi_ising::graph::topology::king(3, 3, |i, j| ((i + j) % 7) as i32 - 3).expect("lattice");
-    let spins: sachi_ising::spin::SpinVector =
-        (0..9).map(|i| Spin::from_bit(i % 2 == 0)).collect();
+    let graph =
+        sachi_ising::graph::topology::king(3, 3, |i, j| ((i + j) % 7) as i32 - 3).expect("lattice");
+    let spins: sachi_ising::spin::SpinVector = (0..9).map(|i| Spin::from_bit(i % 2 == 0)).collect();
     let store = TupleStore::new(&graph, &spins);
     let tuple = store.tuple(4); // interior: full 8-neighbor fan-in
 
@@ -60,7 +68,11 @@ fn main() {
             ctx.xnor_ops.to_string(),
             format!("{:.1}", ctx.reuse()),
             tile.stats().redundant_discharges.to_string(),
-            format!("{}", tile.stats().redundant_energy(&TechnologyParams::freepdk45())),
+            format!(
+                "{}",
+                tile.stats()
+                    .redundant_energy(&TechnologyParams::freepdk45())
+            ),
         ]);
     }
     table.print();

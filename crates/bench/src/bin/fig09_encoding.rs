@@ -9,8 +9,15 @@ use sachi_ising::spin::Spin;
 
 fn hex(enc: &MixedEncoding, value: i64) -> String {
     let bits = enc.encode(value).expect("value in range");
-    let word = bits.iter().rev().fold(0u64, |acc, &b| (acc << 1) | b as u64);
-    format!("{}'h{word:0width$X}", enc.bits(), width = (enc.bits() as usize).div_ceil(4))
+    let word = bits
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 1) | b as u64);
+    format!(
+        "{}'h{word:0width$X}",
+        enc.bits(),
+        width = (enc.bits() as usize).div_ceil(4)
+    )
 }
 
 fn main() {
@@ -18,7 +25,9 @@ fn main() {
     let enc9 = MixedEncoding::new(9).expect("9-bit supported");
     let enc3 = MixedEncoding::new(3).expect("3-bit supported");
 
-    let mut table = Table::new(["spin (S)", "J (R=9)", "enc(J)", "S*J", "J (R=3)", "enc(J)", "S*J"]);
+    let mut table = Table::new([
+        "spin (S)", "J (R=9)", "enc(J)", "S*J", "J (R=3)", "enc(J)", "S*J",
+    ]);
     for (spin, j9, j3) in [
         (Spin::Down, 135i64, 3i64),
         (Spin::Down, -135, -3),

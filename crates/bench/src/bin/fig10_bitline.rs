@@ -11,9 +11,17 @@ use sachi_mem::prelude::*;
 
 fn waveform(discharges: bool) -> [&'static str; 3] {
     if discharges {
-        ["1V --------\\", "            \\____ 0V   (RBL discharged: XNOR = 1)", "re-precharge /---- 1V"]
+        [
+            "1V --------\\",
+            "            \\____ 0V   (RBL discharged: XNOR = 1)",
+            "re-precharge /---- 1V",
+        ]
     } else {
-        ["1V ----------", "  ---------- 1V   (RBL retained: XNOR = 0)", "  ---------- 1V"]
+        [
+            "1V ----------",
+            "  ---------- 1V   (RBL retained: XNOR = 0)",
+            "  ---------- 1V",
+        ]
     }
 }
 
@@ -31,7 +39,12 @@ fn main() {
             (s as u8).to_string(),
             (j as u8).to_string(),
             (out[0] as u8).to_string(),
-            if discharged { "discharges" } else { "retains 1V" }.to_string(),
+            if discharged {
+                "discharges"
+            } else {
+                "retains 1V"
+            }
+            .to_string(),
         ]);
     }
     table.print();
@@ -48,13 +61,17 @@ fn main() {
     let t = TechnologyParams::freepdk45();
     println!("RWL pulse : {} (50 fF at 1V)", t.rwl_energy_per_bit());
     println!("RBL swing : {} (35 fF at 1V)", t.rbl_energy_per_bit());
-    println!("array latency {} within the {} cycle", t.sram_array_latency, t.cycle_time);
+    println!(
+        "array latency {} within the {} cycle",
+        t.sram_array_latency, t.cycle_time
+    );
 
     section("100x100 prototype-sized array, full-column check");
     let mut tile = SramTile::new(100, 100);
     for row in 0..100 {
         for col in 0..100 {
-            tile.write_bit(row, col, (row + col) % 2 == 0).expect("in bounds");
+            tile.write_bit(row, col, (row + col) % 2 == 0)
+                .expect("in bounds");
         }
     }
     let mut discharges = 0u64;

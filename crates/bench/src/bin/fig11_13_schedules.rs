@@ -56,11 +56,19 @@ fn main() {
             let u = (r * 4 + c) as u32;
             if c + 1 < 4 {
                 let v = u + 1;
-                builder.push_edge(u, v, 24 - (pixels[u as usize] - pixels[v as usize]).abs() / 8);
+                builder.push_edge(
+                    u,
+                    v,
+                    24 - (pixels[u as usize] - pixels[v as usize]).abs() / 8,
+                );
             }
             if r + 1 < 3 {
                 let v = u + 4;
-                builder.push_edge(u, v, 24 - (pixels[u as usize] - pixels[v as usize]).abs() / 8);
+                builder.push_edge(
+                    u,
+                    v,
+                    24 - (pixels[u as usize] - pixels[v as usize]).abs() / 8,
+                );
             }
         }
     }

@@ -4,7 +4,9 @@
 
 use sachi_bench::{section, Table};
 use sachi_core::encoding::MixedEncoding;
-use sachi_core::isa::{FistSubop, Instruction, MicroExecutor, FIST_PRIMARY_OPCODE, XNORM_PRIMARY_OPCODE};
+use sachi_core::isa::{
+    FistSubop, Instruction, MicroExecutor, FIST_PRIMARY_OPCODE, XNORM_PRIMARY_OPCODE,
+};
 use sachi_ising::spin::Spin;
 use sachi_mem::sram::SramTile;
 
@@ -39,9 +41,22 @@ fn main() {
 
     section("encoded program");
     let program = vec![
-        Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0, len: 9 },
-        Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: 8 },
-        Instruction::Xnorm { dest: 1, src1: 8, src2: 0, bit: 8 },
+        Instruction::Fist {
+            subop: FistSubop::DramToStorage,
+            addr: 0,
+            len: 9,
+        },
+        Instruction::Fist {
+            subop: FistSubop::StorageToCompute,
+            addr: 0,
+            len: 8,
+        },
+        Instruction::Xnorm {
+            dest: 1,
+            src1: 8,
+            src2: 0,
+            bit: 8,
+        },
     ];
     for insn in &program {
         let bytes = insn.encode();
@@ -51,16 +66,24 @@ fn main() {
     let bytes: Vec<u8> = program.iter().flat_map(|i| i.encode()).collect();
     let decoded = Instruction::decode_program(&bytes).expect("well-formed program");
     assert_eq!(decoded, program);
-    println!("  ({} bytes total; decoder round-trips exactly)", bytes.len());
+    println!(
+        "  ({} bytes total; decoder round-trips exactly)",
+        bytes.len()
+    );
 
     section("execution on the micro-machine");
     let enc = MixedEncoding::new(8).expect("8-bit supported");
     let j = -77i64;
     let mut exec = MicroExecutor::new(64, 64, SramTile::new(1, 8));
-    exec.write_dram(0, &enc.encode(j).expect("fits 8-bit")).expect("in bounds");
+    exec.write_dram(0, &enc.encode(j).expect("fits 8-bit"))
+        .expect("in bounds");
     exec.write_dram(8, &[Spin::Down.bit()]).expect("in bounds");
     exec.run(&program).expect("program executes");
-    println!("  J = {j}, σ = -1: XNORM wrote r1 = {} (expected {})", exec.register(1), j * -1);
+    println!(
+        "  J = {j}, σ = -1: XNORM wrote r1 = {} (expected {})",
+        exec.register(1),
+        -j
+    );
     assert_eq!(exec.register(1), -j);
     println!(
         "  tile counters: {} compute accesses, {} RWL pulses, {} RBL discharges",

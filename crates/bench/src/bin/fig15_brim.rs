@@ -89,7 +89,10 @@ fn main() {
     for (kind, paper) in CopKind::ALL.iter().zip(PAPER.iter()) {
         let ((graph, name), build_time) = timed(|| instance_graph(*kind));
         let (iters, solve_time) = timed(|| golden_iterations(&graph, 7));
-        eprintln!("[{name}: built in {:?}, golden solve {:?}]", build_time, solve_time);
+        eprintln!(
+            "[{name}: built in {:?}, golden solve {:?}]",
+            build_time, solve_time
+        );
 
         let shape = kind.standard_shape(1_000).with_resolution(4);
         let n = shape.neighbors_per_spin;
@@ -102,8 +105,8 @@ fn main() {
         let program_bits = 2 * graph.num_edges() as u64 * 4;
         let brim_cycles = tech.dram_stream_cycles(program_bits.div_ceil(8)).get()
             + brim.cycles_per_sweep(shape.spins, n) * iters;
-        let brim_energy =
-            tech.movement_energy_per_bit() * program_bits + brim.sweep_energy(shape.spins, n, 4) * iters;
+        let brim_energy = tech.movement_energy_per_bit() * program_bits
+            + brim.sweep_energy(shape.spins, n, 4) * iters;
 
         table.row([
             kind.label().to_string(),

@@ -26,8 +26,13 @@ fn main() {
     let mut sachi = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let (s_result, s_report) = sachi.solve_detailed(graph, &init, &opts);
     let mut cim = CimMachine::new();
-    let (c_result, c_report) = cim.solve_detailed(graph, &init, &opts).expect("within CIM envelope");
-    assert_eq!(s_result.energy, c_result.energy, "machines must agree functionally");
+    let (c_result, c_report) = cim
+        .solve_detailed(graph, &init, &opts)
+        .expect("within CIM envelope");
+    assert_eq!(
+        s_result.energy, c_result.energy,
+        "machines must agree functionally"
+    );
 
     let mut func = Table::new(["machine", "iters", "cycles", "energy", "reuse"]);
     func.row([
@@ -47,7 +52,10 @@ fn main() {
     func.print();
     println!(
         "functional: speedup {}, energy gain {}, accuracy {:.2}%",
-        ratio(c_report.total_cycles.get() as f64, s_report.total_cycles.get() as f64),
+        ratio(
+            c_report.total_cycles.get() as f64,
+            s_report.total_cycles.get() as f64
+        ),
         ratio(c_report.energy.total().get(), s_report.energy.total().get()),
         w.accuracy(&s_result.spins) * 100.0
     );
@@ -77,11 +85,26 @@ fn main() {
     // is a scale-out ASIC with enough eDRAM arrays to stay resident, so
     // SACHI's gain collapses) and with the Sec. VII.2 8MB-L2 preset that
     // restores capacity parity.
-    let server = PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(CacheHierarchy::server()));
+    let server =
+        PerfModel::new(SachiConfig::new(DesignKind::N3).with_hierarchy(CacheHierarchy::server()));
     let iter_points = [
         (500u64, s_report.sweeps, 70.0, 40.0, &model, "160KB L2"),
-        (1_000_000, s_report.sweeps * 2, 80.0, 75.0, &model, "160KB L2"),
-        (1_000_000, s_report.sweeps * 2, 80.0, 75.0, &server, "8MB L2"),
+        (
+            1_000_000,
+            s_report.sweeps * 2,
+            80.0,
+            75.0,
+            &model,
+            "160KB L2",
+        ),
+        (
+            1_000_000,
+            s_report.sweeps * 2,
+            80.0,
+            75.0,
+            &server,
+            "8MB L2",
+        ),
     ];
     for (atoms, iters, paper_perf, paper_energy, model, cfg) in iter_points {
         let shape = WorkloadShape::new(atoms, 8, 2);
@@ -90,8 +113,8 @@ fn main() {
         let payload_bits = atoms * (8 * 2 + 1) + duplicated * 2;
         let cim_cycles = tech.dram_stream_cycles(payload_bits.div_ceil(8)).get()
             + cim_model.cycles_per_sweep(atoms) * iters;
-        let cim_energy =
-            tech.movement_energy_per_bit() * payload_bits + cim_model.sweep_energy(atoms, 8) * iters;
+        let cim_energy = tech.movement_energy_per_bit() * payload_bits
+            + cim_model.sweep_energy(atoms, 8) * iters;
         table.row([
             atoms.to_string(),
             cfg.to_string(),

@@ -37,7 +37,8 @@ fn sachi_best(workload: &dyn Workload, restarts: u64) -> (f64, Duration) {
     let mut best_acc = 0.0f64;
     let mut sim_ns = 0.0f64;
     for seed in 0..restarts {
-        let (result, report) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        let (result, report) =
+            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
         best_acc = best_acc.max(workload.accuracy(&result.spins));
         sim_ns += report.wall_time.get();
     }
@@ -99,7 +100,8 @@ fn main() {
         for seed in 0..8 {
             let mut rng = StdRng::seed_from_u64(seed);
             let init = SpinVector::random(graph.num_spins(), &mut rng);
-            let (result, report) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+            let (result, report) =
+                machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
             best_acc = best_acc.max(w.accuracy(&result.spins));
             sim_ns += report.wall_time.get();
         }

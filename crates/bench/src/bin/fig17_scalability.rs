@@ -12,8 +12,16 @@ const SIZES: [u64; 7] = [500, 1_000, 10_000, 100_000, 200_000, 300_000, 1_000_00
 fn main() {
     for kind in CopKind::ALL {
         section(&format!("Fig. 17 - {kind} CPI vs spins"));
-        let mut table =
-            Table::new(["spins", "n1a", "n1b", "n2", "n3", "n3 rounds", "n3 fits L1?", "streams DRAM?"]);
+        let mut table = Table::new([
+            "spins",
+            "n1a",
+            "n1b",
+            "n2",
+            "n3",
+            "n3 rounds",
+            "n3 fits L1?",
+            "streams DRAM?",
+        ]);
         for spins in SIZES {
             let shape = kind.standard_shape(spins);
             let est = |d| PerfModel::new(SachiConfig::new(d)).iteration(&shape);
@@ -34,7 +42,10 @@ fn main() {
 
     section("Fig. 17(v) - video-scale image segmentation (paper: ~1e9 and ~2e10 CPI)");
     let mut video = Table::new(["pixels", "label", "n3 CPI", "n3 rounds"]);
-    for (pixels, label) in [(2_073_600u64, "HD video (1920x1080)"), (8_294_400, "UHD video (3840x2160)")] {
+    for (pixels, label) in [
+        (2_073_600u64, "HD video (1920x1080)"),
+        (8_294_400, "UHD video (3840x2160)"),
+    ] {
         let shape = CopKind::ImageSegmentation.standard_shape(pixels);
         let est = PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape);
         video.row([

@@ -13,7 +13,12 @@ fn main() {
         let mut table = Table::new(["R (bits)", "n1a", "n1b", "n2", "n3"]);
         for bits in 2..=8u32 {
             let shape = kind.standard_shape(1_000_000).with_resolution(bits);
-            let cpi = |d| PerfModel::new(SachiConfig::new(d)).iteration(&shape).effective_cycles.get();
+            let cpi = |d| {
+                PerfModel::new(SachiConfig::new(d))
+                    .iteration(&shape)
+                    .effective_cycles
+                    .get()
+            };
             table.row([
                 bits.to_string(),
                 cpi(DesignKind::N1a).to_string(),

@@ -33,9 +33,17 @@ fn main() {
     let progress = |h: i64| (h as f64 - h_last) / span;
     let mut ta = Table::new(["iteration", "H", "remaining descent"]);
     for (i, h) in trace.iter().enumerate().step_by(stride) {
-        ta.row([(i + 1).to_string(), h.to_string(), format!("{:.3}", progress(*h))]);
+        ta.row([
+            (i + 1).to_string(),
+            h.to_string(),
+            format!("{:.3}", progress(*h)),
+        ]);
     }
-    ta.row([trace.len().to_string(), trace.last().unwrap().to_string(), format!("{:.3}", progress(*trace.last().unwrap()))]);
+    ta.row([
+        trace.len().to_string(),
+        trace.last().unwrap().to_string(),
+        format!("{:.3}", progress(*trace.last().unwrap())),
+    ]);
     ta.print();
     println!(
         "converged after {} iterations; final accuracy {} (SA uphill flips escape local minima)",
@@ -53,7 +61,8 @@ fn main() {
     let mut tb = Table::new(["design", "iterations", "cycles", "time", "vs n1a"]);
     let mut n1a_time = 0.0f64;
     for design in DesignKind::ALL {
-        let (_, report) = SachiMachine::new(SachiConfig::new(design)).solve_detailed(mg, &minit, &mopts);
+        let (_, report) =
+            SachiMachine::new(SachiConfig::new(design)).solve_detailed(mg, &minit, &mopts);
         if design == DesignKind::N1a {
             n1a_time = report.wall_time.get();
         }
@@ -92,7 +101,11 @@ fn main() {
         }
         None
     };
-    let mut tc = Table::new(["R (bits)", "mean iterations (8 seeds)", "runs reaching target"]);
+    let mut tc = Table::new([
+        "R (bits)",
+        "mean iterations (8 seeds)",
+        "runs reaching target",
+    ]);
     for bits in [2u32, 4, 8, 16, 32] {
         let mut total = 0u64;
         let mut reached = 0u64;
@@ -105,14 +118,23 @@ fn main() {
                 None => total += CAP,
             }
         }
-        tc.row([bits.to_string(), format!("{:.0}", total as f64 / 8.0), format!("{reached}/8")]);
+        tc.row([
+            bits.to_string(),
+            format!("{:.0}", total as f64 / 8.0),
+            format!("{reached}/8"),
+        ]);
     }
     tc.print();
     println!("(paper: iterations rise sharply below 8-bit; 32-bit needs the fewest)");
 
     // --- (d) accuracy vs resolution at convergence ---
     section("Fig. 19d - converged solution accuracy vs IC resolution");
-    let mut td = Table::new(["R (bits)", "asset allocation", "image segmentation", "molecular dynamics"]);
+    let mut td = Table::new([
+        "R (bits)",
+        "asset allocation",
+        "image segmentation",
+        "molecular dynamics",
+    ]);
     for bits in [2u32, 4, 6, 8, 16, 32] {
         let mut cells = vec![bits.to_string()];
         // Asset allocation.
@@ -122,7 +144,11 @@ fn main() {
             let graph = w.graph();
             let mut rng = StdRng::seed_from_u64(seed);
             let init = SpinVector::random(graph.num_spins(), &mut rng);
-            let r = CpuReferenceSolver::new().solve(graph, &init, &SolveOptions::for_graph(graph, seed + 7));
+            let r = CpuReferenceSolver::new().solve(
+                graph,
+                &init,
+                &SolveOptions::for_graph(graph, seed + 7),
+            );
             acc += w.accuracy(&r.spins);
         }
         cells.push(percent(acc / 6.0));
@@ -133,7 +159,11 @@ fn main() {
             let graph = w.graph();
             let mut rng = StdRng::seed_from_u64(seed);
             let init = SpinVector::random(graph.num_spins(), &mut rng);
-            let r = CpuReferenceSolver::new().solve(graph, &init, &SolveOptions::for_graph(graph, seed + 9));
+            let r = CpuReferenceSolver::new().solve(
+                graph,
+                &init,
+                &SolveOptions::for_graph(graph, seed + 9),
+            );
             acc += w.accuracy(&r.spins);
         }
         cells.push(percent(acc / 4.0));
@@ -144,7 +174,11 @@ fn main() {
             let graph = w.graph();
             let mut rng = StdRng::seed_from_u64(seed);
             let init = SpinVector::random(graph.num_spins(), &mut rng);
-            let r = CpuReferenceSolver::new().solve(graph, &init, &SolveOptions::for_graph(graph, seed + 11));
+            let r = CpuReferenceSolver::new().solve(
+                graph,
+                &init,
+                &SolveOptions::for_graph(graph, seed + 11),
+            );
             acc += w.accuracy(&r.spins);
         }
         cells.push(percent(acc / 4.0));

@@ -6,8 +6,12 @@
 //! | binary | artifact |
 //! |---|---|
 //! | `fig01_ga_vs_ising` | Fig. 1 — GA vs Ising accuracy & iso-accuracy time |
+//! | `fig02_mapping` | Fig. 2 — COP-to-Ising mapping on the paper's 4×3 image |
+//! | `fig03_feature_table` | Fig. 3 — feature table vs prior Ising architectures |
 //! | `fig04_cop_characteristics` | Fig. 4 — COP sizes, resolutions, L1 fit |
+//! | `fig05_reuse_motivation` | Fig. 5 — reuse-aware compute motivation on live tiles |
 //! | `fig09_encoding` | Fig. 9 — mixed-encoding worked table |
+//! | `fig10_bitline` | Fig. 10 — in-memory XNOR primitive & discharge behaviour |
 //! | `fig11_13_schedules` | Figs. 11–13 — per-design schedules & queues |
 //! | `fig14_isa` | Fig. 14 — ISA table + a real XNORM program |
 //! | `fig15_brim` | Fig. 15a–c — reuse, cycles, energy vs BRIM |
@@ -17,7 +21,10 @@
 //! | `fig18_reconfigurability` | Fig. 18 — CPI vs IC resolution |
 //! | `fig19_convergence` | Fig. 19 — H traces, time ladder, resolution effects |
 //! | `disc_cache_scaling` | Sec. VII.2 — cache-size presets |
+//! | `disc_conventional` | Sec. VII.1 — impact on conventional workloads |
+//! | `disc_multicore` | Sec. IV.B.2 — multi-core scaling |
 //! | `abl_tuple_rep` | ablation — tuple-rep on/off |
+//! | `abl_residency` | ablation — analytic residency billing vs physical resident machine |
 //! | `abl_prefetch` | ablation — prefetcher on/off |
 //! | `abl_update_policy` | ablation — storage-update vs RMW local update |
 //!
@@ -25,7 +32,7 @@
 //! (`cargo bench -p sachi-bench`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -53,7 +60,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Display>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringifying each cell).
@@ -63,7 +73,11 @@ impl Table {
     /// Panics if the row width does not match the headers.
     pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
         self
     }
@@ -86,7 +100,15 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));

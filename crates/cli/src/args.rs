@@ -131,12 +131,15 @@ fn parse_hierarchy(s: &str) -> Result<CacheHierarchy, ArgError> {
         "default" | "hpca" => Ok(CacheHierarchy::hpca_default()),
         "desktop" => Ok(CacheHierarchy::desktop()),
         "server" => Ok(CacheHierarchy::server()),
-        other => Err(err(format!("unknown hierarchy '{other}' (default|desktop|server)"))),
+        other => Err(err(format!(
+            "unknown hierarchy '{other}' (default|desktop|server)"
+        ))),
     }
 }
 
 fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, ArgError> {
-    it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+    it.next()
+        .ok_or_else(|| err(format!("{flag} needs a value")))
 }
 
 fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveArgs, ArgError> {
@@ -150,7 +153,9 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                 args.cop = Some(parse_cop(take_value(flag, &mut it)?)?);
             }
             "--size" => {
-                args.size = take_value(flag, &mut it)?.parse().map_err(|_| err("--size needs an integer"))?
+                args.size = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--size needs an integer"))?
             }
             "--file" => {
                 args.file = Some(take_value(flag, &mut it)?.to_string());
@@ -160,15 +165,21 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
             "--gset" => args.gset = true,
             "--design" => args.design = parse_design(take_value(flag, &mut it)?)?,
             "--resolution" => {
-                args.resolution =
-                    Some(take_value(flag, &mut it)?.parse().map_err(|_| err("--resolution needs an integer"))?)
+                args.resolution = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--resolution needs an integer"))?,
+                )
             }
             "--seed" => {
-                args.seed = take_value(flag, &mut it)?.parse().map_err(|_| err("--seed needs an integer"))?
+                args.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--seed needs an integer"))?
             }
             "--restarts" => {
-                args.restarts =
-                    take_value(flag, &mut it)?.parse().map_err(|_| err("--restarts needs an integer"))?
+                args.restarts = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--restarts needs an integer"))?
             }
             "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
@@ -183,22 +194,30 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
     Ok(args)
 }
 
-fn parse_estimate_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<EstimateArgs, ArgError> {
+fn parse_estimate_args<'a>(
+    mut it: impl Iterator<Item = &'a str>,
+) -> Result<EstimateArgs, ArgError> {
     let mut args = EstimateArgs::default();
     while let Some(flag) = it.next() {
         match flag {
             "--cop" => args.cop = parse_cop(take_value(flag, &mut it)?)?,
             "--spins" => {
-                args.spins = take_value(flag, &mut it)?.parse().map_err(|_| err("--spins needs an integer"))?
+                args.spins = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--spins needs an integer"))?
             }
             "--design" => args.design = parse_design(take_value(flag, &mut it)?)?,
             "--resolution" => {
-                args.resolution =
-                    Some(take_value(flag, &mut it)?.parse().map_err(|_| err("--resolution needs an integer"))?)
+                args.resolution = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--resolution needs an integer"))?,
+                )
             }
             "--iterations" => {
-                args.iterations =
-                    take_value(flag, &mut it)?.parse().map_err(|_| err("--iterations needs an integer"))?
+                args.iterations = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--iterations needs an integer"))?
             }
             "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown flag '{other}' for estimate"))),
@@ -221,7 +240,9 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         Some("solve") => Ok(Command::Solve(parse_solve_args(it)?)),
         Some("compare") => Ok(Command::Compare(parse_solve_args(it)?)),
         Some("estimate") => Ok(Command::Estimate(parse_estimate_args(it)?)),
-        Some(other) => Err(err(format!("unknown command '{other}' (solve|compare|estimate|info|help)"))),
+        Some(other) => Err(err(format!(
+            "unknown command '{other}' (solve|compare|estimate|info|help)"
+        ))),
     }
 }
 
@@ -300,7 +321,8 @@ mod tests {
 
     #[test]
     fn estimate_flags() {
-        let cmd = parse("estimate --cop imgseg --spins 200000 --iterations 50".split_whitespace()).unwrap();
+        let cmd = parse("estimate --cop imgseg --spins 200000 --iterations 50".split_whitespace())
+            .unwrap();
         match cmd {
             Command::Estimate(a) => {
                 assert_eq!(a.cop, CopKind::ImageSegmentation);
@@ -313,14 +335,35 @@ mod tests {
 
     #[test]
     fn error_messages_are_actionable() {
-        assert!(parse(["solve", "--cop", "sudoku"]).unwrap_err().0.contains("unknown COP"));
-        assert!(parse(["solve", "--design", "n9"]).unwrap_err().0.contains("unknown design"));
-        assert!(parse(["solve", "--size"]).unwrap_err().0.contains("needs a value"));
-        assert!(parse(["solve", "--size", "many"]).unwrap_err().0.contains("integer"));
-        assert!(parse(["solve", "--restarts", "0"]).unwrap_err().0.contains("at least 1"));
+        assert!(parse(["solve", "--cop", "sudoku"])
+            .unwrap_err()
+            .0
+            .contains("unknown COP"));
+        assert!(parse(["solve", "--design", "n9"])
+            .unwrap_err()
+            .0
+            .contains("unknown design"));
+        assert!(parse(["solve", "--size"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse(["solve", "--size", "many"])
+            .unwrap_err()
+            .0
+            .contains("integer"));
+        assert!(parse(["solve", "--restarts", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
         assert!(parse(["launch"]).unwrap_err().0.contains("unknown command"));
-        assert!(parse(["solve", "--hierarchy", "mainframe"]).unwrap_err().0.contains("unknown hierarchy"));
-        assert!(parse(["estimate", "--wat"]).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(["solve", "--hierarchy", "mainframe"])
+            .unwrap_err()
+            .0
+            .contains("unknown hierarchy"));
+        assert!(parse(["estimate", "--wat"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
         assert!(parse(["solve", "--file", "g.txt", "--cop", "md"])
             .unwrap_err()
             .0

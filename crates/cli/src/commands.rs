@@ -11,10 +11,12 @@ use sachi_mem::prelude::*;
 use sachi_workloads::prelude::*;
 
 /// A built problem: graph plus an optional domain accuracy scorer.
+type AccuracyFn = Box<dyn Fn(&SpinVector) -> f64>;
+
 struct Problem {
     name: String,
     graph: IsingGraph,
-    accuracy: Option<Box<dyn Fn(&SpinVector) -> f64>>,
+    accuracy: Option<AccuracyFn>,
 }
 
 fn near_square(size: usize) -> (usize, usize) {
@@ -36,9 +38,17 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, String> {
             let w = GenericMaxCut::new(path.clone(), graph);
             let name = w.name();
             let graph = w.graph().clone();
-            return Ok(Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) });
+            return Ok(Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            });
         }
-        return Ok(Problem { name: path.clone(), graph, accuracy: None });
+        return Ok(Problem {
+            name: path.clone(),
+            graph,
+            accuracy: None,
+        });
     }
     let kind = args.cop.expect("parser guarantees cop or file");
     let seed = args.seed;
@@ -47,27 +57,43 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, String> {
             let w = AssetAllocation::new(args.size.max(2), seed);
             let name = w.name();
             let graph = w.graph().clone();
-            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
         }
         CopKind::ImageSegmentation => {
             let (rows, cols) = near_square(args.size.max(4));
             let w = ImageSegmentation::with_options(cols, rows, seed, Connectivity::Grid4, 6);
             let name = w.name();
             let graph = w.graph().clone();
-            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
         }
         CopKind::TravelingSalesman => {
             let w = TspDecision::new(args.size.max(3), seed);
             let name = w.name();
             let graph = w.graph().clone();
-            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
         }
         CopKind::MolecularDynamics => {
             let (rows, cols) = near_square(args.size.max(2));
             let w = MolecularDynamics::new(rows, cols, seed);
             let name = w.name();
             let graph = w.graph().clone();
-            Problem { name, graph, accuracy: Some(Box::new(move |s| w.accuracy(s))) }
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
         }
     })
 }
@@ -97,17 +123,26 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
     let problem = build_problem(args)?;
     let graph = &problem.graph;
     check_resolution(args, graph)?;
-    println!("problem : {} ({} spins, {} edges, max degree {}, needs {}-bit ICs)",
-        problem.name, graph.num_spins(), graph.num_edges(), graph.max_degree(), graph.bits_required());
+    println!(
+        "problem : {} ({} spins, {} edges, max degree {}, needs {}-bit ICs)",
+        problem.name,
+        graph.num_spins(),
+        graph.num_edges(),
+        graph.max_degree(),
+        graph.bits_required()
+    );
 
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x51ac_41);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
     let opts = SolveOptions::for_graph(graph, args.seed + 1);
     let mut machine = SachiMachine::new(config_for(args));
 
     let mut best: Option<(SolveResult, RunReport)> = None;
     for k in 0..args.restarts {
-        let o = SolveOptions { seed: opts.seed + k, ..opts.clone() };
+        let o = SolveOptions {
+            seed: opts.seed + k,
+            ..opts.clone()
+        };
         let (result, report) = machine.solve_detailed(graph, &init, &o);
         if best.as_ref().is_none_or(|(b, _)| result.energy < b.energy) {
             best = Some((result, report));
@@ -116,7 +151,10 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
     let (result, report) = best.expect("restarts >= 1");
 
     println!("design  : {}", report.design.label());
-    println!("result  : H = {}  ({} iterations, converged: {})", result.energy, result.sweeps, result.converged);
+    println!(
+        "result  : H = {}  ({} iterations, converged: {})",
+        result.energy, result.sweeps, result.converged
+    );
     if let Some(acc) = &problem.accuracy {
         println!("accuracy: {}", percent(acc(&result.spins)));
     }
@@ -127,7 +165,12 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
         report.load_cycles.get(),
         report.rounds_per_sweep
     );
-    println!("time    : {}  energy: {}  reuse: {:.1}", report.wall_time, report.energy.total(), report.reuse);
+    println!(
+        "time    : {}  energy: {}  reuse: {:.1}",
+        report.wall_time,
+        report.energy.total(),
+        report.reuse
+    );
     let mut breakdown = Table::new(["component", "energy"]);
     for (c, e) in report.energy.iter() {
         breakdown.row([c.label().to_string(), format!("{e}")]);
@@ -142,7 +185,7 @@ pub fn compare(args: &SolveArgs) -> Result<(), String> {
     let graph = &problem.graph;
     check_resolution(args, graph)?;
     println!("problem: {} ({} spins)", problem.name, graph.num_spins());
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x51ac_41);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
     let opts = SolveOptions::for_graph(graph, args.seed + 1);
 
@@ -154,7 +197,10 @@ pub fn compare(args: &SolveArgs) -> Result<(), String> {
             config = config.with_resolution(r);
         }
         let (result, report) = SachiMachine::new(config).solve_detailed(graph, &init, &opts);
-        assert_eq!(result.energy, golden.energy, "machines must match the golden model");
+        assert_eq!(
+            result.energy, golden.energy,
+            "machines must match the golden model"
+        );
         table.row([
             design.label().to_string(),
             result.energy.to_string(),
@@ -230,7 +276,11 @@ pub fn estimate(args: &EstimateArgs) -> Result<(), String> {
     );
     println!(
         "residency: {} in compute array, DRAM streaming: {}",
-        if iter.fits_in_compute { "fits" } else { "overflows" },
+        if iter.fits_in_compute {
+            "fits"
+        } else {
+            "overflows"
+        },
         if iter.uses_dram { "yes" } else { "no" }
     );
     println!(
@@ -243,7 +293,10 @@ pub fn estimate(args: &EstimateArgs) -> Result<(), String> {
     let base = PerfModel::new(SachiConfig::new(DesignKind::N1a).with_hierarchy(args.hierarchy));
     println!(
         "vs n1a   : {} speedup per iteration",
-        ratio(base.iteration(&shape).effective_cycles.get() as f64, iter.effective_cycles.get() as f64)
+        ratio(
+            base.iteration(&shape).effective_cycles.get() as f64,
+            iter.effective_cycles.get() as f64
+        )
     );
     Ok(())
 }
@@ -269,7 +322,10 @@ pub fn info() {
         );
     }
     println!();
-    println!("technology: {} V, {} cycle, {} array latency", tech.vdd_volts, tech.cycle_time, tech.sram_array_latency);
+    println!(
+        "technology: {} V, {} cycle, {} array latency",
+        tech.vdd_volts, tech.cycle_time, tech.sram_array_latency
+    );
     println!(
         "energy    : RWL {}/bit, RBL {}/bit, movement {}/bit, adder {}/bit",
         tech.rwl_energy_per_bit(),

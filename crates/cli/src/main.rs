@@ -1,6 +1,9 @@
 //! `sachi` — command-line interface to the SACHI Ising architecture
 //! simulator. Run `sachi help` for usage.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 mod commands;
 

@@ -19,7 +19,12 @@ pub enum DesignKind {
 
 impl DesignKind {
     /// All designs in ascending-reuse order.
-    pub const ALL: [DesignKind; 4] = [DesignKind::N1a, DesignKind::N1b, DesignKind::N2, DesignKind::N3];
+    pub const ALL: [DesignKind; 4] = [
+        DesignKind::N1a,
+        DesignKind::N1b,
+        DesignKind::N2,
+        DesignKind::N3,
+    ];
 
     /// Paper-style label.
     pub fn label(self) -> &'static str {
@@ -103,7 +108,10 @@ impl SachiConfig {
     /// Panics if `bits` is outside `2..=32`.
     #[must_use]
     pub fn with_resolution(mut self, bits: u32) -> Self {
-        assert!((2..=32).contains(&bits), "resolution must be 2..=32, got {bits}");
+        assert!(
+            (2..=32).contains(&bits),
+            "resolution must be 2..=32, got {bits}"
+        );
         self.resolution = Some(bits);
         self
     }

@@ -25,6 +25,7 @@ use crate::encoding::MixedEncoding;
 use crate::tuple::SpinTuple;
 use sachi_ising::spin::Spin;
 use sachi_mem::sram::SramTile;
+use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 
 /// Per-solve counters a design accumulates while computing tuples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,7 +58,7 @@ impl ComputeContext {
         if self.rwl_bits_fetched == 0 {
             return 0.0;
         }
-        self.xnor_ops as f64 / self.rwl_bits_fetched as f64
+        ratio_u64(self.xnor_ops, self.rwl_bits_fetched)
     }
 
     fn note_queue(&mut self, bits: u64) {
@@ -129,16 +130,21 @@ pub fn stationarity(kind: DesignKind) -> &'static dyn Stationarity {
 
 /// How many (R+1)-bit neighbor groups fit in one n3 row.
 fn n3_groups_per_row(r: u32, row_bits: u64) -> u64 {
-    (row_bits / (r as u64 + 1)).max(1)
+    (row_bits / (u64::from(r) + 1)).max(1)
 }
 
 /// Shared finale for the n1 designs: assemble products from queued XNOR
 /// bits, then fold in the field and negate (phases 3–5).
-fn finish_from_products(products: impl Iterator<Item = i64>, field: i32, r: u32, ctx: &mut ComputeContext) -> i64 {
-    let mut acc = field as i64; // full adder initialized to h (phase 4)
+fn finish_from_products(
+    products: impl Iterator<Item = i64>,
+    field: i32,
+    r: u32,
+    ctx: &mut ComputeContext,
+) -> i64 {
+    let mut acc = i64::from(field); // full adder initialized to h (phase 4)
     for p in products {
         acc += p;
-        ctx.adder_bit_ops += r as u64 + 2;
+        ctx.adder_bit_ops += u64::from(r) + 2;
         ctx.decisions += 1;
     }
     -acc // phase 5 negation: H_σ = -(Σ J σ + h)
@@ -146,7 +152,8 @@ fn finish_from_products(products: impl Iterator<Item = i64>, field: i32, r: u32,
 
 fn layout_spins(tile: &mut SramTile, tuple: &SpinTuple) {
     let bits: Vec<bool> = tuple.neighbor_spins.iter().map(|s| s.bit()).collect();
-    tile.write_row(0, &bits).expect("tile sized by tile_requirements");
+    tile.write_row(0, &bits)
+        .expect("tile sized by tile_requirements");
 }
 
 /// SACHI(n1a): spin stationary, bit-major XNOR order (Fig. 11a.1).
@@ -173,7 +180,7 @@ impl Stationarity for SpinStationaryBitMajor {
         let n = tuple.degree();
         let r = enc.bits();
         if n == 0 {
-            return -(tuple.field as i64);
+            return -(i64::from(tuple.field));
         }
         layout_spins(tile, tuple);
         // Phase 1: bit-major — XNOR the r-th bit of every IC before moving
@@ -181,12 +188,17 @@ impl Stationarity for SpinStationaryBitMajor {
         let encoded: Vec<Vec<bool>> = tuple
             .couplings
             .iter()
-            .map(|&j| enc.encode(j as i64).expect("coefficient fits the configured resolution"))
+            .map(|&j| {
+                enc.encode(i64::from(j))
+                    .expect("coefficient fits the configured resolution")
+            })
             .collect();
-        let mut queue = vec![vec![false; r as usize]; n];
-        for b in 0..r as usize {
+        let mut queue = vec![vec![false; to_index(r)]; n];
+        for b in 0..to_index(r) {
             for (k, bits) in encoded.iter().enumerate() {
-                let out = tile.compute_xnor_bit(0, bits[b], 0..n, k).expect("in-bounds by layout");
+                let out = tile
+                    .compute_xnor_bit(0, bits[b], 0..n, k)
+                    .expect("in-bounds by layout");
                 queue[k][b] = out;
                 ctx.cycles += 1;
                 ctx.rwl_bits_fetched += 1;
@@ -195,31 +207,34 @@ impl Stationarity for SpinStationaryBitMajor {
         }
         // The queue must hold every neighbor's partial bits at once
         // (minimum size N*(R+1), Sec. IV.D.1).
-        ctx.note_queue(n as u64 * (r as u64 + 1));
+        ctx.note_queue(count_u64(n) * (u64::from(r) + 1));
         // Phases 3-5.
-        let products = queue.iter().zip(tuple.neighbor_spins.iter()).map(|(bits, &s)| {
-            let mut v = enc.decode(bits);
-            if s == Spin::Down {
-                v += 1;
-            }
-            v
-        });
+        let products = queue
+            .iter()
+            .zip(tuple.neighbor_spins.iter())
+            .map(|(bits, &s)| {
+                let mut v = enc.decode(bits);
+                if s == Spin::Down {
+                    v += 1;
+                }
+                v
+            });
         finish_from_products(products, tuple.field, r, ctx)
     }
 
     fn phase1_cycles(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 
     fn idle_cycles(&self, n: u64, r: u32) -> u64 {
         if n == 0 {
             return 0;
         }
-        (r as u64 - 1) * n + 1
+        (u64::from(r) - 1) * n + 1
     }
 
     fn xnor_queue_bits(&self, n: u64, r: u32) -> u64 {
-        n * (r as u64 + 1)
+        n * (u64::from(r) + 1)
     }
 
     fn max_reuse(&self, _n: u64, _r: u32) -> u64 {
@@ -231,7 +246,7 @@ impl Stationarity for SpinStationaryBitMajor {
     }
 
     fn driven_bits_per_tuple(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 }
 
@@ -259,45 +274,49 @@ impl Stationarity for SpinStationaryIcMajor {
         let n = tuple.degree();
         let r = enc.bits();
         if n == 0 {
-            return -(tuple.field as i64);
+            return -(i64::from(tuple.field));
         }
         layout_spins(tile, tuple);
         // Phase 1: IC-major — all bits of one J before the next J, so the
         // queue holds a single (R+1)-bit entry and phase 3 starts after R
         // cycles.
-        let mut acc = tuple.field as i64;
-        let mut queue_entry = vec![false; r as usize];
+        let mut acc = i64::from(tuple.field);
+        let mut queue_entry = vec![false; to_index(r)];
         for (k, &j) in tuple.couplings.iter().enumerate() {
-            let bits = enc.encode(j as i64).expect("coefficient fits the configured resolution");
+            let bits = enc
+                .encode(i64::from(j))
+                .expect("coefficient fits the configured resolution");
             for (b, &jbit) in bits.iter().enumerate() {
-                queue_entry[b] = tile.compute_xnor_bit(0, jbit, 0..n, k).expect("in-bounds by layout");
+                queue_entry[b] = tile
+                    .compute_xnor_bit(0, jbit, 0..n, k)
+                    .expect("in-bounds by layout");
                 ctx.cycles += 1;
                 ctx.rwl_bits_fetched += 1;
                 ctx.xnor_ops += 1;
-                ctx.note_queue(b as u64 + 1);
+                ctx.note_queue(count_u64(b) + 1);
             }
-            ctx.note_queue(r as u64 + 1);
+            ctx.note_queue(u64::from(r) + 1);
             let mut v = enc.decode(&queue_entry);
             if tuple.neighbor_spins[k] == Spin::Down {
                 v += 1;
             }
             acc += v;
-            ctx.adder_bit_ops += r as u64 + 2;
+            ctx.adder_bit_ops += u64::from(r) + 2;
             ctx.decisions += 1;
         }
         -acc
     }
 
     fn phase1_cycles(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 
     fn idle_cycles(&self, _n: u64, r: u32) -> u64 {
-        r as u64
+        u64::from(r)
     }
 
     fn xnor_queue_bits(&self, _n: u64, r: u32) -> u64 {
-        r as u64 + 1
+        u64::from(r) + 1
     }
 
     fn max_reuse(&self, _n: u64, _r: u32) -> u64 {
@@ -309,7 +328,7 @@ impl Stationarity for SpinStationaryIcMajor {
     }
 
     fn driven_bits_per_tuple(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 }
 
@@ -324,7 +343,7 @@ impl Stationarity for IcStationary {
     }
 
     fn tile_requirements(&self, max_degree: usize, r: u32, _row_bits: usize) -> (usize, usize) {
-        (max_degree.max(1), r as usize)
+        (max_degree.max(1), to_index(r))
     }
 
     fn compute_tuple(
@@ -338,26 +357,31 @@ impl Stationarity for IcStationary {
         let n = tuple.degree();
         let r = enc.bits();
         if n == 0 {
-            return -(tuple.field as i64);
+            return -(i64::from(tuple.field));
         }
         // Layout: row k holds encode(J_ik).
         for (k, &j) in tuple.couplings.iter().enumerate() {
-            let bits = enc.encode(j as i64).expect("coefficient fits the configured resolution");
-            tile.write_row(k, &bits).expect("tile sized by tile_requirements");
+            let bits = enc
+                .encode(i64::from(j))
+                .expect("coefficient fits the configured resolution");
+            tile.write_row(k, &bits)
+                .expect("tile sized by tile_requirements");
         }
         // Phase 1: one neighbor per cycle, R columns sensed at once.
-        let mut acc = tuple.field as i64;
+        let mut acc = i64::from(tuple.field);
         for (k, &s) in tuple.neighbor_spins.iter().enumerate() {
-            let out = tile.compute_xnor(k, s.bit(), 0..r as usize).expect("in-bounds by layout");
+            let out = tile
+                .compute_xnor(k, s.bit(), 0..to_index(r))
+                .expect("in-bounds by layout");
             ctx.cycles += 1;
             ctx.rwl_bits_fetched += 1;
-            ctx.xnor_ops += r as u64;
+            ctx.xnor_ops += u64::from(r);
             let mut v = enc.decode(&out);
             if s == Spin::Down {
                 v += 1;
             }
             acc += v;
-            ctx.adder_bit_ops += r as u64 + 2;
+            ctx.adder_bit_ops += u64::from(r) + 2;
             ctx.decisions += 1;
         }
         -acc
@@ -376,11 +400,11 @@ impl Stationarity for IcStationary {
     }
 
     fn max_reuse(&self, _n: u64, r: u32) -> u64 {
-        r as u64
+        u64::from(r)
     }
 
     fn resident_bits_per_tuple(&self, n: u64, r: u32) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 
     fn driven_bits_per_tuple(&self, n: u64, _r: u32, _row_bits: u64) -> u64 {
@@ -400,7 +424,7 @@ impl Stationarity for MixedStationary {
     }
 
     fn tile_requirements(&self, max_degree: usize, r: u32, row_bits: usize) -> (usize, usize) {
-        let group = r as usize + 1;
+        let group = to_index(r) + 1;
         let per_row = (row_bits / group).max(1);
         let rows = max_degree.max(1).div_ceil(per_row);
         (rows, per_row * group)
@@ -417,22 +441,30 @@ impl Stationarity for MixedStationary {
         let n = tuple.degree();
         let r = enc.bits();
         if n == 0 {
-            return -(tuple.field as i64);
+            return -(i64::from(tuple.field));
         }
-        let group = r as usize + 1;
+        let group = to_index(r) + 1;
         let per_row = (tile.cols() / group).max(1);
         // Layout: per neighbor, an (R+1)-bit group [J bits..., σ_j bit].
-        for (k, (&j, &s)) in tuple.couplings.iter().zip(tuple.neighbor_spins.iter()).enumerate() {
+        for (k, (&j, &s)) in tuple
+            .couplings
+            .iter()
+            .zip(tuple.neighbor_spins.iter())
+            .enumerate()
+        {
             let row = k / per_row;
             let col = (k % per_row) * group;
-            let mut bits = enc.encode(j as i64).expect("coefficient fits the configured resolution");
+            let mut bits = enc
+                .encode(i64::from(j))
+                .expect("coefficient fits the configured resolution");
             bits.push(s.bit());
-            tile.write_slice(row, col, &bits).expect("tile sized by tile_requirements");
+            tile.write_slice(row, col, &bits)
+                .expect("tile sized by tile_requirements");
         }
         // Phase 1: one cycle per occupied row; σ_i on the RWL, the whole
         // used width sensed.
         let rows = n.div_ceil(per_row);
-        let mut acc = tuple.field as i64;
+        let mut acc = i64::from(tuple.field);
         let mut k = 0usize;
         for row in 0..rows {
             let in_row = per_row.min(n - row * per_row);
@@ -441,21 +473,25 @@ impl Stationarity for MixedStationary {
                 .expect("in-bounds by layout");
             ctx.cycles += 1;
             ctx.rwl_bits_fetched += 1;
-            ctx.xnor_ops += (in_row * group) as u64;
+            ctx.xnor_ops += count_u64(in_row * group);
             for g in 0..in_row {
-                let bits = &out[g * group..g * group + r as usize];
+                let bits = &out[g * group..g * group + to_index(r)];
                 // Equality bit σ_j XNOR σ_i came out of the array with the
                 // same pulse.
-                let equal = out[g * group + r as usize];
+                let equal = out[g * group + to_index(r)];
                 let sigma_j = if equal { target } else { target.flipped() };
                 // eqn. 5 select: XNOR output if spins equal, XOR otherwise.
-                let selected: Vec<bool> = if equal { bits.to_vec() } else { bits.iter().map(|b| !b).collect() };
+                let selected: Vec<bool> = if equal {
+                    bits.to_vec()
+                } else {
+                    bits.iter().map(|b| !b).collect()
+                };
                 let mut v = enc.decode(&selected);
                 if sigma_j == Spin::Down {
                     v += 1;
                 }
                 acc += v;
-                ctx.adder_bit_ops += r as u64 + 2;
+                ctx.adder_bit_ops += u64::from(r) + 2;
                 ctx.decisions += 1;
                 k += 1;
             }
@@ -477,11 +513,11 @@ impl Stationarity for MixedStationary {
     }
 
     fn max_reuse(&self, n: u64, r: u32) -> u64 {
-        n * r as u64
+        n * u64::from(r)
     }
 
     fn resident_bits_per_tuple(&self, n: u64, r: u32) -> u64 {
-        n * (r as u64 + 1)
+        n * (u64::from(r) + 1)
     }
 
     fn driven_bits_per_tuple(&self, n: u64, r: u32, row_bits: u64) -> u64 {
@@ -529,7 +565,12 @@ mod tests {
 
     #[test]
     fn designs_handle_fields_and_isolated_spins() {
-        let g = GraphBuilder::new(3).edge(0, 1, 5).field(0, -3).field(2, 7).build().unwrap();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, 5)
+            .field(0, -3)
+            .field(2, 7)
+            .build()
+            .unwrap();
         let spins = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Up]);
         let store = TupleStore::new(&g, &spins);
         let enc = MixedEncoding::new(4).unwrap();
@@ -539,7 +580,8 @@ mod tests {
             let mut tile = SramTile::new(rows, cols);
             let mut ctx = ComputeContext::new();
             for i in 0..3 {
-                let h = design.compute_tuple(&mut tile, &enc, store.tuple(i), spins.get(i), &mut ctx);
+                let h =
+                    design.compute_tuple(&mut tile, &enc, store.tuple(i), spins.get(i), &mut ctx);
                 assert_eq!(h, local_field(&g, &spins, i), "{kind} spin {i}");
             }
         }

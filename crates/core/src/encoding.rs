@@ -53,10 +53,16 @@ impl fmt::Display for EncodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodingError::UnsupportedResolution { bits } => {
-                write!(f, "unsupported IC resolution: {bits} bits (mixed encoding supports 2..=32)")
+                write!(
+                    f,
+                    "unsupported IC resolution: {bits} bits (mixed encoding supports 2..=32)"
+                )
             }
             EncodingError::ValueOutOfRange { value, bits } => {
-                write!(f, "coefficient {value} does not fit in {bits}-bit two's complement")
+                write!(
+                    f,
+                    "coefficient {value} does not fit in {bits}-bit two's complement"
+                )
             }
         }
     }
@@ -124,7 +130,10 @@ impl MixedEncoding {
     /// Returns [`EncodingError::ValueOutOfRange`] if `value` does not fit.
     pub fn encode(&self, value: i64) -> Result<Vec<bool>, EncodingError> {
         if !self.in_range(value) {
-            return Err(EncodingError::ValueOutOfRange { value, bits: self.bits });
+            return Err(EncodingError::ValueOutOfRange {
+                value,
+                bits: self.bits,
+            });
         }
         let word = (value as u64) & self.mask();
         Ok((0..self.bits).map(|b| (word >> b) & 1 == 1).collect())
@@ -136,7 +145,11 @@ impl MixedEncoding {
     ///
     /// Panics if `bits.len()` differs from the configured resolution.
     pub fn decode(&self, bits: &[bool]) -> i64 {
-        assert_eq!(bits.len() as u32, self.bits, "bit-slice width must equal the resolution");
+        assert_eq!(
+            bits.len() as u32,
+            self.bits,
+            "bit-slice width must equal the resolution"
+        );
         let mut word = 0u64;
         for (b, &bit) in bits.iter().enumerate() {
             if bit {
@@ -249,15 +262,36 @@ mod tests {
         // Fig. 9: R=9 with J = ±135, R=3 with J = ±3, against σ = ±1.
         let enc9 = MixedEncoding::new(9).unwrap();
         // 135 = 9'h087, -135 = 9'h179.
-        assert_eq!(enc9.encode(135).unwrap().iter().rev().fold(0u64, |a, &b| a << 1 | b as u64), 0x087);
-        assert_eq!(enc9.encode(-135).unwrap().iter().rev().fold(0u64, |a, &b| a << 1 | b as u64), 0x179);
+        assert_eq!(
+            enc9.encode(135)
+                .unwrap()
+                .iter()
+                .rev()
+                .fold(0u64, |a, &b| a << 1 | b as u64),
+            0x087
+        );
+        assert_eq!(
+            enc9.encode(-135)
+                .unwrap()
+                .iter()
+                .rev()
+                .fold(0u64, |a, &b| a << 1 | b as u64),
+            0x179
+        );
         assert_eq!(enc9.xnor_product(135, Spin::Down), -135);
         assert_eq!(enc9.xnor_product(-135, Spin::Down), 135);
         assert_eq!(enc9.xnor_product(135, Spin::Up), 135);
         assert_eq!(enc9.xnor_product(-135, Spin::Up), -135);
         let enc3 = MixedEncoding::new(3).unwrap();
         // 3 = 3'h3, -3 = 3'h5.
-        assert_eq!(enc3.encode(-3).unwrap().iter().rev().fold(0u64, |a, &b| a << 1 | b as u64), 0x5);
+        assert_eq!(
+            enc3.encode(-3)
+                .unwrap()
+                .iter()
+                .rev()
+                .fold(0u64, |a, &b| a << 1 | b as u64),
+            0x5
+        );
         assert_eq!(enc3.xnor_product(3, Spin::Down), -3);
         assert_eq!(enc3.xnor_product(-3, Spin::Down), 3);
     }
@@ -281,7 +315,11 @@ mod tests {
             (Spin::Up, Spin::Down),
             (Spin::Down, Spin::Up),
         ] {
-            assert_eq!(enc.reuse_aware_product(j, si, sj), j * sj.value(), "case ({si}, {sj})");
+            assert_eq!(
+                enc.reuse_aware_product(j, si, sj),
+                j * sj.value(),
+                "case ({si}, {sj})"
+            );
         }
     }
 
@@ -291,7 +329,10 @@ mod tests {
         let j = 42;
         // Equal spins: printed form agrees with the corrected form.
         for s in [Spin::Up, Spin::Down] {
-            assert_eq!(enc.reuse_aware_product_as_printed(j, s, s), enc.reuse_aware_product(j, s, s));
+            assert_eq!(
+                enc.reuse_aware_product_as_printed(j, s, s),
+                enc.reuse_aware_product(j, s, s)
+            );
         }
         // Differing spins: printed form is off by one.
         for (si, sj) in [(Spin::Up, Spin::Down), (Spin::Down, Spin::Up)] {
@@ -314,8 +355,14 @@ mod tests {
         let enc = MixedEncoding::new(32).unwrap();
         assert_eq!(enc.max_value(), i32::MAX as i64);
         assert_eq!(enc.min_value(), i32::MIN as i64);
-        assert_eq!(enc.xnor_product(i32::MAX as i64, Spin::Down), -(i32::MAX as i64));
-        assert_eq!(enc.xnor_product(i32::MIN as i64, Spin::Down), -(i32::MIN as i64));
+        assert_eq!(
+            enc.xnor_product(i32::MAX as i64, Spin::Down),
+            -(i32::MAX as i64)
+        );
+        assert_eq!(
+            enc.xnor_product(i32::MIN as i64, Spin::Down),
+            -(i32::MIN as i64)
+        );
     }
 
     proptest! {
@@ -347,6 +394,24 @@ mod tests {
             let v = v.rem_euclid(enc.max_value() - enc.min_value() + 1) + enc.min_value();
             let encoded = enc.encode(v).unwrap();
             prop_assert_eq!(enc.decode(&encoded), v);
+        }
+
+        #[test]
+        fn spin_bit_encoding_roundtrip(bit in any::<bool>()) {
+            // The paper's ±1 -> 1/0 storage convention: +1 is bit 1, -1 is
+            // bit 0, and the mapping inverts losslessly in both directions.
+            let sigma = Spin::from_bit(bit);
+            prop_assert_eq!(sigma.bit(), bit);
+            prop_assert_eq!(Spin::from_bit(sigma.bit()), sigma);
+            prop_assert_eq!(sigma.value(), if bit { 1 } else { -1 });
+            prop_assert_eq!((-sigma).bit(), !bit);
+        }
+
+        #[test]
+        fn decode_word_agrees_with_bitwise_decode(bits in 2u32..=32, word in any::<u64>()) {
+            let enc = MixedEncoding::new(bits).unwrap();
+            let lanes: Vec<bool> = (0..bits).map(|b| (word >> b) & 1 == 1).collect();
+            prop_assert_eq!(enc.decode(&lanes), enc.decode_word(word));
         }
     }
 }

@@ -126,7 +126,12 @@ impl Instruction {
                 bytes.extend_from_slice(&len.to_le_bytes());
                 bytes
             }
-            Instruction::Xnorm { dest, src1, src2, bit } => {
+            Instruction::Xnorm {
+                dest,
+                src1,
+                src2,
+                bit,
+            } => {
                 let mut bytes = vec![XNORM_PRIMARY_OPCODE, dest];
                 bytes.extend_from_slice(&src1.to_le_bytes());
                 bytes.extend_from_slice(&src2.to_le_bytes());
@@ -148,7 +153,8 @@ impl Instruction {
                 if bytes.len() < 8 {
                     return Err(IsaError::Truncated);
                 }
-                let subop = FistSubop::from_secondary_opcode(bytes[1]).ok_or(IsaError::UnknownSubop(bytes[1]))?;
+                let subop = FistSubop::from_secondary_opcode(bytes[1])
+                    .ok_or(IsaError::UnknownSubop(bytes[1]))?;
                 let addr = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
                 let len = u16::from_le_bytes([bytes[6], bytes[7]]);
                 Ok((Instruction::Fist { subop, addr, len }, 8))
@@ -161,7 +167,15 @@ impl Instruction {
                 let src1 = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
                 let src2 = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
                 let bit = bytes[10];
-                Ok((Instruction::Xnorm { dest, src1, src2, bit }, 11))
+                Ok((
+                    Instruction::Xnorm {
+                        dest,
+                        src1,
+                        src2,
+                        bit,
+                    },
+                    11,
+                ))
             }
             other => Err(IsaError::UnknownOpcode(other)),
         }
@@ -187,7 +201,12 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Instruction::Fist { subop, addr, len } => write!(f, "{subop} addr={addr:#x} len={len}"),
-            Instruction::Xnorm { dest, src1, src2, bit } => {
+            Instruction::Xnorm {
+                dest,
+                src1,
+                src2,
+                bit,
+            } => {
                 write!(f, "XNORM r{dest}, [{src1:#x}], [{src2:#x}], {bit}")
             }
         }
@@ -208,7 +227,12 @@ impl MicroExecutor {
     /// Creates an executor with the given memory sizes (in bits) and a
     /// compute tile.
     pub fn new(dram_bits: usize, storage_bits: usize, tile: SramTile) -> Self {
-        MicroExecutor { dram: vec![false; dram_bits], storage: vec![false; storage_bits], tile, registers: [0; 16] }
+        MicroExecutor {
+            dram: vec![false; dram_bits],
+            storage: vec![false; storage_bits],
+            tile,
+            registers: [0; 16],
+        }
     }
 
     /// Host-side write of input data into DRAM (what `FIST.dram` models;
@@ -273,11 +297,18 @@ impl MicroExecutor {
                             return Err(IsaError::OperandOutOfRange("FIST.storage2compute"));
                         }
                         let bits: Vec<bool> = self.storage[addr..addr + len].to_vec();
-                        self.tile.write_row(0, &bits).map_err(|_| IsaError::OperandOutOfRange("compute row"))?;
+                        self.tile
+                            .write_row(0, &bits)
+                            .map_err(|_| IsaError::OperandOutOfRange("compute row"))?;
                     }
                 }
             }
-            Instruction::Xnorm { dest, src1, src2, bit } => {
+            Instruction::Xnorm {
+                dest,
+                src1,
+                src2,
+                bit,
+            } => {
                 if dest >= 16 {
                     return Err(IsaError::OperandOutOfRange("XNORM dest"));
                 }
@@ -288,7 +319,8 @@ impl MicroExecutor {
                 let row = (src2 >> 16) as usize;
                 let col = (src2 & 0xFFFF) as usize;
                 let r = u32::from(bit);
-                let enc = MixedEncoding::new(r).map_err(|_| IsaError::OperandOutOfRange("XNORM bit"))?;
+                let enc =
+                    MixedEncoding::new(r).map_err(|_| IsaError::OperandOutOfRange("XNORM bit"))?;
                 let out = self
                     .tile
                     .compute_xnor(row, spin, col..col + r as usize)
@@ -328,16 +360,32 @@ mod tests {
         assert_eq!(FistSubop::DramWrite.secondary_opcode(), 0x00);
         assert_eq!(FistSubop::DramToStorage.secondary_opcode(), 0x01);
         assert_eq!(FistSubop::StorageToCompute.secondary_opcode(), 0x10);
-        assert_eq!(FistSubop::from_secondary_opcode(0x10), Some(FistSubop::StorageToCompute));
+        assert_eq!(
+            FistSubop::from_secondary_opcode(0x10),
+            Some(FistSubop::StorageToCompute)
+        );
         assert_eq!(FistSubop::from_secondary_opcode(0x02), None);
     }
 
     #[test]
     fn encode_decode_roundtrip() {
         let insns = [
-            Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0x1234, len: 96 },
-            Instruction::Xnorm { dest: 3, src1: 0x10, src2: (2 << 16) | 8, bit: 4 },
-            Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: 16 },
+            Instruction::Fist {
+                subop: FistSubop::DramToStorage,
+                addr: 0x1234,
+                len: 96,
+            },
+            Instruction::Xnorm {
+                dest: 3,
+                src1: 0x10,
+                src2: (2 << 16) | 8,
+                bit: 4,
+            },
+            Instruction::Fist {
+                subop: FistSubop::StorageToCompute,
+                addr: 0,
+                len: 16,
+            },
         ];
         let mut bytes = Vec::new();
         for insn in &insns {
@@ -350,18 +398,36 @@ mod tests {
     #[test]
     fn decode_errors() {
         assert_eq!(Instruction::decode(&[]).unwrap_err(), IsaError::Truncated);
-        assert_eq!(Instruction::decode(&[0xDB, 0x00]).unwrap_err(), IsaError::Truncated);
-        assert_eq!(Instruction::decode(&[0xFF; 11]).unwrap_err(), IsaError::UnknownOpcode(0xFF));
-        assert_eq!(Instruction::decode(&[0xDB, 0x7A, 0, 0, 0, 0, 0, 0]).unwrap_err(), IsaError::UnknownSubop(0x7A));
+        assert_eq!(
+            Instruction::decode(&[0xDB, 0x00]).unwrap_err(),
+            IsaError::Truncated
+        );
+        assert_eq!(
+            Instruction::decode(&[0xFF; 11]).unwrap_err(),
+            IsaError::UnknownOpcode(0xFF)
+        );
+        assert_eq!(
+            Instruction::decode(&[0xDB, 0x7A, 0, 0, 0, 0, 0, 0]).unwrap_err(),
+            IsaError::UnknownSubop(0x7A)
+        );
         let msg = format!("{}", IsaError::UnknownSubop(0x7A));
         assert!(msg.contains("0x7a"));
     }
 
     #[test]
     fn display_formats() {
-        let f = Instruction::Fist { subop: FistSubop::DramWrite, addr: 16, len: 8 };
+        let f = Instruction::Fist {
+            subop: FistSubop::DramWrite,
+            addr: 16,
+            len: 8,
+        };
         assert_eq!(format!("{f}"), "FIST.dram addr=0x10 len=8");
-        let x = Instruction::Xnorm { dest: 2, src1: 1, src2: 3, bit: 4 };
+        let x = Instruction::Xnorm {
+            dest: 2,
+            src1: 1,
+            src2: 3,
+            bit: 4,
+        };
         assert!(format!("{x}").starts_with("XNORM r2"));
     }
 
@@ -376,16 +442,36 @@ mod tests {
         // Storage layout: bits 0..4 = IC, bit 8 = spin (sigma = +1 -> 1).
         exec.write_dram(0, &j_bits).unwrap();
         let program = vec![
-            Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0, len: 4 },
-            Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: 4 },
+            Instruction::Fist {
+                subop: FistSubop::DramToStorage,
+                addr: 0,
+                len: 4,
+            },
+            Instruction::Fist {
+                subop: FistSubop::StorageToCompute,
+                addr: 0,
+                len: 4,
+            },
         ];
         exec.run(&program).unwrap();
         // Spin +1 at storage bit 8.
         exec.storage[8] = Spin::Up.bit();
-        exec.execute(Instruction::Xnorm { dest: 1, src1: 8, src2: 0, bit: 4 }).unwrap();
+        exec.execute(Instruction::Xnorm {
+            dest: 1,
+            src1: 8,
+            src2: 0,
+            bit: 4,
+        })
+        .unwrap();
         assert_eq!(exec.register(1), j); // J * (+1)
         exec.storage[8] = Spin::Down.bit();
-        exec.execute(Instruction::Xnorm { dest: 2, src1: 8, src2: 0, bit: 4 }).unwrap();
+        exec.execute(Instruction::Xnorm {
+            dest: 2,
+            src1: 8,
+            src2: 0,
+            bit: 4,
+        })
+        .unwrap();
         assert_eq!(exec.register(2), -j); // J * (-1)
         assert!(exec.tile().stats().compute_accesses >= 2);
     }
@@ -395,11 +481,43 @@ mod tests {
         let mut exec = MicroExecutor::new(16, 16, SramTile::new(1, 8));
         assert!(exec.write_dram(10, &[true; 10]).is_err());
         assert!(exec
-            .execute(Instruction::Fist { subop: FistSubop::DramToStorage, addr: 12, len: 8 })
+            .execute(Instruction::Fist {
+                subop: FistSubop::DramToStorage,
+                addr: 12,
+                len: 8
+            })
             .is_err());
-        assert!(exec.execute(Instruction::Xnorm { dest: 20, src1: 0, src2: 0, bit: 4 }).is_err());
-        assert!(exec.execute(Instruction::Xnorm { dest: 1, src1: 99, src2: 0, bit: 4 }).is_err());
-        assert!(exec.execute(Instruction::Xnorm { dest: 1, src1: 0, src2: 0, bit: 33 }).is_err());
-        assert!(exec.execute(Instruction::Xnorm { dest: 1, src1: 0, src2: 5 << 16, bit: 4 }).is_err());
+        assert!(exec
+            .execute(Instruction::Xnorm {
+                dest: 20,
+                src1: 0,
+                src2: 0,
+                bit: 4
+            })
+            .is_err());
+        assert!(exec
+            .execute(Instruction::Xnorm {
+                dest: 1,
+                src1: 99,
+                src2: 0,
+                bit: 4
+            })
+            .is_err());
+        assert!(exec
+            .execute(Instruction::Xnorm {
+                dest: 1,
+                src1: 0,
+                src2: 0,
+                bit: 33
+            })
+            .is_err());
+        assert!(exec
+            .execute(Instruction::Xnorm {
+                dest: 1,
+                src1: 0,
+                src2: 5 << 16,
+                bit: 4
+            })
+            .is_err());
     }
 }

@@ -33,6 +33,7 @@ use sachi_ising::spin::SpinVector;
 use sachi_mem::dram::DramController;
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
 use sachi_mem::sram::SramTile;
+use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 use sachi_mem::units::{Bits, Cycles, Nanoseconds};
 
 /// Architecture-level statistics of one solve.
@@ -85,7 +86,7 @@ impl RunReport {
         if self.sweeps == 0 {
             return 0.0;
         }
-        self.total_cycles.get() as f64 / self.sweeps as f64
+        ratio_u64(self.total_cycles.get(), self.sweeps)
     }
 }
 
@@ -118,7 +119,10 @@ impl std::fmt::Display for RunReport {
         write!(
             f,
             "  update : {} copies, {} adjacency reads; queue peak {} bits; {} redundant discharges",
-            self.spin_copy_updates, self.adjacency_reads, self.queue_peak_bits, self.redundant_discharges
+            self.spin_copy_updates,
+            self.adjacency_reads,
+            self.queue_peak_bits,
+            self.redundant_discharges
         )
     }
 }
@@ -169,7 +173,11 @@ impl SachiMachine {
         initial: &SpinVector,
         options: &SolveOptions,
     ) -> (SolveResult, RunReport) {
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let required = graph.bits_required();
         let resolution = match self.config.resolution {
             Some(r) => {
@@ -201,7 +209,8 @@ impl SachiMachine {
 
         let n = graph.num_spins();
         let max_degree = graph.max_degree().max(1);
-        let (tile_rows, tile_cols) = design.tile_requirements(max_degree, enc.bits(), geometry.row_bits());
+        let (tile_rows, tile_cols) =
+            design.tile_requirements(max_degree, enc.bits(), geometry.row_bits());
         let mut tile = SramTile::new(tile_rows, tile_cols);
 
         // Partition spins into compute-array rounds by resident footprint.
@@ -211,7 +220,9 @@ impl SachiMachine {
             let mut start = 0usize;
             let mut used = 0u64;
             for i in 0..n {
-                let bits = design.resident_bits_per_tuple(graph.degree(i) as u64, enc.bits()).max(1);
+                let bits = design
+                    .resident_bits_per_tuple(count_u64(graph.degree(i)), enc.bits())
+                    .max(1);
                 if used + bits > capacity_bits && i > start {
                     chunks.push(start..i);
                     start = i;
@@ -223,7 +234,7 @@ impl SachiMachine {
                 chunks.push(start..n);
             }
         }
-        let rounds_per_sweep = chunks.len() as u64;
+        let rounds_per_sweep = count_u64(chunks.len());
 
         // Storage-array pressure decides whether rounds stream from DRAM.
         let storage_bits_needed = tuples.total_storage_bits(enc.bits()) + tuples.adjacency_bits();
@@ -231,8 +242,12 @@ impl SachiMachine {
 
         // Initial placement of the whole problem into DRAM (phase (a) of
         // the Sec. V.5 cost model, charged to every machine).
-        let mut total_cycles = tech.dram_stream_cycles(Bits::new(storage_bits_needed).to_bytes_ceil());
-        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * storage_bits_needed);
+        let mut total_cycles =
+            tech.dram_stream_cycles(Bits::new(storage_bits_needed).to_bytes_ceil());
+        ledger.record(
+            EnergyComponent::DramAccess,
+            tech.movement_energy_per_bit() * storage_bits_needed,
+        );
 
         let mut compute_cycles = Cycles::ZERO;
         let mut load_cycles = Cycles::ZERO;
@@ -241,7 +256,7 @@ impl SachiMachine {
         let mut sweeps = 0u64;
         let mut converged = false;
         let mut trace = Vec::new();
-        let schedule_fill = design.idle_cycles(max_degree as u64, enc.bits()) + 3;
+        let schedule_fill = design.idle_cycles(count_u64(max_degree), enc.bits()) + 3;
 
         while sweeps < options.max_sweeps {
             let mut flips_this_sweep = 0u64;
@@ -249,20 +264,28 @@ impl SachiMachine {
                 // --- loading for this round ---
                 let chunk_resident: u64 = chunk
                     .clone()
-                    .map(|i| design.resident_bits_per_tuple(graph.degree(i) as u64, enc.bits()))
+                    .map(|i| design.resident_bits_per_tuple(count_u64(graph.degree(i)), enc.bits()))
                     .sum();
                 let reload = sweeps == 0 || rounds_per_sweep > 1;
                 let mut round_load = Cycles::ZERO;
                 if reload && chunk_resident > 0 {
                     // Storage -> compute: fixed movement latency plus one
                     // row per cycle.
-                    let rows = chunk_resident.div_ceil(geometry.row_bits() as u64);
+                    let rows = chunk_resident.div_ceil(count_u64(geometry.row_bits()));
                     round_load = tech.storage_to_compute_cycles() + Cycles::new(rows);
-                    ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * chunk_resident);
-                    ledger.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * chunk_resident);
+                    ledger.record(
+                        EnergyComponent::DataMovement,
+                        tech.movement_energy_per_bit() * chunk_resident,
+                    );
+                    ledger.record(
+                        EnergyComponent::SramWrite,
+                        tech.sram_write_energy_per_bit() * chunk_resident,
+                    );
                     if uses_dram {
-                        let chunk_storage: u64 =
-                            chunk.clone().map(|i| tuples.tuple(i).storage_bits(enc.bits())).sum();
+                        let chunk_storage: u64 = chunk
+                            .clone()
+                            .map(|i| tuples.tuple(i).storage_bits(enc.bits()))
+                            .sum();
                         let dram_cycles = dram.load(Bits::new(chunk_storage), &mut ledger);
                         // The Sec. IV.A prefetcher hides the DRAM stream
                         // entirely; without it, the stream serializes.
@@ -285,6 +308,14 @@ impl SachiMachine {
                     let cycles_before_tuple = ctx.cycles;
                     let h_sigma = {
                         let tuple = tuples.tuple(i);
+                        debug_assert!(
+                            tuple
+                                .neighbors
+                                .iter()
+                                .zip(tuple.neighbor_spins.iter())
+                                .all(|(&j, &s)| s == spins.get(to_index(j))),
+                            "tuple-rep copies stale at spin {i}: the Fig. 8b update path missed a refresh"
+                        );
                         design.compute_tuple(&mut tile, &enc, tuple, spins.get(i), &mut ctx)
                     };
                     let tuple_cycles = ctx.cycles - cycles_before_tuple;
@@ -311,9 +342,18 @@ impl SachiMachine {
                         // Fig. 8b update path: adjacency read + relevant
                         // tuple copy writes in the storage array.
                         let copies = tuples.update_spin(i, new);
-                        ledger.record(EnergyComponent::SramRead, tech.rbl_energy_per_bit() * copies);
-                        ledger.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * copies);
-                        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * 1u64);
+                        ledger.record(
+                            EnergyComponent::SramRead,
+                            tech.rbl_energy_per_bit() * copies,
+                        );
+                        ledger.record(
+                            EnergyComponent::SramWrite,
+                            tech.sram_write_energy_per_bit() * copies,
+                        );
+                        ledger.record(
+                            EnergyComponent::DataMovement,
+                            tech.movement_energy_per_bit() * 1u64,
+                        );
                     }
                 }
                 let round_compute =
@@ -345,17 +385,38 @@ impl SachiMachine {
         // Harvest the tile's compute events (layout writes intentionally
         // excluded — billed as reload traffic above).
         let stats = tile.stats();
-        ledger.record(EnergyComponent::RwlDrive, tech.rwl_energy_per_bit() * stats.rwl_activations);
-        ledger.record(EnergyComponent::RblDischarge, tech.rbl_energy_per_bit() * stats.rbl_discharges);
-        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+        ledger.record(
+            EnergyComponent::RwlDrive,
+            tech.rwl_energy_per_bit() * stats.rwl_activations,
+        );
+        ledger.record(
+            EnergyComponent::RblDischarge,
+            tech.rbl_energy_per_bit() * stats.rbl_discharges,
+        );
+        ledger.record(
+            EnergyComponent::DataMovement,
+            tech.movement_energy_per_bit() * ctx.rwl_bits_fetched,
+        );
         if uses_dram {
             // Driven data the storage array cannot cache re-streams from
             // DRAM every sweep.
-            ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+            ledger.record(
+                EnergyComponent::DramAccess,
+                tech.movement_energy_per_bit() * ctx.rwl_bits_fetched,
+            );
         }
-        ledger.record(EnergyComponent::NearMemoryAdd, tech.adder_energy_per_bit() * ctx.adder_bit_ops);
-        ledger.record(EnergyComponent::DecisionLogic, tech.adder_energy_per_bit() * ctx.decisions);
-        ledger.record(EnergyComponent::Annealer, tech.annealer_energy_per_decision() * annealer_decisions);
+        ledger.record(
+            EnergyComponent::NearMemoryAdd,
+            tech.adder_energy_per_bit() * ctx.adder_bit_ops,
+        );
+        ledger.record(
+            EnergyComponent::DecisionLogic,
+            tech.adder_energy_per_bit() * ctx.decisions,
+        );
+        ledger.record(
+            EnergyComponent::Annealer,
+            tech.annealer_energy_per_decision() * annealer_decisions,
+        );
 
         let report = RunReport {
             design: self.config.design,
@@ -390,7 +451,12 @@ impl SachiMachine {
 }
 
 impl IterativeSolver for SachiMachine {
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult {
         self.solve_detailed(graph, initial, options).0
     }
 }
@@ -439,15 +505,25 @@ mod tests {
             by_design.insert(design, report);
         }
         // Cycles: n3 < n2 < n1b <= n1a.
-        assert!(by_design[&DesignKind::N3].compute_cycles < by_design[&DesignKind::N2].compute_cycles);
-        assert!(by_design[&DesignKind::N2].compute_cycles < by_design[&DesignKind::N1b].compute_cycles);
-        assert!(by_design[&DesignKind::N1b].compute_cycles <= by_design[&DesignKind::N1a].compute_cycles);
+        assert!(
+            by_design[&DesignKind::N3].compute_cycles < by_design[&DesignKind::N2].compute_cycles
+        );
+        assert!(
+            by_design[&DesignKind::N2].compute_cycles < by_design[&DesignKind::N1b].compute_cycles
+        );
+        assert!(
+            by_design[&DesignKind::N1b].compute_cycles
+                <= by_design[&DesignKind::N1a].compute_cycles
+        );
         // Reuse: n1 ~ 1, n2 ~ R, n3 ~ N*R.
         assert!(by_design[&DesignKind::N1a].reuse < 1.5);
         assert!(by_design[&DesignKind::N2].reuse > by_design[&DesignKind::N1a].reuse);
         assert!(by_design[&DesignKind::N3].reuse > by_design[&DesignKind::N2].reuse);
         // Queue only exists for n1.
-        assert!(by_design[&DesignKind::N1a].queue_peak_bits > by_design[&DesignKind::N1b].queue_peak_bits);
+        assert!(
+            by_design[&DesignKind::N1a].queue_peak_bits
+                > by_design[&DesignKind::N1b].queue_peak_bits
+        );
         assert_eq!(by_design[&DesignKind::N3].queue_peak_bits, 0);
         // Redundant discharges are an n1 phenomenon.
         assert!(by_design[&DesignKind::N1a].redundant_discharges > 0);
@@ -486,10 +562,14 @@ mod tests {
             compute: CacheGeometry::new(1, 4, 64, 1),
             storage: CacheGeometry::new(1, 2, 64, 2),
         };
-        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny_storage));
+        let mut machine =
+            SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny_storage));
         let (_, report) = machine.solve_detailed(&g, &init, &opts);
         assert!(report.energy.component(EnergyComponent::DramAccess).get() > 0.0);
-        assert!(report.prefetches > 0, "prefetcher should fire on DRAM-streamed rounds");
+        assert!(
+            report.prefetches > 0,
+            "prefetcher should fire on DRAM-streamed rounds"
+        );
     }
 
     #[test]
@@ -503,7 +583,9 @@ mod tests {
             let config = if prefetch {
                 SachiConfig::new(DesignKind::N2).with_hierarchy(small)
             } else {
-                SachiConfig::new(DesignKind::N2).with_hierarchy(small).without_prefetch()
+                SachiConfig::new(DesignKind::N2)
+                    .with_hierarchy(small)
+                    .without_prefetch()
             };
             let mut machine = SachiMachine::new(config);
             machine.solve_detailed(&g, &init, &opts).1

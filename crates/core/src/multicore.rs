@@ -38,7 +38,9 @@ impl Partition {
     /// Panics if `cores == 0`.
     pub fn contiguous(n: usize, cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
-        let assignment = (0..n).map(|i| ((i * cores) / n.max(1)).min(cores - 1) as u32).collect();
+        let assignment = (0..n)
+            .map(|i| ((i * cores) / n.max(1)).min(cores - 1) as u32)
+            .collect();
         Partition { assignment, cores }
     }
 
@@ -51,7 +53,10 @@ impl Partition {
     /// Panics if `cores == 0`.
     pub fn interleaved(n: usize, cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
-        Partition { assignment: (0..n).map(|i| (i % cores) as u32).collect(), cores }
+        Partition {
+            assignment: (0..n).map(|i| (i % cores) as u32).collect(),
+            cores,
+        }
     }
 
     /// Number of cores.
@@ -81,7 +86,11 @@ impl Partition {
     ///
     /// Panics if the graph size differs from the partition.
     pub fn cut_edges(&self, graph: &IsingGraph) -> u64 {
-        assert_eq!(graph.num_spins(), self.assignment.len(), "partition must match graph");
+        assert_eq!(
+            graph.num_spins(),
+            self.assignment.len(),
+            "partition must match graph"
+        );
         graph
             .edges()
             .filter(|&(u, v, _)| self.assignment[u as usize] != self.assignment[v as usize])
@@ -122,7 +131,11 @@ impl MulticoreModel {
     /// Creates a model with a 16-message/cycle interconnect and a 5% flip
     /// assumption.
     pub fn new(config: SachiConfig) -> Self {
-        MulticoreModel { config, interconnect_msgs_per_cycle: 16, assumed_flip_fraction: 0.05 }
+        MulticoreModel {
+            config,
+            interconnect_msgs_per_cycle: 16,
+            assumed_flip_fraction: 0.05,
+        }
     }
 
     /// Estimates one sweep of `graph` under `partition`, with per-spin
@@ -170,12 +183,18 @@ mod tests {
     fn partitions_cover_all_spins_evenly() {
         for n in [10usize, 100, 101] {
             for cores in [1usize, 2, 4, 7] {
-                for p in [Partition::contiguous(n, cores), Partition::interleaved(n, cores)] {
+                for p in [
+                    Partition::contiguous(n, cores),
+                    Partition::interleaved(n, cores),
+                ] {
                     let sizes = p.core_sizes();
                     assert_eq!(sizes.iter().sum::<u64>(), n as u64);
                     let max = *sizes.iter().max().unwrap();
                     let min = *sizes.iter().min().unwrap();
-                    assert!(max - min <= (n % cores).max(1) as u64, "imbalanced: {sizes:?}");
+                    assert!(
+                        max - min <= (n % cores).max(1) as u64,
+                        "imbalanced: {sizes:?}"
+                    );
                 }
             }
         }
@@ -188,7 +207,10 @@ mod tests {
         let interleaved = Partition::interleaved(1600, 4);
         let cc = contiguous.cut_edges(&g);
         let ic = interleaved.cut_edges(&g);
-        assert!(cc * 5 < ic, "contiguous cut {cc} not much less than interleaved {ic}");
+        assert!(
+            cc * 5 < ic,
+            "contiguous cut {cc} not much less than interleaved {ic}"
+        );
         // Row-major contiguous quarters cut ~3 row boundaries of King's
         // edges: 3 seams x ~(3*40) edges.
         assert!(cc < 500, "cut {cc} too high for block partition");
@@ -219,7 +241,10 @@ mod tests {
             last = est.speedup_vs_single;
             assert_eq!(est.cores, cores);
         }
-        assert!(last > 2.0, "8 cores should speed a 4K lattice by >2x, got {last:.2}");
+        assert!(
+            last > 2.0,
+            "8 cores should speed a 4K lattice by >2x, got {last:.2}"
+        );
     }
 
     #[test]

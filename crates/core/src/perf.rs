@@ -13,6 +13,7 @@
 use crate::config::SachiConfig;
 use crate::designs::stationarity;
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
+use sachi_mem::units::convert::{approx_f64, count_u64, scale_by_fraction};
 use sachi_mem::units::{Bits, Cycles, Nanoseconds};
 use sachi_workloads::spec::WorkloadShape;
 
@@ -64,7 +65,10 @@ pub struct PerfModel {
 impl PerfModel {
     /// Creates a model for a configuration.
     pub fn new(config: SachiConfig) -> Self {
-        PerfModel { config, assumed_flip_fraction: 0.05 }
+        PerfModel {
+            config,
+            assumed_flip_fraction: 0.05,
+        }
     }
 
     /// The configuration being modeled.
@@ -79,7 +83,10 @@ impl PerfModel {
     /// Panics unless `fraction` is within `[0, 1]`.
     #[must_use]
     pub fn with_flip_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "flip fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "flip fraction must be in [0, 1]"
+        );
         self.assumed_flip_fraction = fraction;
         self
     }
@@ -99,8 +106,8 @@ impl PerfModel {
         let n = shape.neighbors_per_spin;
         let r = shape.resolution_bits;
         let spins = shape.spins;
-        let row_bits = geometry.row_bits() as u64;
-        let tiles = geometry.tiles() as u64;
+        let row_bits = count_u64(geometry.row_bits());
+        let tiles = count_u64(geometry.tiles());
 
         let per_tuple = design.phase1_cycles(n, r, row_bits).max(1);
         let resident = design.resident_bits_per_tuple(n, r).max(1);
@@ -114,8 +121,13 @@ impl PerfModel {
         // Chunk sizes: full chunks of `capacity_tuples`, then a remainder.
         let full_chunks = spins / capacity_tuples;
         let remainder = spins % capacity_tuples;
-        let chunk_compute =
-            |len: u64| -> u64 { if len == 0 { 0 } else { len.div_ceil(tiles) * per_tuple + fill } };
+        let chunk_compute = |len: u64| -> u64 {
+            if len == 0 {
+                0
+            } else {
+                len.div_ceil(tiles) * per_tuple + fill
+            }
+        };
         let compute_per_sweep: u64 =
             full_chunks * chunk_compute(capacity_tuples) + chunk_compute(remainder);
 
@@ -133,7 +145,9 @@ impl PerfModel {
             let rows = resident_bits.div_ceil(row_bits);
             let l2 = tech.storage_to_compute_cycles().get() + rows;
             if uses_dram && !self.config.prefetch {
-                let dram = tech.dram_stream_cycles(Bits::new(len * Self::tuple_storage_bits(shape)).to_bytes_ceil());
+                let dram = tech.dram_stream_cycles(
+                    Bits::new(len * Self::tuple_storage_bits(shape)).to_bytes_ceil(),
+                );
                 l2 + dram.get()
             } else {
                 l2
@@ -159,31 +173,55 @@ impl PerfModel {
         // --- energy per sweep ---
         let mut energy = EnergyLedger::new();
         let accesses = spins * per_tuple;
-        energy.record(EnergyComponent::RwlDrive, tech.rwl_energy_per_bit() * (2 * accesses));
+        energy.record(
+            EnergyComponent::RwlDrive,
+            tech.rwl_energy_per_bit() * (2 * accesses),
+        );
         // Expected discharges: half of the active window per access.
         let active_bits_per_access: u64 = match self.config.design {
             crate::config::DesignKind::N1a | crate::config::DesignKind::N1b => n.max(1),
-            crate::config::DesignKind::N2 => r as u64,
-            crate::config::DesignKind::N3 => (n * (r as u64 + 1)).div_ceil(per_tuple),
+            crate::config::DesignKind::N2 => u64::from(r),
+            crate::config::DesignKind::N3 => (n * (u64::from(r) + 1)).div_ceil(per_tuple),
         };
         energy.record(
             EnergyComponent::RblDischarge,
-            tech.rbl_energy_per_bit() * ((accesses * active_bits_per_access) as f64 * 0.5),
+            tech.rbl_energy_per_bit() * (approx_f64(accesses * active_bits_per_access) * 0.5),
         );
         let driven = spins * design.driven_bits_per_tuple(n, r, row_bits);
-        energy.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * driven);
+        energy.record(
+            EnergyComponent::DataMovement,
+            tech.movement_energy_per_bit() * driven,
+        );
         if uses_dram {
             // Driven data that the storage array cannot hold re-streams
             // from DRAM every sweep — reuse directly shrinks this term.
-            energy.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * driven);
+            energy.record(
+                EnergyComponent::DramAccess,
+                tech.movement_energy_per_bit() * driven,
+            );
         }
-        energy.record(EnergyComponent::NearMemoryAdd, tech.adder_energy_per_bit() * (spins * n * (r as u64 + 2)));
-        energy.record(EnergyComponent::DecisionLogic, tech.adder_energy_per_bit() * (spins * n.max(1)));
-        energy.record(EnergyComponent::Annealer, tech.annealer_energy_per_decision() * spins);
+        energy.record(
+            EnergyComponent::NearMemoryAdd,
+            tech.adder_energy_per_bit() * (spins * n * (u64::from(r) + 2)),
+        );
+        energy.record(
+            EnergyComponent::DecisionLogic,
+            tech.adder_energy_per_bit() * (spins * n.max(1)),
+        );
+        energy.record(
+            EnergyComponent::Annealer,
+            tech.annealer_energy_per_decision() * spins,
+        );
         if rounds > 1 {
             let reload_bits = spins * resident;
-            energy.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * reload_bits);
-            energy.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * reload_bits);
+            energy.record(
+                EnergyComponent::DataMovement,
+                tech.movement_energy_per_bit() * reload_bits,
+            );
+            energy.record(
+                EnergyComponent::SramWrite,
+                tech.sram_write_energy_per_bit() * reload_bits,
+            );
             if uses_dram {
                 energy.record(
                     EnergyComponent::DramAccess,
@@ -193,11 +231,20 @@ impl PerfModel {
         }
         // Update path at the assumed flip rate: adjacency read + copy
         // writes (a spin has ~n copies).
-        let flips = (spins as f64 * self.assumed_flip_fraction) as u64;
+        let flips = scale_by_fraction(spins, self.assumed_flip_fraction);
         let copies = flips * n;
-        energy.record(EnergyComponent::SramRead, tech.rbl_energy_per_bit() * copies);
-        energy.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * copies);
-        energy.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * flips);
+        energy.record(
+            EnergyComponent::SramRead,
+            tech.rbl_energy_per_bit() * copies,
+        );
+        energy.record(
+            EnergyComponent::SramWrite,
+            tech.sram_write_energy_per_bit() * copies,
+        );
+        energy.record(
+            EnergyComponent::DataMovement,
+            tech.movement_energy_per_bit() * flips,
+        );
 
         IterationEstimate {
             compute_cycles: Cycles::new(compute_per_sweep),
@@ -216,7 +263,8 @@ impl PerfModel {
     pub fn solve(&self, shape: &WorkloadShape, iterations: u64) -> SolveEstimate {
         let tech = &self.config.tech;
         let iter = self.iteration(shape);
-        let storage_bits_total = shape.spins * Self::tuple_storage_bits(shape) + shape.spins * shape.neighbors_per_spin;
+        let storage_bits_total =
+            shape.spins * Self::tuple_storage_bits(shape) + shape.spins * shape.neighbors_per_spin;
         let initial_store = tech.dram_stream_cycles(Bits::new(storage_bits_total).to_bytes_ceil());
 
         // First sweep additionally pays its (serial) first-round load even
@@ -224,18 +272,28 @@ impl PerfModel {
         let resident = stationarity(self.config.design)
             .resident_bits_per_tuple(shape.neighbors_per_spin, shape.resolution_bits)
             .max(1);
-        let first_fill_bits = (shape.spins * resident).min(self.config.hierarchy.compute.total_bits().get());
+        let first_fill_bits =
+            (shape.spins * resident).min(self.config.hierarchy.compute.total_bits().get());
         let first_fill = tech.storage_to_compute_cycles().get()
-            + first_fill_bits.div_ceil(self.config.hierarchy.compute.row_bits() as u64);
+            + first_fill_bits.div_ceil(count_u64(self.config.hierarchy.compute.row_bits()));
 
         let total = initial_store
             + Cycles::new(first_fill)
             + Cycles::new(iter.effective_cycles.get() * iterations.max(1));
 
         let mut energy = EnergyLedger::new();
-        energy.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * storage_bits_total);
-        energy.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * first_fill_bits);
-        energy.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * first_fill_bits);
+        energy.record(
+            EnergyComponent::DramAccess,
+            tech.movement_energy_per_bit() * storage_bits_total,
+        );
+        energy.record(
+            EnergyComponent::DataMovement,
+            tech.movement_energy_per_bit() * first_fill_bits,
+        );
+        energy.record(
+            EnergyComponent::SramWrite,
+            tech.sram_write_energy_per_bit() * first_fill_bits,
+        );
         for _ in 0..iterations {
             energy.merge(&iter.energy);
         }
@@ -274,7 +332,8 @@ mod tests {
             let config = SachiConfig::new(design);
             let mut machine = SachiMachine::new(config.clone());
             let (_, report) = machine.solve_detailed(&g, &init, &opts);
-            let shape = WorkloadShape::new(n_spins as u64, (n_spins - 1) as u64, report.resolution_bits);
+            let shape =
+                WorkloadShape::new(n_spins as u64, (n_spins - 1) as u64, report.resolution_bits);
             let model = PerfModel::new(config);
             let est = model.iteration(&shape);
             assert_eq!(
@@ -305,7 +364,8 @@ mod tests {
             let tech = config.tech.clone();
             let mut machine = SachiMachine::new(config.clone());
             let (_, report) = machine.solve_detailed(&g, &init, &opts);
-            let shape = WorkloadShape::new(n_spins as u64, (n_spins - 1) as u64, report.resolution_bits);
+            let shape =
+                WorkloadShape::new(n_spins as u64, (n_spins - 1) as u64, report.resolution_bits);
             let est = PerfModel::new(config).iteration(&shape);
             assert_eq!(est.rounds, report.rounds_per_sweep, "{design} rounds");
             assert_eq!(
@@ -326,7 +386,11 @@ mod tests {
                 let rows = (shape.spins * resident).div_ceil(small.compute.row_bits() as u64);
                 tech.storage_to_compute_cycles().get() + rows
             };
-            assert_eq!(report.load_cycles.get(), expected_load, "{design} load cycles");
+            assert_eq!(
+                report.load_cycles.get(),
+                expected_load,
+                "{design} load cycles"
+            );
         }
     }
 
@@ -369,14 +433,20 @@ mod tests {
         let m2 = PerfModel::new(SachiConfig::new(DesignKind::N2));
         let lo2 = m2.iteration(&shape(2)).compute_cycles.get() as f64;
         let hi2 = m2.iteration(&shape(8)).compute_cycles.get() as f64;
-        assert!((hi2 - lo2).abs() / lo2 < 0.01, "n2 not flat: {lo2} vs {hi2}");
+        assert!(
+            (hi2 - lo2).abs() / lo2 < 0.01,
+            "n2 not flat: {lo2} vs {hi2}"
+        );
         let m3 = PerfModel::new(SachiConfig::new(DesignKind::N3));
         // n3 stays within a row for King's graph at any R in 2..=8; only
         // the per-round fill count wobbles (higher R -> more rounds), so
         // require near-flatness rather than exact equality.
         let lo3 = m3.iteration(&shape(2)).compute_cycles.get() as f64;
         let hi3 = m3.iteration(&shape(8)).compute_cycles.get() as f64;
-        assert!((hi3 - lo3).abs() / lo3 < 0.01, "n3 not flat: {lo3} vs {hi3}");
+        assert!(
+            (hi3 - lo3).abs() / lo3 < 0.01,
+            "n3 not flat: {lo3} vs {hi3}"
+        );
     }
 
     #[test]
@@ -404,14 +474,39 @@ mod tests {
         // A resident-friendly shape (1K-pixel image segmentation): the
         // reuse ladder shows directly in the per-sweep energy.
         let shape = WorkloadShape::new(1_000, 48, 6);
-        let e = |k| PerfModel::new(SachiConfig::new(k)).iteration(&shape).energy.total();
-        assert!(e(DesignKind::N3) < e(DesignKind::N2), "n3 {} !< n2 {}", e(DesignKind::N3), e(DesignKind::N2));
-        assert!(e(DesignKind::N2) < e(DesignKind::N1a), "n2 {} !< n1a {}", e(DesignKind::N2), e(DesignKind::N1a));
+        let e = |k| {
+            PerfModel::new(SachiConfig::new(k))
+                .iteration(&shape)
+                .energy
+                .total()
+        };
+        assert!(
+            e(DesignKind::N3) < e(DesignKind::N2),
+            "n3 {} !< n2 {}",
+            e(DesignKind::N3),
+            e(DesignKind::N2)
+        );
+        assert!(
+            e(DesignKind::N2) < e(DesignKind::N1a),
+            "n2 {} !< n1a {}",
+            e(DesignKind::N2),
+            e(DesignKind::N1a)
+        );
         // At overflow scale the ordering still holds, now driven by DRAM
         // re-streaming of the non-stationary operands.
         let big = WorkloadShape::new(100_000, 48, 6);
-        let eb = |k| PerfModel::new(SachiConfig::new(k)).iteration(&big).energy.total();
-        assert!(eb(DesignKind::N3) < eb(DesignKind::N1a), "n3 {} !< n1a {}", eb(DesignKind::N3), eb(DesignKind::N1a));
+        let eb = |k| {
+            PerfModel::new(SachiConfig::new(k))
+                .iteration(&big)
+                .energy
+                .total()
+        };
+        assert!(
+            eb(DesignKind::N3) < eb(DesignKind::N1a),
+            "n3 {} !< n1a {}",
+            eb(DesignKind::N3),
+            eb(DesignKind::N1a)
+        );
     }
 
     #[test]
@@ -430,7 +525,8 @@ mod tests {
     fn prefetch_ablation_increases_cpi() {
         let shape = WorkloadShape::new(1_000_000, 8, 4);
         let with = PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape);
-        let without = PerfModel::new(SachiConfig::new(DesignKind::N3).without_prefetch()).iteration(&shape);
+        let without =
+            PerfModel::new(SachiConfig::new(DesignKind::N3).without_prefetch()).iteration(&shape);
         assert!(without.effective_cycles > with.effective_cycles);
         // Compute is unchanged; the ablated machine both exposes the DRAM
         // stream in its load and loses the load/compute overlap.

@@ -93,12 +93,22 @@ pub struct SachiContext {
 impl SachiContext {
     /// Creates a context with a typical 64KB L1 front-end.
     pub fn new(config: SachiConfig) -> Self {
-        SachiContext { config, l1: L1Cache::typical_l1(), next_id: 0, launches: 0 }
+        SachiContext {
+            config,
+            l1: L1Cache::typical_l1(),
+            next_id: 0,
+            launches: 0,
+        }
     }
 
     /// Creates a context with an explicit L1 model.
     pub fn with_l1(config: SachiConfig, l1: L1Cache) -> Self {
-        SachiContext { config, l1, next_id: 0, launches: 0 }
+        SachiContext {
+            config,
+            l1,
+            next_id: 0,
+            launches: 0,
+        }
     }
 
     /// The machine configuration.
@@ -127,10 +137,18 @@ impl SachiContext {
     ///
     /// Panics if `initial.len()` does not match the graph.
     pub fn upload(&mut self, graph: &IsingGraph, initial: &SpinVector) -> ProblemHandle {
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let id = self.next_id;
         self.next_id += 1;
-        ProblemHandle { graph: graph.clone(), initial: initial.clone(), id }
+        ProblemHandle {
+            graph: graph.clone(),
+            initial: initial.clone(),
+            id,
+        }
     }
 
     /// Runs a staged problem: programs the mode register to compute mode
@@ -144,7 +162,12 @@ impl SachiContext {
         self.launches += 1;
         // SPR write (1 cycle) per switch + flush drain at one line/cycle.
         let mode_switch_cycles = Cycles::new(2 + flushed);
-        Launch { result, report, lines_flushed_entering: flushed, mode_switch_cycles }
+        Launch {
+            result,
+            report,
+            lines_flushed_entering: flushed,
+            mode_switch_cycles,
+        }
     }
 }
 
@@ -192,7 +215,10 @@ mod tests {
         assert_eq!(launch.mode_switch_cycles, Cycles::new(34));
         // Normal mode resumed; the warm lines are gone (cold restart).
         assert_eq!(ctx.l1().mode(), CacheMode::Normal);
-        assert!(matches!(ctx.l1_mut().read(0).unwrap(), sachi_mem::l1cache::Access::Miss { .. }));
+        assert!(matches!(
+            ctx.l1_mut().read(0).unwrap(),
+            sachi_mem::l1cache::Access::Miss { .. }
+        ));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use sachi_ising::spin::{Spin, SpinVector};
 use sachi_mem::cache::CacheGeometry;
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
 use sachi_mem::sram::SramTile;
+use sachi_mem::units::convert::{count_u64, to_index};
 use sachi_mem::units::{Bits, Cycles};
 use std::fmt;
 
@@ -60,7 +61,10 @@ impl fmt::Display for PlacementError {
         match self {
             PlacementError::RoundFull => write!(f, "compute array full for this round"),
             PlacementError::TupleTooLarge { needed, available } => {
-                write!(f, "tuple needs {needed} rows but a tile has only {available}")
+                write!(
+                    f,
+                    "tuple needs {needed} rows but a tile has only {available}"
+                )
             }
         }
     }
@@ -87,11 +91,17 @@ impl TiledComputeArray {
     ///
     /// Panics if a row cannot hold even one `(R+1)`-bit group.
     pub fn new(geometry: CacheGeometry, resolution: u32) -> Self {
-        let group_bits = resolution as usize + 1;
+        let group_bits = to_index(resolution) + 1;
         let groups_per_row = geometry.row_bits() / group_bits;
-        assert!(groups_per_row > 0, "row of {} bits cannot hold an (R+1)-bit group", geometry.row_bits());
+        assert!(
+            groups_per_row > 0,
+            "row of {} bits cannot hold an (R+1)-bit group",
+            geometry.row_bits()
+        );
         TiledComputeArray {
-            tiles: (0..geometry.tiles()).map(|_| SramTile::new(geometry.rows_per_tile(), geometry.row_bits())).collect(),
+            tiles: (0..geometry.tiles())
+                .map(|_| SramTile::new(geometry.rows_per_tile(), geometry.row_bits()))
+                .collect(),
             next_row: vec![0; geometry.tiles()],
             rows_per_tile: geometry.rows_per_tile(),
             groups_per_row,
@@ -102,7 +112,8 @@ impl TiledComputeArray {
 
     /// Rows a tuple of `degree` neighbors occupies.
     pub fn rows_for_degree(&self, degree: usize) -> u32 {
-        degree.max(1).div_ceil(self.groups_per_row) as u32
+        u32::try_from(degree.max(1).div_ceil(self.groups_per_row))
+            .expect("row need fits u32: degree is bounded by the spin count")
     }
 
     /// Clears residency for the next round (data is overwritten lazily;
@@ -124,11 +135,11 @@ impl TiledComputeArray {
     ///
     /// Returns [`PlacementError`] if no tile can take the tuple.
     pub fn plan_tuple(&mut self, degree: usize) -> Result<Placement, PlacementError> {
-        let rows = self.rows_for_degree(degree) as usize;
+        let rows = to_index(self.rows_for_degree(degree));
         if rows > self.rows_per_tile {
             return Err(PlacementError::TupleTooLarge {
-                needed: rows as u32,
-                available: self.rows_per_tile as u32,
+                needed: u32::try_from(rows).expect("row count fits u32 by construction"),
+                available: u32::try_from(self.rows_per_tile).expect("geometry rows fit u32"),
             });
         }
         // Least-loaded tile balances rows across tiles (the n1b-style
@@ -139,7 +150,12 @@ impl TiledComputeArray {
             .ok_or(PlacementError::RoundFull)?;
         let base_row = self.next_row[tile_idx];
         self.next_row[tile_idx] += rows;
-        Ok(Placement { tile: tile_idx as u16, base_row: base_row as u32, rows: rows as u32 })
+        Ok(Placement {
+            tile: u16::try_from(tile_idx)
+                .expect("tile count fits u16 (geometry has at most thousands of tiles)"),
+            base_row: u32::try_from(base_row).expect("row index fits u32"),
+            rows: u32::try_from(rows).expect("row count fits u32 by construction"),
+        })
     }
 
     /// Places and writes a tuple's layout (J bits + `σ_j` copies), booking
@@ -152,16 +168,28 @@ impl TiledComputeArray {
     /// # Panics
     ///
     /// Panics if a coefficient does not fit the configured resolution.
-    pub fn load_tuple(&mut self, tuple: &SpinTuple, enc: &MixedEncoding) -> Result<Placement, PlacementError> {
+    pub fn load_tuple(
+        &mut self,
+        tuple: &SpinTuple,
+        enc: &MixedEncoding,
+    ) -> Result<Placement, PlacementError> {
         let placement = self.plan_tuple(tuple.degree())?;
-        let (tile_idx, base_row) = (placement.tile as usize, placement.base_row as usize);
+        let (tile_idx, base_row) = (usize::from(placement.tile), to_index(placement.base_row));
         let tile = &mut self.tiles[tile_idx];
-        for (k, (&j, &s)) in tuple.couplings.iter().zip(tuple.neighbor_spins.iter()).enumerate() {
+        for (k, (&j, &s)) in tuple
+            .couplings
+            .iter()
+            .zip(tuple.neighbor_spins.iter())
+            .enumerate()
+        {
             let row = base_row + k / self.groups_per_row;
             let col = (k % self.groups_per_row) * self.group_bits;
-            let mut bits = enc.encode(j as i64).expect("coefficient fits the configured resolution");
+            let mut bits = enc
+                .encode(i64::from(j))
+                .expect("coefficient fits the configured resolution");
             bits.push(s.bit());
-            tile.write_slice(row, col, &bits).expect("placement validated");
+            tile.write_slice(row, col, &bits)
+                .expect("placement validated");
         }
         Ok(placement)
     }
@@ -174,10 +202,13 @@ impl TiledComputeArray {
     ///
     /// Panics if the slot lies outside the placement.
     pub fn update_spin_copy(&mut self, placement: Placement, slot: usize, new: Spin) -> u64 {
-        let row = placement.base_row as usize + slot / self.groups_per_row;
-        let col = (slot % self.groups_per_row) * self.group_bits + self.resolution as usize;
-        assert!(row < placement.base_row as usize + placement.rows as usize, "slot outside placement");
-        self.tiles[placement.tile as usize]
+        let row = to_index(placement.base_row) + slot / self.groups_per_row;
+        let col = (slot % self.groups_per_row) * self.group_bits + to_index(self.resolution);
+        assert!(
+            row < to_index(placement.base_row) + to_index(placement.rows),
+            "slot outside placement"
+        );
+        self.tiles[usize::from(placement.tile)]
             .write_bit(row, col, new.bit())
             .expect("placement validated at load");
         1
@@ -199,33 +230,46 @@ impl TiledComputeArray {
     ) -> i64 {
         let n = tuple.degree();
         if n == 0 {
-            return -(tuple.field as i64);
+            return -i64::from(tuple.field);
         }
-        assert_eq!(self.rows_for_degree(n), placement.rows, "placement/degree mismatch");
-        let tile = &mut self.tiles[placement.tile as usize];
-        let r = enc.bits() as usize;
-        let mut acc = tuple.field as i64;
+        assert_eq!(
+            self.rows_for_degree(n),
+            placement.rows,
+            "placement/degree mismatch"
+        );
+        let tile = &mut self.tiles[usize::from(placement.tile)];
+        let r = to_index(enc.bits());
+        let mut acc = i64::from(tuple.field);
         let mut k = 0usize;
-        for row_off in 0..placement.rows as usize {
+        for row_off in 0..to_index(placement.rows) {
             let in_row = self.groups_per_row.min(n - row_off * self.groups_per_row);
-            let row = placement.base_row as usize + row_off;
+            let row = to_index(placement.base_row) + row_off;
             let out = tile
-                .compute_xnor_windowed(row, target.bit(), 0..in_row * self.group_bits, 0..in_row * self.group_bits)
+                .compute_xnor_windowed(
+                    row,
+                    target.bit(),
+                    0..in_row * self.group_bits,
+                    0..in_row * self.group_bits,
+                )
                 .expect("placement validated");
             ctx.cycles += 1;
             ctx.rwl_bits_fetched += 1;
-            ctx.xnor_ops += (in_row * self.group_bits) as u64;
+            ctx.xnor_ops += count_u64(in_row * self.group_bits);
             for g in 0..in_row {
                 let bits = &out[g * self.group_bits..g * self.group_bits + r];
                 let equal = out[g * self.group_bits + r];
                 let sigma_j = if equal { target } else { target.flipped() };
-                let selected: Vec<bool> = if equal { bits.to_vec() } else { bits.iter().map(|b| !b).collect() };
+                let selected: Vec<bool> = if equal {
+                    bits.to_vec()
+                } else {
+                    bits.iter().map(|b| !b).collect()
+                };
                 let mut v = enc.decode(&selected);
                 if sigma_j == Spin::Down {
                     v += 1;
                 }
                 acc += v;
-                ctx.adder_bit_ops += r as u64 + 2;
+                ctx.adder_bit_ops += count_u64(r) + 2;
                 ctx.decisions += 1;
                 k += 1;
             }
@@ -272,11 +316,18 @@ impl ResidentN3Machine {
         initial: &SpinVector,
         options: &SolveOptions,
     ) -> (SolveResult, RunReport) {
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let required = graph.bits_required();
         let resolution = match self.config.resolution {
             Some(r) => {
-                assert!(r >= required, "resolution override {r} cannot represent {required}-bit coefficients");
+                assert!(
+                    r >= required,
+                    "resolution override {r} cannot represent {required}-bit coefficients"
+                );
                 r
             }
             None => required,
@@ -299,14 +350,19 @@ impl ResidentN3Machine {
             let mut start = 0usize;
             for i in 0..n {
                 match array.plan_tuple(tuples.tuple(i).degree()) {
-                    Ok(_) => {}
                     Err(PlacementError::RoundFull) => {
                         chunks.push(start..i);
                         start = i;
                         array.clear();
-                        array.plan_tuple(tuples.tuple(i).degree()).expect("fits an empty round");
+                        array
+                            .plan_tuple(tuples.tuple(i).degree())
+                            .expect("fits an empty round");
                     }
-                    Err(e @ PlacementError::TupleTooLarge { .. }) => panic!("{e}"),
+                    // TupleTooLarge is the contract violation this method
+                    // documents under `# Panics`.
+                    other => {
+                        other.expect("a single tuple must fit a whole tile (documented panic)");
+                    }
                 }
             }
             if start < n || n == 0 {
@@ -314,12 +370,16 @@ impl ResidentN3Machine {
             }
             array.clear();
         }
-        let rounds_per_sweep = chunks.len() as u64;
+        let rounds_per_sweep = count_u64(chunks.len());
 
         let storage_bits_needed = tuples.total_storage_bits(enc.bits()) + tuples.adjacency_bits();
         let uses_dram = storage_bits_needed > self.config.hierarchy.storage.total_bits().get();
-        let mut total_cycles = tech.dram_stream_cycles(Bits::new(storage_bits_needed).to_bytes_ceil());
-        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * storage_bits_needed);
+        let mut total_cycles =
+            tech.dram_stream_cycles(Bits::new(storage_bits_needed).to_bytes_ceil());
+        ledger.record(
+            EnergyComponent::DramAccess,
+            tech.movement_energy_per_bit() * storage_bits_needed,
+        );
 
         let mut compute_cycles = Cycles::ZERO;
         let mut load_cycles = Cycles::ZERO;
@@ -345,18 +405,29 @@ impl ResidentN3Machine {
                     }
                     let mut layout_bits = 0u64;
                     for i in chunk.clone() {
-                        let placement = array.load_tuple(tuples.tuple(i), &enc).expect("chunking fits");
+                        let placement = array
+                            .load_tuple(tuples.tuple(i), &enc)
+                            .expect("chunking fits");
                         placements[i] = Some(placement);
-                        layout_bits += tuples.tuple(i).degree() as u64 * (enc.bits() as u64 + 1);
+                        layout_bits +=
+                            count_u64(tuples.tuple(i).degree()) * (u64::from(enc.bits()) + 1);
                     }
                     resident_chunk = Some(round);
-                    let rows = layout_bits.div_ceil(geometry.row_bits() as u64);
+                    let rows = layout_bits.div_ceil(count_u64(geometry.row_bits()));
                     round_load = tech.storage_to_compute_cycles() + Cycles::new(rows);
-                    ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * layout_bits);
+                    ledger.record(
+                        EnergyComponent::DataMovement,
+                        tech.movement_energy_per_bit() * layout_bits,
+                    );
                     if uses_dram {
-                        let chunk_storage: u64 =
-                            chunk.clone().map(|i| tuples.tuple(i).storage_bits(enc.bits())).sum();
-                        ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * chunk_storage);
+                        let chunk_storage: u64 = chunk
+                            .clone()
+                            .map(|i| tuples.tuple(i).storage_bits(enc.bits()))
+                            .sum();
+                        ledger.record(
+                            EnergyComponent::DramAccess,
+                            tech.movement_energy_per_bit() * chunk_storage,
+                        );
                     }
                 }
 
@@ -370,7 +441,7 @@ impl ResidentN3Machine {
                         let tuple = tuples.tuple(i);
                         array.compute_h(placement, tuple, spins.get(i), &enc, &mut ctx)
                     };
-                    tile_sums[placement.tile as usize] += ctx.cycles - before;
+                    tile_sums[usize::from(placement.tile)] += ctx.cycles - before;
                     debug_assert_eq!(
                         h_sigma,
                         sachi_ising::hamiltonian::local_field(graph, &spins, i),
@@ -384,8 +455,14 @@ impl ResidentN3Machine {
                         flips_this_sweep += 1;
                         // Storage-array side of the update path.
                         let copies = tuples.update_spin(i, new);
-                        ledger.record(EnergyComponent::SramRead, tech.rbl_energy_per_bit() * copies);
-                        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * 1u64);
+                        ledger.record(
+                            EnergyComponent::SramRead,
+                            tech.rbl_energy_per_bit() * copies,
+                        );
+                        ledger.record(
+                            EnergyComponent::DataMovement,
+                            tech.movement_energy_per_bit() * 1u64,
+                        );
                         // Compute-array side: refresh the *resident*
                         // copies so later tuples in this round see the
                         // new value (real bit writes).
@@ -396,7 +473,8 @@ impl ResidentN3Machine {
                         }
                     }
                 }
-                let round_compute = Cycles::new(tile_sums.iter().copied().max().unwrap_or(0) + schedule_fill);
+                let round_compute =
+                    Cycles::new(tile_sums.iter().copied().max().unwrap_or(0) + schedule_fill);
                 compute_cycles += round_compute;
                 load_cycles += round_load;
                 if sweeps == 0 && round == 0 {
@@ -424,16 +502,40 @@ impl ResidentN3Machine {
         // Tile stats are fully physical here: layout + update writes are
         // actual bits_written events.
         let stats = array.merged_stats();
-        ledger.record(EnergyComponent::RwlDrive, tech.rwl_energy_per_bit() * stats.rwl_activations);
-        ledger.record(EnergyComponent::RblDischarge, tech.rbl_energy_per_bit() * stats.rbl_discharges);
-        ledger.record(EnergyComponent::SramWrite, tech.sram_write_energy_per_bit() * stats.bits_written);
-        ledger.record(EnergyComponent::DataMovement, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+        ledger.record(
+            EnergyComponent::RwlDrive,
+            tech.rwl_energy_per_bit() * stats.rwl_activations,
+        );
+        ledger.record(
+            EnergyComponent::RblDischarge,
+            tech.rbl_energy_per_bit() * stats.rbl_discharges,
+        );
+        ledger.record(
+            EnergyComponent::SramWrite,
+            tech.sram_write_energy_per_bit() * stats.bits_written,
+        );
+        ledger.record(
+            EnergyComponent::DataMovement,
+            tech.movement_energy_per_bit() * ctx.rwl_bits_fetched,
+        );
         if uses_dram {
-            ledger.record(EnergyComponent::DramAccess, tech.movement_energy_per_bit() * ctx.rwl_bits_fetched);
+            ledger.record(
+                EnergyComponent::DramAccess,
+                tech.movement_energy_per_bit() * ctx.rwl_bits_fetched,
+            );
         }
-        ledger.record(EnergyComponent::NearMemoryAdd, tech.adder_energy_per_bit() * ctx.adder_bit_ops);
-        ledger.record(EnergyComponent::DecisionLogic, tech.adder_energy_per_bit() * ctx.decisions);
-        ledger.record(EnergyComponent::Annealer, tech.annealer_energy_per_decision() * annealer_decisions);
+        ledger.record(
+            EnergyComponent::NearMemoryAdd,
+            tech.adder_energy_per_bit() * ctx.adder_bit_ops,
+        );
+        ledger.record(
+            EnergyComponent::DecisionLogic,
+            tech.adder_energy_per_bit() * ctx.decisions,
+        );
+        ledger.record(
+            EnergyComponent::Annealer,
+            tech.annealer_energy_per_decision() * annealer_decisions,
+        );
 
         let report = RunReport {
             design: crate::config::DesignKind::N3,
@@ -474,10 +576,10 @@ fn adjacency_of(graph: &IsingGraph, j: usize) -> Vec<(usize, usize)> {
     graph
         .neighbors(j)
         .map(|(owner, _)| {
-            let owner = owner as usize;
+            let owner = to_index(owner);
             let slot = graph
                 .neighbors(owner)
-                .position(|(nb, _)| nb as usize == j)
+                .position(|(nb, _)| to_index(nb) == j)
                 .expect("symmetric adjacency");
             (owner, slot)
         })
@@ -485,7 +587,12 @@ fn adjacency_of(graph: &IsingGraph, j: usize) -> Vec<(usize, usize)> {
 }
 
 impl IterativeSolver for ResidentN3Machine {
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult {
         self.solve_detailed(graph, initial, options).0
     }
 }
@@ -516,7 +623,10 @@ mod tests {
         let mut machine = ResidentN3Machine::new(SachiConfig::new(DesignKind::N3));
         let (result, report) = machine.solve_detailed(&g, &init, &opts);
         assert_eq!(result.energy, golden.energy);
-        assert_eq!(result.trace, golden.trace, "resident updates must keep copies fresh");
+        assert_eq!(
+            result.trace, golden.trace,
+            "resident updates must keep copies fresh"
+        );
         assert_eq!(result.sweeps, golden.sweeps);
         assert!(report.reuse > 1.0);
     }
@@ -571,7 +681,8 @@ mod tests {
             storage: CacheGeometry::sachi_storage_default(),
         };
         let golden = CpuReferenceSolver::new().solve(&g, &init, &opts);
-        let mut machine = ResidentN3Machine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny));
+        let mut machine =
+            ResidentN3Machine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny));
         let (result, report) = machine.solve_detailed(&g, &init, &opts);
         assert!(report.rounds_per_sweep > 1);
         assert_eq!(result.energy, golden.energy);
@@ -639,7 +750,13 @@ mod tests {
         let spins = SpinVector::filled(6, Spin::Up);
         let store = TupleStore::new(&g, &spins);
         let err = array.load_tuple(store.tuple(0), &enc).unwrap_err();
-        assert_eq!(err, PlacementError::TupleTooLarge { needed: 3, available: 2 });
+        assert_eq!(
+            err,
+            PlacementError::TupleTooLarge {
+                needed: 3,
+                available: 2
+            }
+        );
         assert!(format!("{err}").contains("3 rows"));
     }
 }

@@ -89,7 +89,11 @@ impl TupleStore {
     ///
     /// Panics if `spins.len() != graph.num_spins()`.
     pub fn with_tuple_rep(graph: &IsingGraph, spins: &SpinVector, tuple_rep: bool) -> Self {
-        assert_eq!(spins.len(), graph.num_spins(), "spin vector must match graph size");
+        assert_eq!(
+            spins.len(),
+            graph.num_spins(),
+            "spin vector must match graph size"
+        );
         let n = graph.num_spins();
         let mut tuples = Vec::with_capacity(n);
         let mut adjacency: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
@@ -111,6 +115,18 @@ impl TupleStore {
                 field: graph.field(i),
             });
         }
+        // Tuple-rep invariant: every adjacency entry for spin j must name
+        // a (tuple, slot) that actually stores a copy of σ_j, and there is
+        // exactly one copy per adjacent tuple.
+        debug_assert!(
+            adjacency.iter().enumerate().all(|(j, entries)| {
+                entries.len() == graph.degree(j)
+                    && entries
+                        .iter()
+                        .all(|&(t, slot)| tuples[t as usize].neighbors[slot as usize] as usize == j)
+            }),
+            "tuple-rep construction broke the adjacency/copy correspondence"
+        );
         TupleStore {
             tuples,
             adjacency,
@@ -177,6 +193,11 @@ impl TupleStore {
         let entries = std::mem::take(&mut self.adjacency[j]);
         let count = entries.len() as u64;
         for &(t, slot) in &entries {
+            debug_assert_eq!(
+                self.tuples[t as usize].neighbors[slot as usize] as usize,
+                j,
+                "tuple-rep adjacency corrupt: entry for spin {j} points at tuple {t} slot {slot}, which holds a different neighbor"
+            );
             self.tuples[t as usize].neighbor_spins[slot as usize] = new;
         }
         self.adjacency[j] = entries;

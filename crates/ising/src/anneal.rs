@@ -52,10 +52,20 @@ impl Schedule {
     /// Panics unless `initial_temperature > 0`, `0 < cooling_factor < 1`,
     /// and `freeze_threshold > 0`.
     pub fn new(initial_temperature: f64, cooling_factor: f64, freeze_threshold: f64) -> Self {
-        assert!(initial_temperature > 0.0, "initial temperature must be positive");
-        assert!((0.0..1.0).contains(&cooling_factor) && cooling_factor > 0.0, "cooling factor must be in (0, 1)");
+        assert!(
+            initial_temperature > 0.0,
+            "initial temperature must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&cooling_factor) && cooling_factor > 0.0,
+            "cooling factor must be in (0, 1)"
+        );
         assert!(freeze_threshold > 0.0, "freeze threshold must be positive");
-        Schedule { initial_temperature, cooling: Cooling::Geometric(cooling_factor), freeze_threshold }
+        Schedule {
+            initial_temperature,
+            cooling: Cooling::Geometric(cooling_factor),
+            freeze_threshold,
+        }
     }
 
     /// Creates a linear schedule (temperature falls by `step` per sweep).
@@ -65,10 +75,17 @@ impl Schedule {
     /// Panics unless `initial_temperature > 0`, `step > 0`, and
     /// `freeze_threshold > 0`.
     pub fn linear(initial_temperature: f64, step: f64, freeze_threshold: f64) -> Self {
-        assert!(initial_temperature > 0.0, "initial temperature must be positive");
+        assert!(
+            initial_temperature > 0.0,
+            "initial temperature must be positive"
+        );
         assert!(step > 0.0, "linear cooling step must be positive");
         assert!(freeze_threshold > 0.0, "freeze threshold must be positive");
-        Schedule { initial_temperature, cooling: Cooling::Linear(step), freeze_threshold }
+        Schedule {
+            initial_temperature,
+            cooling: Cooling::Linear(step),
+            freeze_threshold,
+        }
     }
 
     /// A schedule suited to coefficients of magnitude `max_abs` (start hot
@@ -349,12 +366,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let init = SpinVector::random(25, &mut rng);
         let mut solver = CpuReferenceSolver::new();
-        for schedule in [Schedule::new(4.0, 0.9, 0.05), Schedule::linear(4.0, 0.2, 0.05)] {
-            let opts = SolveOptions { schedule, ..SolveOptions::for_graph(&g, 3) };
+        for schedule in [
+            Schedule::new(4.0, 0.9, 0.05),
+            Schedule::linear(4.0, 0.2, 0.05),
+        ] {
+            let opts = SolveOptions {
+                schedule,
+                ..SolveOptions::for_graph(&g, 3)
+            };
             let r = solver.solve(&g, &init, &opts);
             assert!(r.converged);
             let ups = r.spins.count_up();
-            assert!(ups <= 3 || ups >= 22, "{schedule:?} left mixed state: {ups}");
+            assert!(
+                ups <= 3 || ups >= 22,
+                "{schedule:?} left mixed state: {ups}"
+            );
         }
     }
 

@@ -40,7 +40,9 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range for graph of {n} spins")
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
-            GraphError::DuplicateEdge { edge } => write!(f, "duplicate edge ({}, {})", edge.0, edge.1),
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
+            }
         }
     }
 }
@@ -71,7 +73,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a graph over `n` spins with zero fields and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), fields: vec![0; n] }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            fields: vec![0; n],
+        }
     }
 
     /// Adds an undirected edge `i -- j` with coefficient `j_ij`.
@@ -118,8 +124,11 @@ impl GraphBuilder {
             }
         }
         // Duplicate detection on normalized endpoints.
-        let mut normalized: Vec<(u32, u32)> =
-            self.edges.iter().map(|&(i, j, _)| (i.min(j), i.max(j))).collect();
+        let mut normalized: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|&(i, j, _)| (i.min(j), i.max(j)))
+            .collect();
         normalized.sort_unstable();
         for pair in normalized.windows(2) {
             if pair[0] == pair[1] {
@@ -134,11 +143,13 @@ impl GraphBuilder {
             degree[j as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut running = 0usize;
         offsets.push(0usize);
         for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+            running += d;
+            offsets.push(running);
         }
-        let total = *offsets.last().unwrap();
+        let total = running;
         let mut neighbors = vec![0u32; total];
         let mut weights = vec![0i32; total];
         let mut cursor = offsets[..n].to_vec();
@@ -156,15 +167,23 @@ impl GraphBuilder {
         // insertion order (text-format round-trips rely on this).
         for i in 0..n {
             let range = offsets[i]..offsets[i + 1];
-            let mut pairs: Vec<(u32, i32)> =
-                neighbors[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()).collect();
+            let mut pairs: Vec<(u32, i32)> = neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(weights[range.clone()].iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(j, _)| j);
             for (k, (j, w)) in pairs.into_iter().enumerate() {
                 neighbors[offsets[i] + k] = j;
                 weights[offsets[i] + k] = w;
             }
         }
-        Ok(IsingGraph { offsets, neighbors, weights, fields: self.fields })
+        Ok(IsingGraph {
+            offsets,
+            neighbors,
+            weights,
+            fields: self.fields,
+        })
     }
 }
 
@@ -199,7 +218,10 @@ impl IsingGraph {
 
     /// Maximum degree across vertices (the paper's `N`).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_spins()).map(|i| self.degree(i)).max().unwrap_or(0)
+        (0..self.num_spins())
+            .map(|i| self.degree(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean degree across vertices.
@@ -226,13 +248,27 @@ impl IsingGraph {
     /// Panics if `i >= num_spins()`.
     pub fn neighbors(&self, i: usize) -> Neighbors<'_> {
         let range = self.offsets[i]..self.offsets[i + 1];
-        Neighbors { neighbors: &self.neighbors[range.clone()], weights: &self.weights[range], index: 0 }
+        Neighbors {
+            neighbors: &self.neighbors[range.clone()],
+            weights: &self.weights[range],
+            index: 0,
+        }
     }
 
     /// The largest absolute coefficient (over `J_ij` and `h_i`).
     pub fn max_abs_coefficient(&self) -> i64 {
-        let j = self.weights.iter().map(|w| (*w as i64).abs()).max().unwrap_or(0);
-        let h = self.fields.iter().map(|h| (*h as i64).abs()).max().unwrap_or(0);
+        let j = self
+            .weights
+            .iter()
+            .map(|w| (*w as i64).abs())
+            .max()
+            .unwrap_or(0);
+        let h = self
+            .fields
+            .iter()
+            .map(|h| (*h as i64).abs())
+            .max()
+            .unwrap_or(0);
         j.max(h)
     }
 
@@ -244,7 +280,9 @@ impl IsingGraph {
     pub fn bits_required(&self) -> u32 {
         let m = self.max_abs_coefficient();
         let mut bits = 2u32;
-        while !(-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&m) || !(-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&(-m)) {
+        while !(-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&m)
+            || !(-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&(-m))
+        {
             bits += 1;
         }
         bits
@@ -299,7 +337,10 @@ pub mod topology {
     /// # Errors
     ///
     /// Propagates [`GraphError`] (cannot occur for well-formed closures).
-    pub fn complete(n: usize, mut weight: impl FnMut(u32, u32) -> i32) -> Result<IsingGraph, GraphError> {
+    pub fn complete(
+        n: usize,
+        mut weight: impl FnMut(u32, u32) -> i32,
+    ) -> Result<IsingGraph, GraphError> {
         let mut b = GraphBuilder::new(n);
         for i in 0..n as u32 {
             for j in (i + 1)..n as u32 {
@@ -316,7 +357,11 @@ pub mod topology {
     /// # Errors
     ///
     /// Propagates [`GraphError`].
-    pub fn king(rows: usize, cols: usize, mut weight: impl FnMut(u32, u32) -> i32) -> Result<IsingGraph, GraphError> {
+    pub fn king(
+        rows: usize,
+        cols: usize,
+        mut weight: impl FnMut(u32, u32) -> i32,
+    ) -> Result<IsingGraph, GraphError> {
         let mut b = GraphBuilder::new(rows * cols);
         let id = |r: usize, c: usize| (r * cols + c) as u32;
         for r in 0..rows {
@@ -346,7 +391,11 @@ pub mod topology {
     /// # Errors
     ///
     /// Propagates [`GraphError`].
-    pub fn grid4(rows: usize, cols: usize, mut weight: impl FnMut(u32, u32) -> i32) -> Result<IsingGraph, GraphError> {
+    pub fn grid4(
+        rows: usize,
+        cols: usize,
+        mut weight: impl FnMut(u32, u32) -> i32,
+    ) -> Result<IsingGraph, GraphError> {
         let mut b = GraphBuilder::new(rows * cols);
         let id = |r: usize, c: usize| (r * cols + c) as u32;
         for r in 0..rows {
@@ -386,7 +435,12 @@ mod tests {
 
     #[test]
     fn builder_produces_symmetric_adjacency() {
-        let g = GraphBuilder::new(4).edge(0, 1, 3).edge(1, 2, -2).edge(2, 3, 7).build().unwrap();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 3)
+            .edge(1, 2, -2)
+            .edge(2, 3, 7)
+            .build()
+            .unwrap();
         assert_eq!(g.num_spins(), 4);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![(0, 3), (2, -2)]);
@@ -403,9 +457,16 @@ mod tests {
             GraphBuilder::new(2).edge(0, 5, 1).build().unwrap_err(),
             GraphError::VertexOutOfRange { vertex: 5, n: 2 }
         );
-        assert_eq!(GraphBuilder::new(2).edge(1, 1, 1).build().unwrap_err(), GraphError::SelfLoop { vertex: 1 });
         assert_eq!(
-            GraphBuilder::new(3).edge(0, 1, 1).edge(1, 0, 2).build().unwrap_err(),
+            GraphBuilder::new(2).edge(1, 1, 1).build().unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        );
+        assert_eq!(
+            GraphBuilder::new(3)
+                .edge(0, 1, 1)
+                .edge(1, 0, 2)
+                .build()
+                .unwrap_err(),
             GraphError::DuplicateEdge { edge: (0, 1) }
         );
         let msg = format!("{}", GraphError::SelfLoop { vertex: 3 });
@@ -414,7 +475,12 @@ mod tests {
 
     #[test]
     fn fields_are_stored() {
-        let g = GraphBuilder::new(2).edge(0, 1, 1).field(0, 9).field(1, -4).build().unwrap();
+        let g = GraphBuilder::new(2)
+            .edge(0, 1, 1)
+            .field(0, 9)
+            .field(1, -4)
+            .build()
+            .unwrap();
         assert_eq!(g.field(0), 9);
         assert_eq!(g.field(1), -4);
     }
@@ -464,7 +530,11 @@ mod tests {
         assert_eq!(g.bits_required(), 8); // 127 fits in 8-bit two's complement
         let g = GraphBuilder::new(2).edge(0, 1, 128).build().unwrap();
         assert_eq!(g.bits_required(), 9); // +128 needs 9 bits
-        let g = GraphBuilder::new(2).edge(0, 1, 1).field(0, 3).build().unwrap();
+        let g = GraphBuilder::new(2)
+            .edge(0, 1, 1)
+            .field(0, 3)
+            .build()
+            .unwrap();
         assert_eq!(g.bits_required(), 3);
         let g = GraphBuilder::new(2).edge(0, 1, 0).build().unwrap();
         assert_eq!(g.bits_required(), 2);

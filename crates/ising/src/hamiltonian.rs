@@ -17,7 +17,11 @@ use crate::spin::{Spin, SpinVector};
 ///
 /// Panics if `spins.len() != graph.num_spins()`.
 pub fn energy(graph: &IsingGraph, spins: &SpinVector) -> i64 {
-    assert_eq!(spins.len(), graph.num_spins(), "spin vector must match graph size");
+    assert_eq!(
+        spins.len(),
+        graph.num_spins(),
+        "spin vector must match graph size"
+    );
     let mut h = 0i64;
     for (i, j, w) in graph.edges() {
         h -= w as i64 * spins.get(i as usize).value() * spins.get(j as usize).value();
@@ -103,7 +107,12 @@ mod tests {
     #[test]
     fn local_field_matches_definition() {
         // H_sigma(i) = -sum J sigma_j - h_i.
-        let g = GraphBuilder::new(3).edge(0, 1, 2).edge(0, 2, -3).field(0, 1).build().unwrap();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, 2)
+            .edge(0, 2, -3)
+            .field(0, 1)
+            .build()
+            .unwrap();
         let s = SpinVector::from_spins(&[Spin::Up, Spin::Up, Spin::Down]);
         // -2*(+1) - (-3)*(-1) - 1 = -2 - 3 - 1 = -6.
         assert_eq!(local_field(&g, &s, 0), -6);
@@ -127,7 +136,10 @@ mod tests {
             let new = update_rule(local_field(&g, &s, i), s.get(i));
             s.set(i, new);
             let after = energy(&g, &s);
-            assert!(after <= before, "update on {i} raised energy {before} -> {after}");
+            assert!(
+                after <= before,
+                "update on {i} raised energy {before} -> {after}"
+            );
         }
     }
 

@@ -56,7 +56,10 @@ impl From<GraphError> for ParseError {
 }
 
 fn malformed(line: usize, reason: impl Into<String>) -> ParseError {
-    ParseError::Malformed { line, reason: reason.into() }
+    ParseError::Malformed {
+        line,
+        reason: reason.into(),
+    }
 }
 
 /// Parses the DIMACS-style Ising format.
@@ -102,7 +105,9 @@ pub fn parse_dimacs(text: &str) -> Result<IsingGraph, ParseError> {
                 builder = Some(GraphBuilder::new(n));
             }
             Some("e") => {
-                let b = builder.as_mut().ok_or_else(|| ParseError::BadHeader("'e' before 'p'".into()))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseError::BadHeader("'e' before 'p'".into()))?;
                 let u: u32 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -121,7 +126,9 @@ pub fn parse_dimacs(text: &str) -> Result<IsingGraph, ParseError> {
                 b.push_edge(u - 1, v - 1, w);
             }
             Some("f") => {
-                let _ = builder.as_mut().ok_or_else(|| ParseError::BadHeader("'f' before 'p'".into()))?;
+                let _ = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseError::BadHeader("'f' before 'p'".into()))?;
                 let v: usize = parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -131,9 +138,17 @@ pub fn parse_dimacs(text: &str) -> Result<IsingGraph, ParseError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| malformed(lineno, "field needs integer value"))?;
                 if v == 0 || v > n {
-                    return Err(malformed(lineno, format!("field vertex {v} out of 1..={n}")));
+                    return Err(malformed(
+                        lineno,
+                        format!("field vertex {v} out of 1..={n}"),
+                    ));
                 }
-                builder = Some(builder.take().expect("checked above").field((v - 1) as u32, h));
+                builder = Some(
+                    builder
+                        .take()
+                        .expect("checked above")
+                        .field((v - 1) as u32, h),
+                );
             }
             Some(other) => return Err(malformed(lineno, format!("unknown record '{other}'"))),
             None => {}
@@ -146,7 +161,11 @@ pub fn parse_dimacs(text: &str) -> Result<IsingGraph, ParseError> {
 /// Serializes a graph to the DIMACS-style Ising format (1-indexed).
 pub fn to_dimacs(graph: &IsingGraph) -> String {
     let mut out = String::new();
-    out.push_str(&format!("p ising {} {}\n", graph.num_spins(), graph.num_edges()));
+    out.push_str(&format!(
+        "p ising {} {}\n",
+        graph.num_spins(),
+        graph.num_edges()
+    ));
     for (u, v, w) in graph.edges() {
         out.push_str(&format!("e {} {} {}\n", u + 1, v + 1, w));
     }
@@ -166,8 +185,13 @@ pub fn to_dimacs(graph: &IsingGraph) -> String {
 ///
 /// Returns [`ParseError`] on malformed input.
 pub fn parse_gset(text: &str) -> Result<IsingGraph, ParseError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (idx, header) = lines.next().ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (idx, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
     let mut parts = header.split_whitespace();
     let n: usize = parts
         .next()
@@ -234,7 +258,10 @@ mod tests {
     #[test]
     fn dimacs_rejects_garbage() {
         assert!(matches!(parse_dimacs(""), Err(ParseError::BadHeader(_))));
-        assert!(matches!(parse_dimacs("e 1 2 3\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            parse_dimacs("e 1 2 3\n"),
+            Err(ParseError::BadHeader(_))
+        ));
         assert!(matches!(
             parse_dimacs("p ising 2 1\np ising 2 1\n"),
             Err(ParseError::BadHeader(_))

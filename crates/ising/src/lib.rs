@@ -35,12 +35,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anneal;
 pub mod graph;
-pub mod io;
 pub mod hamiltonian;
+pub mod io;
 pub mod solver;
 pub mod spin;
 
@@ -48,8 +48,8 @@ pub mod spin;
 pub mod prelude {
     pub use crate::anneal::{Annealer, Cooling, Schedule};
     pub use crate::graph::{topology, GraphBuilder, GraphError, IsingGraph};
-    pub use crate::io::{parse_dimacs, parse_gset, to_dimacs, ParseError};
     pub use crate::hamiltonian::{energy, flip_delta, local_field, update_rule};
+    pub use crate::io::{parse_dimacs, parse_gset, to_dimacs, ParseError};
     pub use crate::solver::{
         decide_update, solve_multi_start, CpuReferenceSolver, IterativeSolver, SolveOptions,
         SolveResult,

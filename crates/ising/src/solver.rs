@@ -63,7 +63,12 @@ impl SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_sweeps: 10_000, schedule: Schedule::default(), seed: 0, record_trace: false }
+        SolveOptions {
+            max_sweeps: 10_000,
+            schedule: Schedule::default(),
+            seed: 0,
+            record_trace: false,
+        }
     }
 }
 
@@ -122,7 +127,12 @@ pub fn decide_update(current: Spin, h_sigma: i64, annealer: &mut Annealer) -> Sp
 /// An iterative Ising machine: anything that can run the solve protocol.
 pub trait IterativeSolver {
     /// Runs the solve from `initial` and returns the outcome.
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult;
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult;
 }
 
 /// Golden-model software solver: the exact protocol with none of the
@@ -139,8 +149,17 @@ impl CpuReferenceSolver {
 }
 
 impl IterativeSolver for CpuReferenceSolver {
-    fn solve(&mut self, graph: &IsingGraph, initial: &SpinVector, options: &SolveOptions) -> SolveResult {
-        assert_eq!(initial.len(), graph.num_spins(), "initial spins must match graph size");
+    fn solve(
+        &mut self,
+        graph: &IsingGraph,
+        initial: &SpinVector,
+        options: &SolveOptions,
+    ) -> SolveResult {
+        assert_eq!(
+            initial.len(),
+            graph.num_spins(),
+            "initial spins must match graph size"
+        );
         let mut spins = initial.clone();
         let mut annealer = Annealer::new(options.schedule, options.seed);
         let mut trace = Vec::new();
@@ -172,7 +191,14 @@ impl IterativeSolver for CpuReferenceSolver {
             }
         }
 
-        SolveResult { energy: energy(graph, &spins), spins, sweeps, flips: total_flips, converged, trace }
+        SolveResult {
+            energy: energy(graph, &spins),
+            spins,
+            sweeps,
+            flips: total_flips,
+            converged,
+            trace,
+        }
     }
 }
 
@@ -193,7 +219,10 @@ pub fn solve_multi_start<S: IterativeSolver>(
     assert!(restarts > 0, "need at least one restart");
     let mut best: Option<SolveResult> = None;
     for k in 0..restarts {
-        let opts = SolveOptions { seed: options.seed + k, ..options.clone() };
+        let opts = SolveOptions {
+            seed: options.seed + k,
+            ..options.clone()
+        };
         let result = solver.solve(graph, initial, &opts);
         if best.as_ref().is_none_or(|b| result.energy < b.energy) {
             best = Some(result);
@@ -218,7 +247,11 @@ mod tests {
         let mut solver = CpuReferenceSolver::new();
         let opts = SolveOptions::for_graph(&g, 7);
         let result = solver.solve(&g, &init, &opts);
-        assert!(result.converged, "did not converge in {} sweeps", result.sweeps);
+        assert!(
+            result.converged,
+            "did not converge in {} sweeps",
+            result.sweeps
+        );
         let ups = result.spins.count_up();
         assert!(ups == 0 || ups == 36, "not aligned: {ups} up");
         assert_eq!(result.energy, -(g.num_edges() as i64));
@@ -269,7 +302,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let init = SpinVector::random(20, &mut rng);
         let mut solver = CpuReferenceSolver::new();
-        let opts = SolveOptions { max_sweeps: 2, ..SolveOptions::for_graph(&g, 1) };
+        let opts = SolveOptions {
+            max_sweeps: 2,
+            ..SolveOptions::for_graph(&g, 1)
+        };
         let result = solver.solve(&g, &init, &opts);
         assert_eq!(result.sweeps, 2);
         assert!(!result.converged);
@@ -303,8 +339,9 @@ mod tests {
         // Exhaustive ground-state search over 16 configurations.
         let mut best = i64::MAX;
         for mask in 0..16u32 {
-            let s: SpinVector =
-                (0..4).map(|b| Spin::from_bit((mask >> b) & 1 == 1)).collect();
+            let s: SpinVector = (0..4)
+                .map(|b| Spin::from_bit((mask >> b) & 1 == 1))
+                .collect();
             best = best.min(energy(&g, &s));
         }
         let hits = (0..20)
@@ -313,7 +350,10 @@ mod tests {
                 r.energy == best
             })
             .count();
-        assert!(hits >= 12, "annealing found ground state only {hits}/20 times");
+        assert!(
+            hits >= 12,
+            "annealing found ground state only {hits}/20 times"
+        );
     }
 
     #[test]

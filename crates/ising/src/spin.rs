@@ -112,7 +112,10 @@ impl SpinVector {
     pub fn filled(len: usize, init: Spin) -> Self {
         let words = len.div_ceil(64);
         let fill = if init.bit() { u64::MAX } else { 0 };
-        let mut v = SpinVector { words: vec![fill; words], len };
+        let mut v = SpinVector {
+            words: vec![fill; words],
+            len,
+        };
         v.mask_tail();
         v
     }
@@ -161,7 +164,11 @@ impl SpinVector {
     /// Panics if `index >= len`.
     #[inline]
     pub fn get(&self, index: usize) -> Spin {
-        assert!(index < self.len, "spin index {index} out of bounds for {}", self.len);
+        assert!(
+            index < self.len,
+            "spin index {index} out of bounds for {}",
+            self.len
+        );
         Spin::from_bit((self.words[index / 64] >> (index % 64)) & 1 == 1)
     }
 
@@ -172,7 +179,11 @@ impl SpinVector {
     /// Panics if `index >= len`.
     #[inline]
     pub fn set(&mut self, index: usize, spin: Spin) {
-        assert!(index < self.len, "spin index {index} out of bounds for {}", self.len);
+        assert!(
+            index < self.len,
+            "spin index {index} out of bounds for {}",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         if spin.bit() {
             *word |= 1 << (index % 64);
@@ -199,7 +210,10 @@ impl SpinVector {
 
     /// Iterates over the spins.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { vec: self, index: 0 }
+        Iter {
+            vec: self,
+            index: 0,
+        }
     }
 
     /// Collects into a `Vec<Spin>`.
@@ -214,7 +228,11 @@ impl SpinVector {
     /// Panics if the lengths differ.
     pub fn distance(&self, other: &SpinVector) -> usize {
         assert_eq!(self.len, other.len, "spin vectors must have equal length");
-        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
     }
 }
 

@@ -5,6 +5,7 @@
 //! ("does an R-bit COP fit in the L1?"), in the Fig. 17 overflow analysis,
 //! and in the Sec. VII.2 cache-size scaling study.
 
+use crate::units::convert::count_u64;
 use crate::units::Bits;
 
 /// Geometry of a memory structure repurposed as a SACHI array.
@@ -39,8 +40,16 @@ impl CacheGeometry {
     ///
     /// Panics if any dimension is zero.
     pub fn new(tiles: usize, rows_per_tile: usize, row_bits: usize, read_ports: usize) -> Self {
-        assert!(tiles > 0 && rows_per_tile > 0 && row_bits > 0 && read_ports > 0, "geometry dimensions must be non-zero");
-        CacheGeometry { tiles, rows_per_tile, row_bits, read_ports }
+        assert!(
+            tiles > 0 && rows_per_tile > 0 && row_bits > 0 && read_ports > 0,
+            "geometry dimensions must be non-zero"
+        );
+        CacheGeometry {
+            tiles,
+            rows_per_tile,
+            row_bits,
+            read_ports,
+        }
     }
 
     /// The paper's compute array: 16 tiles x 100 rows x 800 bits
@@ -100,12 +109,12 @@ impl CacheGeometry {
 
     /// Capacity of one tile.
     pub fn tile_bits(&self) -> Bits {
-        Bits::new((self.rows_per_tile * self.row_bits) as u64)
+        Bits::new(count_u64(self.rows_per_tile * self.row_bits))
     }
 
     /// Total capacity across tiles.
     pub fn total_bits(&self) -> Bits {
-        Bits::new((self.tiles * self.rows_per_tile * self.row_bits) as u64)
+        Bits::new(count_u64(self.tiles * self.rows_per_tile * self.row_bits))
     }
 
     /// Total rows across tiles.
@@ -121,13 +130,13 @@ impl CacheGeometry {
     /// Rows needed to hold one tuple of `tuple_bits` bits (a tuple wider
     /// than a row spills onto additional rows; Fig. 17's overflow effect).
     pub fn rows_per_tuple(&self, tuple_bits: u64) -> u64 {
-        tuple_bits.div_ceil(self.row_bits as u64).max(1)
+        tuple_bits.div_ceil(count_u64(self.row_bits)).max(1)
     }
 
     /// How many tuples of `tuple_bits` bits the structure holds at once.
     pub fn tuple_capacity(&self, tuple_bits: u64) -> u64 {
-        let per_tile = (self.rows_per_tile as u64) / self.rows_per_tuple(tuple_bits);
-        per_tile * self.tiles as u64
+        let per_tile = count_u64(self.rows_per_tile) / self.rows_per_tuple(tuple_bits);
+        per_tile * count_u64(self.tiles)
     }
 
     /// Number of full load "rounds" required to stream `tuples` tuples of
@@ -163,12 +172,18 @@ impl CacheHierarchy {
 
     /// "64KB/1MB" preset of Sec. VII.2.
     pub fn desktop() -> Self {
-        CacheHierarchy { compute: CacheGeometry::desktop_64k(), storage: CacheGeometry::desktop_64k_storage() }
+        CacheHierarchy {
+            compute: CacheGeometry::desktop_64k(),
+            storage: CacheGeometry::desktop_64k_storage(),
+        }
     }
 
     /// "256KB/8MB" preset of Sec. VII.2.
     pub fn server() -> Self {
-        CacheHierarchy { compute: CacheGeometry::server_256k(), storage: CacheGeometry::server_256k_storage() }
+        CacheHierarchy {
+            compute: CacheGeometry::server_256k(),
+            storage: CacheGeometry::server_256k_storage(),
+        }
     }
 }
 

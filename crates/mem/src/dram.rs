@@ -38,7 +38,11 @@ impl PrefetchCounter {
     /// given lead `threshold` (in rows == cycles, since one row is consumed
     /// per cycle).
     pub fn new(rows: u64, threshold: u64) -> Self {
-        PrefetchCounter { remaining_rows: rows, threshold, issued: false }
+        PrefetchCounter {
+            remaining_rows: rows,
+            threshold,
+            issued: false,
+        }
     }
 
     /// Rows not yet consumed.
@@ -86,7 +90,13 @@ pub struct DramController {
 impl DramController {
     /// Creates a controller with prefetching enabled (the paper's design).
     pub fn new(params: TechnologyParams) -> Self {
-        DramController { params, prefetch_enabled: true, loads: 0, bits_loaded: 0, prefetches_issued: 0 }
+        DramController {
+            params,
+            prefetch_enabled: true,
+            loads: 0,
+            bits_loaded: 0,
+            prefetches_issued: 0,
+        }
     }
 
     /// Disables the prefetcher (ablation `abl_prefetch`).
@@ -122,11 +132,17 @@ impl DramController {
     pub fn load(&mut self, payload: Bits, ledger: &mut EnergyLedger) -> Cycles {
         self.loads += 1;
         self.bits_loaded += payload.get();
-        ledger.record(EnergyComponent::DramAccess, self.params.movement_energy_per_bit() * payload.get());
+        ledger.record(
+            EnergyComponent::DramAccess,
+            self.params.movement_energy_per_bit() * payload.get(),
+        );
         // Controller bookkeeping: one counter update per streamed beat,
         // priced as an adder op per 64-byte beat.
         let beats = self.stream_cycles(payload).get();
-        ledger.record(EnergyComponent::DramController, self.params.adder_energy_per_bit() * beats);
+        ledger.record(
+            EnergyComponent::DramController,
+            self.params.adder_energy_per_bit() * beats,
+        );
         self.stream_cycles(payload)
     }
 
@@ -230,11 +246,17 @@ mod tests {
         let compute = Cycles::new(100);
         let load = Cycles::new(30);
         assert_eq!(with.effective_round_cycles(compute, load), Cycles::new(100));
-        assert_eq!(without.effective_round_cycles(compute, load), Cycles::new(130));
+        assert_eq!(
+            without.effective_round_cycles(compute, load),
+            Cycles::new(130)
+        );
         assert_eq!(with.prefetches_issued(), 1);
         assert_eq!(without.prefetches_issued(), 0);
         // A load longer than the round exposes only the excess... i.e. max.
-        assert_eq!(with.effective_round_cycles(Cycles::new(10), Cycles::new(40)), Cycles::new(40));
+        assert_eq!(
+            with.effective_round_cycles(Cycles::new(10), Cycles::new(40)),
+            Cycles::new(40)
+        );
     }
 
     #[test]

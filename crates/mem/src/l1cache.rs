@@ -15,6 +15,7 @@
 //! flush-on-switch cost — the *real* price of repurposing, which the
 //! `disc_conventional` harness measures.
 
+use crate::units::convert::{count_u64, ratio_u64, to_index};
 use crate::units::Cycles;
 use std::fmt;
 
@@ -87,7 +88,7 @@ impl CacheStats {
         if total == 0 {
             return 0.0;
         }
-        self.hits as f64 / total as f64
+        ratio_u64(self.hits, total)
     }
 }
 
@@ -126,10 +127,19 @@ impl L1Cache {
     /// Panics unless `capacity_bytes` divides evenly into `ways` sets of
     /// power-of-two lines.
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(ways > 0 && line_bytes > 0, "ways and line size must be non-zero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            ways > 0 && line_bytes > 0,
+            "ways and line size must be non-zero"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = capacity_bytes / line_bytes;
-        assert!(lines > 0 && lines % ways == 0, "capacity must hold a whole number of sets");
+        assert!(
+            lines > 0 && lines.is_multiple_of(ways),
+            "capacity must hold a whole number of sets"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         L1Cache {
@@ -177,8 +187,11 @@ impl L1Cache {
     }
 
     fn index(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.line_bytes as u64;
-        ((line % self.sets as u64) as usize, line / self.sets as u64)
+        let line = addr / count_u64(self.line_bytes);
+        (
+            to_index(line % count_u64(self.sets)),
+            line / count_u64(self.sets),
+        )
     }
 
     /// Programs the mode register. Entering compute mode flushes the
@@ -241,7 +254,9 @@ impl L1Cache {
         let victim = (0..self.ways)
             .find(|&w| self.tags[set][w].is_none())
             .unwrap_or_else(|| {
-                (0..self.ways).min_by_key(|&w| self.stamps[set][w]).expect("ways > 0")
+                (0..self.ways)
+                    .min_by_key(|&w| self.stamps[set][w])
+                    .expect("ways > 0")
             });
         let evicted = self.tags[set][victim].is_some();
         if evicted {
@@ -257,7 +272,10 @@ impl L1Cache {
     /// # Errors
     ///
     /// Returns [`WrongModeError`] in compute mode.
-    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> Result<(u64, u64), WrongModeError> {
+    pub fn run_trace(
+        &mut self,
+        addrs: impl IntoIterator<Item = u64>,
+    ) -> Result<(u64, u64), WrongModeError> {
         let (mut hits, mut misses) = (0, 0);
         for addr in addrs {
             match self.read(addr)? {
@@ -336,7 +354,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut l1 = L1Cache::new(1024, 2, 64); // 16 lines
-        // Cycle through 32 distinct lines twice: all misses.
+                                                // Cycle through 32 distinct lines twice: all misses.
         let trace: Vec<u64> = (0..64u64).map(|i| (i % 32) * 64).collect();
         let (hits, misses) = l1.run_trace(trace).unwrap();
         assert_eq!(hits, 0);

@@ -150,7 +150,10 @@ mod tests {
         assert!((t.rbl_energy_per_bit().get() - 0.035).abs() < 1e-12);
         assert!((t.movement_energy_per_bit().get() - 1.0).abs() < 1e-12);
         // movement ~ 800x addition
-        assert!((t.movement_energy_per_bit().get() / t.adder_energy_per_bit().get() - 800.0).abs() < 1e-9);
+        assert!(
+            (t.movement_energy_per_bit().get() / t.adder_energy_per_bit().get() - 800.0).abs()
+                < 1e-9
+        );
         assert_eq!(t.storage_to_compute_cycles(), Cycles::new(20));
         assert!((t.cycle_time.get() - 5.0).abs() < 1e-12);
     }
@@ -167,8 +170,10 @@ mod tests {
 
     #[test]
     fn voltage_scaling_scales_line_energy() {
-        let mut t = TechnologyParams::default();
-        t.vdd_volts = 0.5;
+        let t = TechnologyParams {
+            vdd_volts: 0.5,
+            ..Default::default()
+        };
         // C * V^2: quarter energy at half the voltage.
         assert!((t.rwl_energy_per_bit().get() - 0.0125).abs() < 1e-12);
     }

@@ -23,6 +23,7 @@
 
 use crate::energy::{EnergyComponent, EnergyLedger};
 use crate::params::TechnologyParams;
+use crate::units::convert::count_u64;
 use crate::units::Picojoules;
 use std::fmt;
 use std::ops::Range;
@@ -75,13 +76,22 @@ impl TileStats {
     /// Prices the accumulated events under `params`.
     pub fn energy(&self, params: &TechnologyParams) -> EnergyLedger {
         let mut ledger = EnergyLedger::new();
-        ledger.record(EnergyComponent::RwlDrive, params.rwl_energy_per_bit() * self.rwl_activations);
-        ledger.record(EnergyComponent::RblDischarge, params.rbl_energy_per_bit() * self.rbl_discharges);
+        ledger.record(
+            EnergyComponent::RwlDrive,
+            params.rwl_energy_per_bit() * self.rwl_activations,
+        );
+        ledger.record(
+            EnergyComponent::RblDischarge,
+            params.rbl_energy_per_bit() * self.rbl_discharges,
+        );
         ledger.record(
             EnergyComponent::SramWrite,
             params.sram_write_energy_per_bit() * self.bits_written,
         );
-        ledger.record(EnergyComponent::SramRead, params.rbl_energy_per_bit() * self.bits_read);
+        ledger.record(
+            EnergyComponent::SramRead,
+            params.rbl_energy_per_bit() * self.bits_read,
+        );
         ledger
     }
 
@@ -211,13 +221,17 @@ impl SramTile {
     /// than the row.
     pub fn write_row(&mut self, row: usize, values: &[bool]) -> Result<(), AccessError> {
         if values.len() > self.cols {
-            return Err(AccessError::new(format!("row write of {} bits > {} cols", values.len(), self.cols)));
+            return Err(AccessError::new(format!(
+                "row write of {} bits > {} cols",
+                values.len(),
+                self.cols
+            )));
         }
         self.check(row, 0)?;
         for (col, &v) in values.iter().enumerate() {
             self.set_bit_unchecked(row, col, v);
         }
-        self.stats.bits_written += values.len() as u64;
+        self.stats.bits_written += count_u64(values.len());
         Ok(())
     }
 
@@ -226,7 +240,12 @@ impl SramTile {
     /// # Errors
     ///
     /// Returns [`AccessError`] on out-of-bounds.
-    pub fn write_slice(&mut self, row: usize, start_col: usize, values: &[bool]) -> Result<(), AccessError> {
+    pub fn write_slice(
+        &mut self,
+        row: usize,
+        start_col: usize,
+        values: &[bool],
+    ) -> Result<(), AccessError> {
         if start_col + values.len() > self.cols {
             return Err(AccessError::new(format!(
                 "slice write [{start_col}, {}) > {} cols",
@@ -238,7 +257,7 @@ impl SramTile {
         for (i, &v) in values.iter().enumerate() {
             self.set_bit_unchecked(row, start_col + i, v);
         }
-        self.stats.bits_written += values.len() as u64;
+        self.stats.bits_written += count_u64(values.len());
         Ok(())
     }
 
@@ -260,10 +279,13 @@ impl SramTile {
     /// Returns [`AccessError`] on out-of-bounds.
     pub fn read_range(&mut self, row: usize, cols: Range<usize>) -> Result<Vec<bool>, AccessError> {
         if cols.end > self.cols {
-            return Err(AccessError::new(format!("read range end {} > {} cols", cols.end, self.cols)));
+            return Err(AccessError::new(format!(
+                "read range end {} > {} cols",
+                cols.end, self.cols
+            )));
         }
         self.check(row, 0)?;
-        self.stats.bits_read += cols.len() as u64;
+        self.stats.bits_read += count_u64(cols.len());
         Ok(cols.map(|c| self.bit_unchecked(row, c)).collect())
     }
 
@@ -291,7 +313,12 @@ impl SramTile {
     ///
     /// Returns [`AccessError`] if `row` is out of bounds or `sense` exceeds
     /// the row width.
-    pub fn compute_xnor(&mut self, row: usize, input: bool, sense: Range<usize>) -> Result<Vec<bool>, AccessError> {
+    pub fn compute_xnor(
+        &mut self,
+        row: usize,
+        input: bool,
+        sense: Range<usize>,
+    ) -> Result<Vec<bool>, AccessError> {
         let cols = self.cols;
         self.compute_xnor_windowed(row, input, 0..cols, sense)
     }
@@ -315,10 +342,15 @@ impl SramTile {
         sense: Range<usize>,
     ) -> Result<Vec<bool>, AccessError> {
         if active.end > self.cols {
-            return Err(AccessError::new(format!("active range end {} > {} cols", active.end, self.cols)));
+            return Err(AccessError::new(format!(
+                "active range end {} > {} cols",
+                active.end, self.cols
+            )));
         }
         if !sense.is_empty() && (sense.start < active.start || sense.end > active.end) {
-            return Err(AccessError::new(format!("sense range {sense:?} outside active window {active:?}")));
+            return Err(AccessError::new(format!(
+                "sense range {sense:?} outside active window {active:?}"
+            )));
         }
         self.check(row, 0)?;
         self.stats.compute_accesses += 1;
@@ -341,16 +373,24 @@ impl SramTile {
                 continue;
             }
             let span = ahi - alo;
-            let amask = if span == 64 { u64::MAX } else { ((1u64 << span) - 1) << (alo - word_start) };
+            let amask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << (alo - word_start)
+            };
             let xnor = !(self.bits[base + w] ^ broadcast) & amask;
-            discharges += xnor.count_ones() as u64;
+            discharges += u64::from(xnor.count_ones());
             // Sensed columns within this word.
             let lo = sense.start.max(word_start);
             let hi = sense.end.min(word_start + valid_bits);
             if lo < hi {
                 let sensed = (xnor >> (lo - word_start))
-                    & if hi - lo == 64 { u64::MAX } else { (1u64 << (hi - lo)) - 1 };
-                useful += sensed.count_ones() as u64;
+                    & if hi - lo == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (hi - lo)) - 1
+                    };
+                useful += u64::from(sensed.count_ones());
                 for b in 0..(hi - lo) {
                     out.push((sensed >> b) & 1 == 1);
                 }
@@ -370,12 +410,23 @@ impl SramTile {
     ///
     /// Returns [`AccessError`] if bounds are violated or `col` lies outside
     /// `active`.
-    pub fn compute_xnor_bit(&mut self, row: usize, input: bool, active: Range<usize>, col: usize) -> Result<bool, AccessError> {
+    pub fn compute_xnor_bit(
+        &mut self,
+        row: usize,
+        input: bool,
+        active: Range<usize>,
+        col: usize,
+    ) -> Result<bool, AccessError> {
         if active.end > self.cols {
-            return Err(AccessError::new(format!("active range end {} > {} cols", active.end, self.cols)));
+            return Err(AccessError::new(format!(
+                "active range end {} > {} cols",
+                active.end, self.cols
+            )));
         }
         if !active.contains(&col) {
-            return Err(AccessError::new(format!("sensed col {col} outside active window {active:?}")));
+            return Err(AccessError::new(format!(
+                "sensed col {col} outside active window {active:?}"
+            )));
         }
         self.check(row, col)?;
         self.stats.compute_accesses += 1;
@@ -392,8 +443,12 @@ impl SramTile {
                 continue;
             }
             let span = ahi - alo;
-            let amask = if span == 64 { u64::MAX } else { ((1u64 << span) - 1) << (alo - word_start) };
-            discharges += (!(self.bits[base + w] ^ broadcast) & amask).count_ones() as u64;
+            let amask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << (alo - word_start)
+            };
+            discharges += u64::from((!(self.bits[base + w] ^ broadcast) & amask).count_ones());
         }
         let result = self.bit_unchecked(row, col) == input;
         self.stats.rbl_discharges += discharges;
@@ -408,7 +463,11 @@ impl SramTile {
     /// # Errors
     ///
     /// Returns [`AccessError`] if `row` is out of bounds.
-    pub fn compute_xnor_full_row(&mut self, row: usize, input: bool) -> Result<Vec<bool>, AccessError> {
+    pub fn compute_xnor_full_row(
+        &mut self,
+        row: usize,
+        input: bool,
+    ) -> Result<Vec<bool>, AccessError> {
         self.compute_xnor(row, input, 0..self.cols)
     }
 
@@ -437,9 +496,12 @@ mod tests {
 
     fn tile_with_pattern() -> SramTile {
         let mut t = SramTile::new(3, 6);
-        t.write_row(0, &[true, false, true, true, false, false]).unwrap();
-        t.write_row(1, &[false, false, false, false, false, false]).unwrap();
-        t.write_row(2, &[true, true, true, true, true, true]).unwrap();
+        t.write_row(0, &[true, false, true, true, false, false])
+            .unwrap();
+        t.write_row(1, &[false, false, false, false, false, false])
+            .unwrap();
+        t.write_row(2, &[true, true, true, true, true, true])
+            .unwrap();
         t
     }
 
@@ -448,7 +510,10 @@ mod tests {
         let mut t = tile_with_pattern();
         assert!(t.read_bit(0, 0).unwrap());
         assert!(!t.read_bit(0, 1).unwrap());
-        assert_eq!(t.read_range(0, 0..6).unwrap(), vec![true, false, true, true, false, false]);
+        assert_eq!(
+            t.read_range(0, 0..6).unwrap(),
+            vec![true, false, true, true, false, false]
+        );
     }
 
     #[test]
@@ -512,7 +577,11 @@ mod tests {
         let ledger = t.stats().energy(&params);
         // 2 RWL activations * 0.05 pJ + 6 discharges * 0.035 pJ + 18 writes * 0.05 pJ.
         let expected = 2.0 * 0.05 + 6.0 * 0.035 + 18.0 * 0.05;
-        assert!((ledger.total().get() - expected).abs() < 1e-9, "{}", ledger.total());
+        assert!(
+            (ledger.total().get() - expected).abs() < 1e-9,
+            "{}",
+            ledger.total()
+        );
         assert!((t.stats().redundant_energy(&params).get() - 0.0).abs() < 1e-12);
     }
 
@@ -562,7 +631,9 @@ mod tests {
         let mut b = tile_with_pattern();
         for col in 0..6 {
             let single = a.compute_xnor_bit(0, true, 0..6, col).unwrap();
-            let ranged = b.compute_xnor_windowed(0, true, 0..6, col..col + 1).unwrap();
+            let ranged = b
+                .compute_xnor_windowed(0, true, 0..6, col..col + 1)
+                .unwrap();
             assert_eq!(vec![single], ranged, "col {col}");
         }
         assert_eq!(a.stats(), b.stats());
@@ -600,7 +671,10 @@ mod tests {
         let diffs = good.iter().zip(bad.iter()).filter(|(a, b)| a != b).count();
         assert_eq!(diffs, 1);
         // Fault injection books no access energy.
-        assert_eq!(healthy.stats().rwl_activations, faulty.stats().rwl_activations);
+        assert_eq!(
+            healthy.stats().rwl_activations,
+            faulty.stats().rwl_activations
+        );
         assert!(faulty.inject_bit_flip(9, 0).is_err());
     }
 
@@ -632,10 +706,18 @@ mod proptests {
 
     impl Reference {
         fn new(rows: usize, cols: usize) -> Self {
-            Reference { bits: vec![vec![false; cols]; rows] }
+            Reference {
+                bits: vec![vec![false; cols]; rows],
+            }
         }
 
-        fn xnor(&self, row: usize, input: bool, active: std::ops::Range<usize>, sense: std::ops::Range<usize>) -> (Vec<bool>, u64, u64) {
+        fn xnor(
+            &self,
+            row: usize,
+            input: bool,
+            active: std::ops::Range<usize>,
+            sense: std::ops::Range<usize>,
+        ) -> (Vec<bool>, u64, u64) {
             let mut discharges = 0;
             let mut useful = 0;
             let mut out = Vec::new();
@@ -657,19 +739,44 @@ mod proptests {
 
     #[derive(Debug, Clone)]
     enum Op {
-        WriteBit { row: usize, col: usize, value: bool },
-        WriteSlice { row: usize, start: usize, values: Vec<bool> },
-        Xnor { row: usize, input: bool, active_start: usize, active_len: usize, sense_off: usize, sense_len: usize },
+        WriteBit {
+            row: usize,
+            col: usize,
+            value: bool,
+        },
+        WriteSlice {
+            row: usize,
+            start: usize,
+            values: Vec<bool>,
+        },
+        Xnor {
+            row: usize,
+            input: bool,
+            active_start: usize,
+            active_len: usize,
+            sense_off: usize,
+            sense_len: usize,
+        },
     }
 
     fn op_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0..rows, 0..cols, any::<bool>()).prop_map(|(row, col, value)| Op::WriteBit { row, col, value }),
-            (0..rows, 0..cols, prop::collection::vec(any::<bool>(), 1..8)).prop_map(move |(row, start, values)| {
-                let start = start.min(cols - 1);
-                let len = values.len().min(cols - start);
-                Op::WriteSlice { row, start, values: values[..len].to_vec() }
+            (0..rows, 0..cols, any::<bool>()).prop_map(|(row, col, value)| Op::WriteBit {
+                row,
+                col,
+                value
             }),
+            (0..rows, 0..cols, prop::collection::vec(any::<bool>(), 1..8)).prop_map(
+                move |(row, start, values)| {
+                    let start = start.min(cols - 1);
+                    let len = values.len().min(cols - start);
+                    Op::WriteSlice {
+                        row,
+                        start,
+                        values: values[..len].to_vec(),
+                    }
+                }
+            ),
             (0..rows, any::<bool>(), 0..cols, 1..cols, 0..cols, 1..cols).prop_map(
                 move |(row, input, a_start, a_len, s_off, s_len)| Op::Xnor {
                     row,

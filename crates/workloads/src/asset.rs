@@ -83,8 +83,16 @@ impl AssetAllocation {
                 builder.push_edge(i, j, j_ij.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
             }
         }
-        let graph = builder.build().expect("asset graph construction cannot fail");
-        AssetAllocation { values, quantized, graph, resolution_bits: bits, seed }
+        let graph = builder
+            .build()
+            .expect("asset graph construction cannot fail");
+        AssetAllocation {
+            values,
+            quantized,
+            graph,
+            resolution_bits: bits,
+            seed,
+        }
     }
 
     /// The true (unquantized) asset values in dollars.
@@ -103,8 +111,16 @@ impl AssetAllocation {
     ///
     /// Panics if `spins.len()` differs from the asset count.
     pub fn imbalance(&self, spins: &SpinVector) -> i64 {
-        assert_eq!(spins.len(), self.values.len(), "spin count must equal asset count");
-        self.values.iter().zip(spins.iter()).map(|(&v, s)| v * s.value()).sum()
+        assert_eq!(
+            spins.len(),
+            self.values.len(),
+            "spin count must equal asset count"
+        );
+        self.values
+            .iter()
+            .zip(spins.iter())
+            .map(|(&v, s)| v * s.value())
+            .sum()
     }
 }
 
@@ -114,7 +130,12 @@ impl Workload for AssetAllocation {
     }
 
     fn name(&self) -> String {
-        format!("asset-allocation(m={}, R={}, seed={})", self.values.len(), self.resolution_bits, self.seed)
+        format!(
+            "asset-allocation(m={}, R={}, seed={})",
+            self.values.len(),
+            self.resolution_bits,
+            self.seed
+        )
     }
 
     fn graph(&self) -> &IsingGraph {

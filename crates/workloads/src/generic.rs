@@ -27,10 +27,17 @@ impl GenericMaxCut {
     /// max-cut reading; negate the weights or use a dedicated workload).
     pub fn new(name: impl Into<String>, graph: IsingGraph) -> Self {
         for (u, v, w) in graph.edges() {
-            assert!(w <= 0, "max-cut expects non-positive couplings, edge ({u},{v}) has {w}");
+            assert!(
+                w <= 0,
+                "max-cut expects non-positive couplings, edge ({u},{v}) has {w}"
+            );
         }
         let reference_cut = best_cut_reference(&graph, 0xcafe);
-        GenericMaxCut { name: name.into(), graph, reference_cut }
+        GenericMaxCut {
+            name: name.into(),
+            graph,
+            reference_cut,
+        }
     }
 
     /// The greedy multi-start reference cut.
@@ -102,7 +109,11 @@ mod tests {
             ..SolveOptions::for_graph(w.graph(), 2)
         };
         let r = solve_multi_start(&mut solver, w.graph(), &init, &opts, 12);
-        assert!((w.accuracy(&r.spins) - 1.0).abs() < 1e-12, "cut {}", w.cut_weight(&r.spins));
+        assert!(
+            (w.accuracy(&r.spins) - 1.0).abs() < 1e-12,
+            "cut {}",
+            w.cut_weight(&r.spins)
+        );
     }
 
     #[test]

@@ -33,12 +33,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod asset;
 pub mod generic;
-pub mod maxcut;
 pub mod lucas;
+pub mod maxcut;
 pub mod molecular;
 pub mod quantize;
 pub mod qubo;
@@ -50,9 +50,9 @@ pub mod tsp;
 pub mod prelude {
     pub use crate::asset::AssetAllocation;
     pub use crate::generic::GenericMaxCut;
+    pub use crate::lucas::{self, InputGraph};
     pub use crate::maxcut::{best_cut_reference, cut_weight};
     pub use crate::molecular::MolecularDynamics;
-    pub use crate::lucas::{self, InputGraph};
     pub use crate::quantize::quantize_to_bits;
     pub use crate::qubo::{QuboBuilder, QuboProblem};
     pub use crate::segmentation::{Connectivity, ImageSegmentation};

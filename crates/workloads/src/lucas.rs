@@ -87,7 +87,11 @@ pub fn max_cut(input: &InputGraph) -> Result<QuboProblem, GraphError> {
 
 /// Number of cut edges under an assignment.
 pub fn cut_size(input: &InputGraph, spins: &SpinVector) -> usize {
-    input.edges().iter().filter(|&&(u, v)| spins.get(u) != spins.get(v)).count()
+    input
+        .edges()
+        .iter()
+        .filter(|&&(u, v)| spins.get(u) != spins.get(v))
+        .count()
 }
 
 /// Minimum vertex cover: select (`x = 1`) a minimum set of vertices
@@ -116,7 +120,10 @@ pub fn vertex_cover(input: &InputGraph) -> Result<QuboProblem, GraphError> {
 
 /// Whether a selection covers every edge.
 pub fn is_vertex_cover(input: &InputGraph, selected: &[bool]) -> bool {
-    input.edges().iter().all(|&(u, v)| selected[u] || selected[v])
+    input
+        .edges()
+        .iter()
+        .all(|&(u, v)| selected[u] || selected[v])
 }
 
 /// Graph k-coloring: one-hot spins `x_{v,c}` ("vertex v has color c").
@@ -243,7 +250,10 @@ mod tests {
         let problem = vertex_cover(&input).unwrap();
         let spins = solve_best(&problem, 12);
         let selected = problem.decode(&spins);
-        assert!(is_vertex_cover(&input, &selected), "solution must cover all edges");
+        assert!(
+            is_vertex_cover(&input, &selected),
+            "solution must cover all edges"
+        );
         let size = selected.iter().filter(|&&s| s).count();
         assert_eq!(size, 6, "Petersen's minimum vertex cover is 6, got {size}");
     }
@@ -263,13 +273,20 @@ mod tests {
         let input = InputGraph::petersen();
         let three = coloring(&input, 3).unwrap();
         let spins = solve_best(&three, 20);
-        assert_eq!(three.objective(&spins), 0, "3-coloring penalty should vanish");
+        assert_eq!(
+            three.objective(&spins),
+            0,
+            "3-coloring penalty should vanish"
+        );
         let colors = decode_coloring(&input, 3, &spins).expect("proper 3-coloring");
         assert_eq!(colors.len(), 10);
 
         let two = coloring(&input, 2).unwrap();
         let spins = solve_best(&two, 20);
-        assert!(two.objective(&spins) > 0, "Petersen graph is not 2-colorable");
+        assert!(
+            two.objective(&spins) > 0,
+            "Petersen graph is not 2-colorable"
+        );
         assert!(decode_coloring(&input, 2, &spins).is_none());
     }
 
@@ -289,9 +306,14 @@ mod tests {
         let values = [3i64, 1, 1, 2, 2, 1];
         let problem = number_partitioning(&values).unwrap();
         for mask in 0..(1u32 << values.len()) {
-            let spins: SpinVector =
-                (0..values.len()).map(|b| Spin::from_bit((mask >> b) & 1 == 1)).collect();
-            let imbalance: i64 = values.iter().zip(spins.iter()).map(|(&v, s)| v * s.value()).sum();
+            let spins: SpinVector = (0..values.len())
+                .map(|b| Spin::from_bit((mask >> b) & 1 == 1))
+                .collect();
+            let imbalance: i64 = values
+                .iter()
+                .zip(spins.iter())
+                .map(|(&v, s)| v * s.value())
+                .sum();
             assert_eq!(problem.objective(&spins), imbalance * imbalance);
         }
     }
@@ -311,7 +333,7 @@ mod tests {
         let p = InputGraph::petersen();
         assert_eq!(p.num_vertices(), 10);
         assert_eq!(p.edges().len(), 15);
-        let mut degree = vec![0usize; 10];
+        let mut degree = [0usize; 10];
         for &(u, v) in p.edges() {
             degree[u] += 1;
             degree[v] += 1;

@@ -62,7 +62,11 @@ mod tests {
 
     #[test]
     fn cut_weight_counts_crossing_edges() {
-        let g = GraphBuilder::new(3).edge(0, 1, -5).edge(1, 2, 3).build().unwrap();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, -5)
+            .edge(1, 2, 3)
+            .build()
+            .unwrap();
         let s = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Down]);
         assert_eq!(cut_weight(&g, &s), 5);
         let all = SpinVector::filled(3, Spin::Up);

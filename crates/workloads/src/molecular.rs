@@ -33,7 +33,12 @@ impl MolecularDynamics {
     ///
     /// Panics if the lattice has fewer than 2 atoms.
     pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
-        Self::with_resolution(rows, cols, seed, CopKind::MolecularDynamics.typical_resolution_bits())
+        Self::with_resolution(
+            rows,
+            cols,
+            seed,
+            CopKind::MolecularDynamics.typical_resolution_bits(),
+        )
     }
 
     /// Builds a lattice with explicit bond resolution. Ising-CIM
@@ -66,7 +71,14 @@ impl MolecularDynamics {
         .expect("king lattice construction cannot fail");
         drop(raw);
         let total_bond_weight = graph.edges().map(|(_, _, w)| w as i64).sum();
-        MolecularDynamics { rows, cols, graph, resolution_bits: bits, total_bond_weight, seed }
+        MolecularDynamics {
+            rows,
+            cols,
+            graph,
+            resolution_bits: bits,
+            total_bond_weight,
+            seed,
+        }
     }
 
     /// Lattice rows.
@@ -100,7 +112,10 @@ impl Workload for MolecularDynamics {
     }
 
     fn name(&self) -> String {
-        format!("molecular-dynamics({}x{}, R={}, seed={})", self.rows, self.cols, self.resolution_bits, self.seed)
+        format!(
+            "molecular-dynamics({}x{}, R={}, seed={})",
+            self.rows, self.cols, self.resolution_bits, self.seed
+        )
     }
 
     fn graph(&self) -> &IsingGraph {
@@ -158,7 +173,13 @@ mod tests {
         let mut solver = CpuReferenceSolver::new();
         // Best of a few restarts: single SA runs land in domain-wall
         // local optima now and then.
-        let r = solve_multi_start(&mut solver, w.graph(), &init, &SolveOptions::for_graph(w.graph(), 5), 4);
+        let r = solve_multi_start(
+            &mut solver,
+            w.graph(),
+            &init,
+            &SolveOptions::for_graph(w.graph(), 5),
+            4,
+        );
         assert!(r.converged);
         let acc = w.accuracy(&r.spins);
         assert!(acc > 0.98, "accuracy {acc}");

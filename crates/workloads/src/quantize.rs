@@ -24,7 +24,10 @@
 ///
 /// Panics if `bits` is outside `2..=32`.
 pub fn quantize_to_bits(values: &[i64], bits: u32) -> Vec<i32> {
-    assert!((2..=32).contains(&bits), "resolution must be 2..=32 bits, got {bits}");
+    assert!(
+        (2..=32).contains(&bits),
+        "resolution must be 2..=32 bits, got {bits}"
+    );
     let max_abs = values.iter().map(|v| v.abs()).max().unwrap_or(0);
     if max_abs == 0 {
         return vec![0; values.len()];
@@ -55,7 +58,12 @@ pub fn quantization_error(values: &[i64], quantized: &[i32]) -> f64 {
         return 0.0;
     }
     let max_v = values.iter().map(|v| v.abs()).max().unwrap_or(0).max(1) as f64;
-    let max_q = quantized.iter().map(|q| (*q as i64).abs()).max().unwrap_or(0).max(1) as f64;
+    let max_q = quantized
+        .iter()
+        .map(|q| (*q as i64).abs())
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
     let sum: f64 = values
         .iter()
         .zip(quantized.iter())
@@ -97,7 +105,10 @@ mod tests {
         for bits in [2, 4, 8, 16] {
             let q = quantize_to_bits(&values, bits);
             let err = quantization_error(&values, &q);
-            assert!(err <= last + 1e-12, "error grew at {bits} bits: {err} > {last}");
+            assert!(
+                err <= last + 1e-12,
+                "error grew at {bits} bits: {err} > {last}"
+            );
             last = err;
         }
         // 16-bit on values < 2000 is lossless up to rounding.

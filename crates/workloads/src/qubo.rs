@@ -45,7 +45,12 @@ pub struct QuboBuilder {
 impl QuboBuilder {
     /// Starts a QUBO over `n` binary variables.
     pub fn new(n: usize) -> Self {
-        QuboBuilder { n, linear: vec![0; n], quadratic: BTreeMap::new(), constant: 0 }
+        QuboBuilder {
+            n,
+            linear: vec![0; n],
+            quadratic: BTreeMap::new(),
+            constant: 0,
+        }
     }
 
     /// Number of variables.
@@ -122,7 +127,10 @@ impl QuboBuilder {
             h[j as usize] += c;
         }
         for (i, &hi) in h.iter().enumerate() {
-            builder = builder.field(i as u32, (-hi).clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+            builder = builder.field(
+                i as u32,
+                (-hi).clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+            );
         }
         let graph = builder.build()?;
         Ok(QuboProblem {
@@ -176,7 +184,9 @@ mod tests {
 
     fn all_assignments(n: usize) -> impl Iterator<Item = SpinVector> {
         (0..(1u32 << n)).map(move |mask| {
-            (0..n).map(|b| Spin::from_bit((mask >> b) & 1 == 1)).collect()
+            (0..n)
+                .map(|b| Spin::from_bit((mask >> b) & 1 == 1))
+                .collect()
         })
     }
 
@@ -185,10 +195,16 @@ mod tests {
         // 4H_ising + const == 4*QUBO for every assignment: check the
         // affine relationship by comparing pairwise differences.
         let mut q = QuboBuilder::new(4);
-        q.linear(0, 3).linear(2, -5).quadratic(0, 1, 7).quadratic(1, 3, -2).quadratic(2, 3, 4).constant(11);
+        q.linear(0, 3)
+            .linear(2, -5)
+            .quadratic(0, 1, 7)
+            .quadratic(1, 3, -2)
+            .quadratic(2, 3, 4)
+            .constant(11);
         let p = q.build().unwrap();
-        let pairs: Vec<(i64, i64)> =
-            all_assignments(4).map(|s| (p.objective(&s), energy(p.graph(), &s))).collect();
+        let pairs: Vec<(i64, i64)> = all_assignments(4)
+            .map(|s| (p.objective(&s), energy(p.graph(), &s)))
+            .collect();
         let (q0, h0) = pairs[0];
         for &(qv, hv) in &pairs {
             assert_eq!(4 * (qv - q0), hv - h0, "Ising image not affine-equivalent");
@@ -198,10 +214,16 @@ mod tests {
     #[test]
     fn minimizer_agrees() {
         let mut q = QuboBuilder::new(5);
-        q.linear(0, -3).linear(4, 2).quadratic(0, 1, 4).quadratic(2, 3, -6).quadratic(1, 4, 1);
+        q.linear(0, -3)
+            .linear(4, 2)
+            .quadratic(0, 1, 4)
+            .quadratic(2, 3, -6)
+            .quadratic(1, 4, 1);
         let p = q.build().unwrap();
         let best_qubo = all_assignments(5).min_by_key(|s| p.objective(s)).unwrap();
-        let best_ising = all_assignments(5).min_by_key(|s| energy(p.graph(), s)).unwrap();
+        let best_ising = all_assignments(5)
+            .min_by_key(|s| energy(p.graph(), s))
+            .unwrap();
         assert_eq!(p.objective(&best_qubo), p.objective(&best_ising));
     }
 

@@ -74,7 +74,13 @@ impl ImageSegmentation {
     ///
     /// Panics if the image has fewer than 4 pixels, or `bits` is outside
     /// `2..=32`, or a dense radius of 0 is requested.
-    pub fn with_options(width: usize, height: usize, seed: u64, connectivity: Connectivity, bits: u32) -> Self {
+    pub fn with_options(
+        width: usize,
+        height: usize,
+        seed: u64,
+        connectivity: Connectivity,
+        bits: u32,
+    ) -> Self {
         assert!(width * height >= 4, "image must have at least 4 pixels");
         if let Connectivity::Dense(r) = connectivity {
             assert!(r > 0, "dense radius must be positive");
@@ -130,7 +136,9 @@ impl ImageSegmentation {
             builder.push_edge(u, v, q);
             total_abs_weight += (q as i64).abs();
         }
-        let graph = builder.build().expect("segmentation graph construction cannot fail");
+        let graph = builder
+            .build()
+            .expect("segmentation graph construction cannot fail");
 
         ImageSegmentation {
             width,
@@ -204,7 +212,11 @@ impl ImageSegmentation {
         let mut out = String::with_capacity((self.width + 1) * self.height);
         for r in 0..self.height {
             for c in 0..self.width {
-                out.push(if spins.get(r * self.width + c).bit() { '#' } else { '.' });
+                out.push(if spins.get(r * self.width + c).bit() {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             out.push('\n');
         }

@@ -133,14 +133,21 @@ impl WorkloadShape {
             (2..=32).contains(&resolution_bits),
             "resolution must be 2..=32 bits, got {resolution_bits}"
         );
-        WorkloadShape { spins, neighbors_per_spin, resolution_bits }
+        WorkloadShape {
+            spins,
+            neighbors_per_spin,
+            resolution_bits,
+        }
     }
 
     /// Returns the same shape at a different IC resolution (Fig. 18
     /// sweeps).
     #[must_use]
     pub fn with_resolution(mut self, bits: u32) -> Self {
-        assert!((2..=32).contains(&bits), "resolution must be 2..=32 bits, got {bits}");
+        assert!(
+            (2..=32).contains(&bits),
+            "resolution must be 2..=32 bits, got {bits}"
+        );
         self.resolution_bits = bits;
         self
     }
@@ -192,7 +199,10 @@ mod tests {
         assert_eq!(CopKind::ImageSegmentation.typical_resolution_bits(), 6);
         assert_eq!(CopKind::TravelingSalesman.typical_resolution_bits(), 5);
         assert_eq!(CopKind::MolecularDynamics.typical_resolution_bits(), 4);
-        assert_eq!(CopKind::MolecularDynamics.connectivity(), "King's (8-neighbor)");
+        assert_eq!(
+            CopKind::MolecularDynamics.connectivity(),
+            "King's (8-neighbor)"
+        );
         assert_eq!(CopKind::ALL.len(), 4);
     }
 
@@ -201,8 +211,14 @@ mod tests {
         // Fig. 15a reuse at 4-bit: asset 4, MD 32, imgseg ~200, TSP ~4000.
         assert_eq!(CopKind::AssetAllocation.neighbors_per_spin(1_000) * 4, 4);
         assert_eq!(CopKind::MolecularDynamics.neighbors_per_spin(1_000) * 4, 32);
-        assert_eq!(CopKind::ImageSegmentation.neighbors_per_spin(1_000) * 4, 192);
-        assert_eq!(CopKind::TravelingSalesman.neighbors_per_spin(1_000) * 4, 3_996);
+        assert_eq!(
+            CopKind::ImageSegmentation.neighbors_per_spin(1_000) * 4,
+            192
+        );
+        assert_eq!(
+            CopKind::TravelingSalesman.neighbors_per_spin(1_000) * 4,
+            3_996
+        );
     }
 
     #[test]
@@ -230,7 +246,10 @@ mod tests {
         // from the paper's table are catalogued by the fig04 harness.
         let l1_bits = 64 * 1024 * 8u64;
         let fits = |kind: CopKind, bits: u32| {
-            kind.standard_shape(1_000).with_resolution(bits).total_bits() <= l1_bits
+            kind.standard_shape(1_000)
+                .with_resolution(bits)
+                .total_bits()
+                <= l1_bits
         };
         assert!(fits(CopKind::AssetAllocation, 7));
         assert!(fits(CopKind::ImageSegmentation, 6));
@@ -262,7 +281,10 @@ mod tests {
 
     #[test]
     fn display_and_size_ranges() {
-        assert_eq!(format!("{}", CopKind::TravelingSalesman), "traveling salesman");
+        assert_eq!(
+            format!("{}", CopKind::TravelingSalesman),
+            "traveling salesman"
+        );
         let (lo, hi) = CopKind::AssetAllocation.typical_size_range();
         assert!(lo < hi);
     }

@@ -27,7 +27,9 @@ use sachi_ising::spin::{Spin, SpinVector};
 /// Generates `n` random city coordinates in the unit square.
 pub fn random_cities(n: usize, seed: u64) -> Vec<(f64, f64)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
 }
 
 /// Integer Euclidean distance matrix (scaled by 100).
@@ -118,7 +120,11 @@ impl TspDecision {
     ///
     /// Panics if `n < 3`.
     pub fn new(n: usize, seed: u64) -> Self {
-        Self::with_resolution(n, seed, CopKind::TravelingSalesman.typical_resolution_bits())
+        Self::with_resolution(
+            n,
+            seed,
+            CopKind::TravelingSalesman.typical_resolution_bits(),
+        )
     }
 
     /// Builds an instance with explicit IC resolution.
@@ -145,9 +151,17 @@ impl TspDecision {
                 idx += 1;
             }
         }
-        let graph = builder.build().expect("decision TSP graph construction cannot fail");
+        let graph = builder
+            .build()
+            .expect("decision TSP graph construction cannot fail");
         let reference_cut = best_cut_reference(&graph, seed);
-        TspDecision { coords, graph, resolution_bits: bits, reference_cut, seed }
+        TspDecision {
+            coords,
+            graph,
+            resolution_bits: bits,
+            reference_cut,
+            seed,
+        }
     }
 
     /// The city coordinates.
@@ -173,7 +187,12 @@ impl Workload for TspDecision {
     }
 
     fn name(&self) -> String {
-        format!("tsp-decision(n={}, R={}, seed={})", self.coords.len(), self.resolution_bits, self.seed)
+        format!(
+            "tsp-decision(n={}, R={}, seed={})",
+            self.coords.len(),
+            self.resolution_bits,
+            self.seed
+        )
     }
 
     fn graph(&self) -> &IsingGraph {
@@ -215,7 +234,11 @@ impl TspTour {
     /// larger functional instances pointless; use [`TspDecision`] for
     /// architecture-scale runs).
     pub fn new(n: usize, seed: u64) -> Self {
-        Self::with_resolution(n, seed, CopKind::TravelingSalesman.typical_resolution_bits())
+        Self::with_resolution(
+            n,
+            seed,
+            CopKind::TravelingSalesman.typical_resolution_bits(),
+        )
     }
 
     /// Builds an instance with explicit distance resolution.
@@ -224,15 +247,25 @@ impl TspTour {
     ///
     /// Panics if `n` is outside `3..=64` or `bits` is outside `2..=32`.
     pub fn with_resolution(n: usize, seed: u64, bits: u32) -> Self {
-        assert!((3..=64).contains(&n), "TspTour supports 3..=64 cities, got {n}");
+        assert!(
+            (3..=64).contains(&n),
+            "TspTour supports 3..=64 cities, got {n}"
+        );
         let coords = random_cities(n, seed);
         let dist = distance_matrix(&coords);
         // Quantize distances to R bits.
         let flat: Vec<i64> = dist.iter().flatten().copied().collect();
         let qflat = quantize_to_bits(&flat, bits);
-        let quantized_dist: Vec<Vec<i64>> =
-            (0..n).map(|i| (0..n).map(|j| qflat[i * n + j] as i64).collect()).collect();
-        let max_d = quantized_dist.iter().flatten().copied().max().unwrap_or(1).max(1);
+        let quantized_dist: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| qflat[i * n + j] as i64).collect())
+            .collect();
+        let max_d = quantized_dist
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
 
         // Lucas TSP as a QUBO: one-hot constraints per city and per
         // position, plus distance terms. Penalty weight A > B * max_d
@@ -260,9 +293,21 @@ impl TspTour {
                 }
             }
         }
-        let graph = q.build().expect("TSP tour graph construction cannot fail").graph().clone();
+        let graph = q
+            .build()
+            .expect("TSP tour graph construction cannot fail")
+            .graph()
+            .clone();
         let reference_length = tour_length(&two_opt_tour(&dist), &dist);
-        TspTour { coords, dist, quantized_dist, graph, resolution_bits: bits, reference_length, seed }
+        TspTour {
+            coords,
+            dist,
+            quantized_dist,
+            graph,
+            resolution_bits: bits,
+            reference_length,
+            seed,
+        }
     }
 
     /// Number of cities.
@@ -347,7 +392,12 @@ impl Workload for TspTour {
     }
 
     fn name(&self) -> String {
-        format!("tsp-tour(n={}, R={}, seed={})", self.num_cities(), self.resolution_bits, self.seed)
+        format!(
+            "tsp-tour(n={}, R={}, seed={})",
+            self.num_cities(),
+            self.resolution_bits,
+            self.seed
+        )
     }
 
     fn graph(&self) -> &IsingGraph {
@@ -356,7 +406,11 @@ impl Workload for TspTour {
 
     fn shape(&self) -> WorkloadShape {
         let spins = (self.num_cities() * self.num_cities()) as u64;
-        WorkloadShape::new(spins, self.graph.max_degree() as u64, self.graph.bits_required())
+        WorkloadShape::new(
+            spins,
+            self.graph.max_degree() as u64,
+            self.graph.bits_required(),
+        )
     }
 
     /// Reference length over achieved length, clamped to `[0, 1]`.
@@ -391,7 +445,11 @@ mod tests {
         assert_eq!(tour.len(), 15);
         let mut sorted = tour.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..15).collect::<Vec<_>>(), "tour must visit every city once");
+        assert_eq!(
+            sorted,
+            (0..15).collect::<Vec<_>>(),
+            "tour must visit every city once"
+        );
         // 2-opt tours of random points are well below the worst case.
         let worst: i64 = (0..15).map(|i| d[i][(i + 1) % 15]).sum();
         assert!(tour_length(&tour, &d) <= worst * 2);
@@ -435,7 +493,11 @@ mod tests {
         let init = SpinVector::random(16, &mut rng);
         let mut solver = CpuReferenceSolver::new();
         let r = solver.solve(w.graph(), &init, &SolveOptions::for_graph(w.graph(), 8));
-        assert!(w.accuracy(&r.spins) > 0.9, "accuracy {}", w.accuracy(&r.spins));
+        assert!(
+            w.accuracy(&r.spins) > 0.9,
+            "accuracy {}",
+            w.accuracy(&r.spins)
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Parser for `lint.allow.toml`, the audited-exception list.
+//!
+//! The file is a TOML *subset* parsed by hand (the workspace builds
+//! offline, so no `toml` crate): `#` comments, blank lines, `[[allow]]`
+//! section headers, and `key = "string"` pairs. Anything else is a hard
+//! error — an allowlist that cannot be audited at a glance defeats its
+//! purpose.
+//!
+//! Each entry must carry four keys:
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "unit-safety"
+//! path = "crates/mem/src/units.rs"
+//! contains = "self.0 as f64"
+//! reason = "one-line justification"
+//! ```
+//!
+//! A finding is suppressed when an entry's `lint` and `path` match
+//! exactly and the finding's source line contains `contains`.
+
+/// One audited exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name the exception applies to.
+    pub lint: String,
+    /// Repo-relative path (forward slashes) of the file.
+    pub path: String,
+    /// Substring of the offending source line.
+    pub contains: String,
+    /// One-line human justification. Must be non-empty.
+    pub reason: String,
+    /// Line in `lint.allow.toml` where the entry starts (for diagnostics).
+    pub line: usize,
+}
+
+/// Parses the allowlist. Returns entries or a description of the first
+/// syntax problem.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    // (lint, path, contains, reason, header line) for the section being built.
+    type PartialEntry = (
+        Option<String>,
+        Option<String>,
+        Option<String>,
+        Option<String>,
+        usize,
+    );
+    let mut current: Option<PartialEntry> = None;
+
+    fn finish(current: Option<PartialEntry>, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+        let Some((lint, path, contains, reason, line)) = current else {
+            return Ok(());
+        };
+        let missing = |k: &str| format!("entry at line {line}: missing key `{k}`");
+        let entry = AllowEntry {
+            lint: lint.ok_or_else(|| missing("lint"))?,
+            path: path.ok_or_else(|| missing("path"))?,
+            contains: contains.ok_or_else(|| missing("contains"))?,
+            reason: reason.ok_or_else(|| missing("reason"))?,
+            line,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!("entry at line {line}: `reason` must not be empty"));
+        }
+        if entry.contains.is_empty() {
+            return Err(format!(
+                "entry at line {line}: `contains` must not be empty"
+            ));
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries)?;
+            current = Some((None, None, None, None, lineno));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = \"value\"`, got: {line}"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+            return Err(format!(
+                "line {lineno}: value for `{key}` must be a double-quoted string"
+            ));
+        }
+        let value = value[1..value.len() - 1].to_string();
+        if value.contains('"') || value.contains('\\') {
+            return Err(format!(
+                "line {lineno}: escapes are not supported in this TOML subset; \
+                 pick a `contains` substring without quotes or backslashes"
+            ));
+        }
+        let Some(slot) = current.as_mut() else {
+            return Err(format!(
+                "line {lineno}: `{key}` outside any [[allow]] section"
+            ));
+        };
+        let field = match key {
+            "lint" => &mut slot.0,
+            "path" => &mut slot.1,
+            "contains" => &mut slot.2,
+            "reason" => &mut slot.3,
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        };
+        if field.is_some() {
+            return Err(format!("line {lineno}: duplicate key `{key}`"));
+        }
+        *field = Some(value);
+    }
+    finish(current, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_entries_with_comments() {
+        let text = "# header\n\n[[allow]]\nlint = \"unit-safety\"\npath = \"a/b.rs\"\ncontains = \"x as f64\"\nreason = \"ratio\"\n\n[[allow]]\nlint = \"panic-freedom\"\npath = \"c.rs\"\ncontains = \".unwrap()\"\nreason = \"infallible\"\n";
+        let entries = parse(text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lint, "unit-safety");
+        assert_eq!(entries[0].line, 3);
+        assert_eq!(entries[1].contains, ".unwrap()");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nlint = \"x\"\npath = \"p\"\ncontains = \"c\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("missing key `reason`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_reason() {
+        let text = "[[allow]]\nlint = \"x\"\npath = \"p\"\ncontains = \"c\"\nreason = \" \"\n";
+        assert!(parse(text).unwrap_err().contains("must not be empty"));
+    }
+
+    #[test]
+    fn rejects_unquoted_values_and_stray_keys() {
+        assert!(parse("[[allow]]\nlint = bare\n").is_err());
+        assert!(parse("lint = \"x\"\n").unwrap_err().contains("outside any"));
+        assert!(parse("[[allow]]\nwat = \"x\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let text = "[[allow]]\nlint = \"a\"\nlint = \"b\"\n";
+        assert!(parse(text).unwrap_err().contains("duplicate key"));
+    }
+}

@@ -1,0 +1,435 @@
+//! The four repo-specific lints and the driver that runs them.
+//!
+//! | lint | what it enforces |
+//! |------|------------------|
+//! | `unit-safety` | no raw numeric `as` casts in memory-model and energy/cycle accounting code — arithmetic goes through the `units.rs` newtypes |
+//! | `panic-freedom` | no `.unwrap()` / `panic!` in library code of `sachi-core`, `sachi-mem`, `sachi-ising` (`.expect("invariant …")` is the sanctioned escape hatch) |
+//! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
+//! | `hygiene` | `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` stay present in every crate root |
+//!
+//! Findings are suppressed by matching [`crate::allowlist`] entries; a
+//! stale (unused) allowlist entry is itself reported, so the committed
+//! exception list can never silently outlive the code it excuses.
+
+use crate::allowlist::{self, AllowEntry};
+use crate::scan::scan_lines;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint that fired (`unit-safety`, `panic-freedom`, …).
+    pub lint: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Explanation shown to the developer.
+    pub message: String,
+    /// Original source line (empty for whole-file findings). Allowlist
+    /// `contains` patterns match against this.
+    pub raw: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "[{}] {}: {}", self.lint, self.path, self.message)
+        } else {
+            write!(
+                f,
+                "[{}] {}:{}: {}",
+                self.lint, self.path, self.line, self.message
+            )?;
+            if !self.raw.trim().is_empty() {
+                write!(f, "\n    {}", self.raw.trim())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Files whose energy/cycle arithmetic must go through the `units.rs`
+/// newtypes. All of `sachi-mem`, plus the accounting paths of
+/// `sachi-core` (closed-form model, functional machine, tiled machine,
+/// per-design schedules).
+const UNIT_SAFETY_SCOPE: &[&str] = &[
+    "crates/mem/src",
+    "crates/core/src/perf.rs",
+    "crates/core/src/machine.rs",
+    "crates/core/src/tiled.rs",
+    "crates/core/src/designs.rs",
+];
+
+/// Library crates that must not panic on library paths.
+const PANIC_FREEDOM_SCOPE: &[&str] = &["crates/core/src", "crates/mem/src", "crates/ising/src"];
+
+/// Numeric primitive names that make an `as` cast a unit-safety concern.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Runs every lint from `root` (the workspace root), applying the
+/// allowlist at `root/lint.allow.toml` if present. Returns the surviving
+/// findings, or an error string for infrastructure problems (unreadable
+/// files, malformed allowlist).
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow_path = root.join("lint.allow.toml");
+    let entries = if allow_path.exists() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        allowlist::parse(&text).map_err(|e| format!("lint.allow.toml: {e}"))?
+    } else {
+        Vec::new()
+    };
+
+    let mut findings = Vec::new();
+    unit_safety(root, &mut findings)?;
+    panic_freedom(root, &mut findings)?;
+    bench_registration(root, &mut findings)?;
+    hygiene(root, &mut findings)?;
+
+    let mut used = vec![false; entries.len()];
+    findings.retain(|f| {
+        let hit = entries.iter().position(|e| allows(e, f));
+        if let Some(i) = hit {
+            used[i] = true;
+        }
+        hit.is_none()
+    });
+    for (entry, used) in entries.iter().zip(&used) {
+        if !used {
+            findings.push(Finding {
+                lint: "allowlist",
+                path: "lint.allow.toml".into(),
+                line: entry.line,
+                message: format!(
+                    "stale entry: no `{}` finding in `{}` contains `{}` — delete it or fix the pattern",
+                    entry.lint, entry.path, entry.contains
+                ),
+                raw: String::new(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(findings)
+}
+
+fn allows(entry: &AllowEntry, finding: &Finding) -> bool {
+    entry.lint == finding.lint
+        && entry.path == finding.path
+        && finding.raw.contains(&entry.contains)
+}
+
+/// Recursively collects `.rs` files under `dir` (or the file itself),
+/// sorted for deterministic output. A missing path yields no files: lint
+/// scopes name paths that may not exist in every tree (self-test trees,
+/// future crate removals).
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    if dir.is_file() {
+        out.push(dir.to_path_buf());
+        return Ok(out);
+    }
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let iter = std::fs::read_dir(&d).map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+        for entry in iter {
+            let path = entry
+                .map_err(|e| format!("read_dir {}: {e}", d.display()))?
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+/// Returns the target type of every raw numeric `as` cast in a scrubbed
+/// code line. `use foo as bar` never matches: the token after `as` must
+/// be a numeric primitive.
+fn numeric_casts(code: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find(" as ") {
+        i += pos + 4;
+        let after = code[i..].trim_start();
+        let ident: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(t) = NUMERIC_TYPES.iter().find(|t| **t == ident) {
+            hits.push(*t);
+        }
+    }
+    hits
+}
+
+fn unit_safety(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for scope in UNIT_SAFETY_SCOPE {
+        for file in rust_files(&root.join(scope))? {
+            let text = read(&file)?;
+            for line in scan_lines(&text) {
+                for ty in numeric_casts(&line.code) {
+                    findings.push(Finding {
+                        lint: "unit-safety",
+                        path: rel(root, &file),
+                        line: line.number,
+                        message: format!(
+                            "raw `as {ty}` cast in unit-accounting code; use the units.rs \
+                             newtypes or a checked conversion (TryFrom / from_f64_ceil / \
+                             scale_by_fraction)"
+                        ),
+                        raw: line.raw.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn panic_freedom(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for scope in PANIC_FREEDOM_SCOPE {
+        for file in rust_files(&root.join(scope))? {
+            let text = read(&file)?;
+            for line in scan_lines(&text) {
+                for pattern in [".unwrap()", "panic!(", "unimplemented!(", "todo!("] {
+                    if line.code.contains(pattern) {
+                        findings.push(Finding {
+                            lint: "panic-freedom",
+                            path: rel(root, &file),
+                            line: line.number,
+                            message: format!(
+                                "`{pattern}…` in library code; return a Result or use \
+                                 `.expect(\"<invariant>\")` with a message stating why \
+                                 failure is impossible"
+                            ),
+                            raw: line.raw.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bench_registration(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let bin_dir = root.join("crates/bench/src/bin");
+    if !bin_dir.exists() {
+        return Ok(());
+    }
+    let registry = read(&root.join("crates/bench/src/lib.rs"))?;
+    let experiments = read(&root.join("EXPERIMENTS.md"))?;
+    for file in rust_files(&bin_dir)? {
+        let stem = file
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let is_experiment =
+            stem.starts_with("fig") || stem.starts_with("abl_") || stem.starts_with("disc_");
+        if !is_experiment {
+            continue;
+        }
+        let path = rel(root, &file);
+        let text = read(&file)?;
+        if !scan_lines(&text).iter().any(|l| l.code.contains("fn main")) {
+            findings.push(Finding {
+                lint: "bench-registration",
+                path: path.clone(),
+                line: 0,
+                message: format!("bench binary `{stem}` has no `fn main` and cannot build"),
+                raw: String::new(),
+            });
+        }
+        if !registry.contains(&stem) {
+            findings.push(Finding {
+                lint: "bench-registration",
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "bench binary `{stem}` is not declared in crates/bench/src/lib.rs"
+                ),
+                raw: String::new(),
+            });
+        }
+        if !experiments.contains(&stem) {
+            findings.push(Finding {
+                lint: "bench-registration",
+                path,
+                line: 0,
+                message: format!("bench binary `{stem}` is not referenced in EXPERIMENTS.md"),
+                raw: String::new(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn hygiene(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for group in ["crates", "compat"] {
+        let dir = root.join(group);
+        if !dir.exists() {
+            continue;
+        }
+        let iter =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in iter {
+            let path = entry
+                .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+                .path();
+            if path.join("Cargo.toml").exists() {
+                roots.push(path);
+            }
+        }
+    }
+    if root.join("Cargo.toml").exists() && root.join("src").exists() {
+        roots.push(root.to_path_buf());
+    }
+    roots.sort();
+    for crate_dir in roots {
+        let lib = crate_dir.join("src/lib.rs");
+        let main = crate_dir.join("src/main.rs");
+        let crate_root = if lib.exists() {
+            lib
+        } else if main.exists() {
+            main
+        } else {
+            findings.push(Finding {
+                lint: "hygiene",
+                path: rel(root, &crate_dir),
+                line: 0,
+                message: "crate has neither src/lib.rs nor src/main.rs".into(),
+                raw: String::new(),
+            });
+            continue;
+        };
+        let text = read(&crate_root)?;
+        for header in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            if !text.contains(header) {
+                findings.push(Finding {
+                    lint: "hygiene",
+                    path: rel(root, &crate_root),
+                    line: 0,
+                    message: format!("crate root is missing the `{header}` header"),
+                    raw: String::new(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_casts_finds_real_casts_only() {
+        assert_eq!(numeric_casts("let x = y as u64;"), vec!["u64"]);
+        assert_eq!(numeric_casts("let z = (a * b) as f64 * 0.5;").len(), 1);
+        assert!(numeric_casts("use foo as bar;").is_empty());
+        assert!(numeric_casts("let x = y as MyType;").is_empty());
+        assert_eq!(numeric_casts("a as u32 + b as usize").len(), 2);
+    }
+
+    /// End-to-end self-test: seed a fake repo with one violation of each
+    /// lint, assert every lint fires, then allowlist one finding and
+    /// assert suppression plus stale-entry reporting.
+    #[test]
+    fn seeded_violations_are_reported_and_allowlist_suppresses() {
+        let root = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mk = |p: &str, content: &str| {
+            let path = root.join(p);
+            std::fs::create_dir_all(path.parent().expect("file paths have parents"))
+                .expect("create self-test dirs");
+            std::fs::write(path, content).expect("write self-test file");
+        };
+        // unit-safety + panic-freedom violations in mem library code.
+        mk(
+            "crates/mem/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! d\npub fn f(x: u32) -> u64 { let y = x as u64; y }\npub fn g(o: Option<u8>) -> u8 { o.unwrap() }\n",
+        );
+        mk("crates/mem/Cargo.toml", "[package]\nname = \"m\"\n");
+        // hygiene violation: missing deny(missing_docs).
+        mk("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n//! d\n");
+        mk("crates/core/Cargo.toml", "[package]\nname = \"c\"\n");
+        mk(
+            "crates/ising/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! d\n",
+        );
+        mk("crates/ising/Cargo.toml", "[package]\nname = \"i\"\n");
+        // bench-registration violation: fig binary never mentioned anywhere.
+        mk("crates/bench/src/lib.rs", "//! registry: fig_other\n");
+        mk("crates/bench/src/bin/fig99_missing.rs", "fn main() {}\n");
+        mk("crates/bench/Cargo.toml", "[package]\nname = \"b\"\n");
+        mk("EXPERIMENTS.md", "# experiments\nfig_other\n");
+
+        let findings = run(&root).expect("lint run succeeds");
+        let lints: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+        assert!(lints.contains(&"unit-safety"), "{findings:?}");
+        assert!(lints.contains(&"panic-freedom"), "{findings:?}");
+        assert!(lints.contains(&"bench-registration"), "{findings:?}");
+        assert!(lints.contains(&"hygiene"), "{findings:?}");
+        let baseline = findings.len();
+
+        // Allowlist the cast; one fewer finding, no stale entries.
+        mk(
+            "lint.allow.toml",
+            "[[allow]]\nlint = \"unit-safety\"\npath = \"crates/mem/src/lib.rs\"\ncontains = \"x as u64\"\nreason = \"self-test exception\"\n",
+        );
+        let after = run(&root).expect("lint run succeeds");
+        assert_eq!(after.len(), baseline - 1);
+        assert!(after.iter().all(|f| f.lint != "unit-safety"), "{after:?}");
+
+        // A non-matching entry is reported as stale.
+        mk(
+            "lint.allow.toml",
+            "[[allow]]\nlint = \"unit-safety\"\npath = \"crates/mem/src/lib.rs\"\ncontains = \"no such line\"\nreason = \"stale\"\n",
+        );
+        let stale = run(&root).expect("lint run succeeds");
+        assert!(stale.iter().any(|f| f.lint == "allowlist"), "{stale:?}");
+
+        std::fs::remove_dir_all(&root).expect("clean up self-test tree");
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt_from_panic_freedom() {
+        let root = std::env::temp_dir().join(format!("xtask-cfgtest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/core/src")).expect("create dirs");
+        std::fs::write(
+            root.join("crates/core/src/lib.rs"),
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! d\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+        )
+        .expect("write lib.rs");
+        let mut findings = Vec::new();
+        panic_freedom(&root, &mut findings).expect("runs");
+        assert!(findings.is_empty(), "{findings:?}");
+        std::fs::remove_dir_all(&root).expect("clean up");
+    }
+}

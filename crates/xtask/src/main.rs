@@ -1,0 +1,87 @@
+//! Workspace automation for the SACHI reproduction.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root <dir>]
+//! ```
+//!
+//! runs four repo-specific static-analysis lints (unit-safety,
+//! panic-freedom, bench-registration, hygiene — see [`lints`]) over the
+//! workspace and exits non-zero if any unsuppressed finding remains.
+//! Exceptions live in `lint.allow.toml` at the workspace root; every
+//! entry needs a one-line `reason` and stale entries are themselves
+//! errors. No external dependencies: plain line/AST-lite scanning, works
+//! in offline builds.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod allowlist;
+mod lints;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    std::process::exit(2);
+}
+
+/// Workspace root: `--root` override, else the parent of this crate's
+/// manifest directory (`crates/xtask` → repo root).
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("CARGO_MANIFEST_DIR is <root>/crates/xtask and has two parents")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(subcommand) = args.next() else {
+        usage()
+    };
+    if subcommand != "lint" {
+        eprintln!("unknown subcommand `{subcommand}`");
+        usage();
+    }
+    let mut root_override = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let root = workspace_root(root_override);
+    match lints::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean (unit-safety, panic-freedom, bench-registration, hygiene)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            eprintln!(
+                "\nxtask lint: {} finding(s). Fix them or add an audited entry to lint.allow.toml.",
+                findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("xtask lint: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

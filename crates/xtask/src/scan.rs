@@ -1,0 +1,278 @@
+//! AST-lite source model shared by the lints.
+//!
+//! The lints need three things a plain `grep` cannot give: (1) comment
+//! and string-literal contents must not trigger findings, (2) code inside
+//! `#[cfg(test)]` modules is exempt from library-code lints, and (3)
+//! findings must carry the *original* line text for allowlist matching
+//! and diagnostics. [`scan_lines`] provides exactly that: it walks a file
+//! once, strips comments and string literals with a small state machine,
+//! tracks brace depth to skip `#[cfg(test)]` modules, and yields one
+//! [`CodeLine`] per non-test source line.
+
+/// One line of library (non-test) code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeLine {
+    /// 1-based line number in the file.
+    pub number: usize,
+    /// The line with comments and string-literal contents blanked out —
+    /// what the lints pattern-match against.
+    pub code: String,
+    /// The original line text — what diagnostics and allowlists see.
+    pub raw: String,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Default)]
+struct LexState {
+    in_block_comment: bool,
+    /// `Some(hash_count)` while inside a raw string (`r"…"`, `r#"…"#`).
+    in_raw_string: Option<usize>,
+    in_string: bool,
+}
+
+/// Blanks comments and string-literal contents from `line`, updating
+/// `state` for constructs that span lines. Returns the scrubbed text.
+fn scrub_line(line: &str, state: &mut LexState) -> String {
+    let bytes = line.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if state.in_block_comment {
+            if bytes[i..].starts_with(b"*/") {
+                state.in_block_comment = false;
+                out.extend_from_slice(b"  ");
+                i += 2;
+            } else {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = state.in_raw_string {
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            if bytes[i..].starts_with(&closer) {
+                state.in_raw_string = None;
+                out.extend(std::iter::repeat_n(b' ', closer.len()));
+                i += closer.len();
+            } else {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if state.in_string {
+            match bytes[i] {
+                b'\\' if i + 1 < bytes.len() => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    state.in_string = false;
+                    out.push(b'"');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes[i..].starts_with(b"//") => break, // line comment
+            b'/' if bytes[i..].starts_with(b"/*") => {
+                state.in_block_comment = true;
+                out.extend_from_slice(b"  ");
+                i += 2;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+                state.in_raw_string = Some(hashes);
+                out.extend(std::iter::repeat_n(b' ', hashes + 2));
+                i += hashes + 2;
+            }
+            b'"' => {
+                state.in_string = true;
+                out.push(b'"');
+                i += 1;
+            }
+            b'\'' if is_char_literal(bytes, i) => {
+                // Blank char literals ('"' would otherwise open a string).
+                let len = char_literal_len(bytes, i);
+                out.extend(std::iter::repeat_n(b' ', len));
+                i += len;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // Unterminated ordinary string literals do not span lines in valid
+    // Rust unless continued with a trailing backslash; treat end-of-line
+    // as terminating to stay robust on that rare construct.
+    if state.in_string && !line.trim_end().ends_with('\\') {
+        state.in_string = false;
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// True if position `i` starts a raw string literal (`r"`, `r#"`, …) and
+/// is not part of an identifier like `for` or a lifetime.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// True if position `i` starts a character literal rather than a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // 'x' or '\x' — a closing quote within 3 bytes distinguishes a char
+    // literal from a lifetime such as `'static`.
+    let rest = &bytes[i + 1..];
+    match rest {
+        [b'\\', _, b'\'', ..] => true,
+        [c, b'\'', ..] if *c != b'\'' => true,
+        _ => false,
+    }
+}
+
+/// Byte length of the char literal starting at `i` (only called when
+/// [`is_char_literal`] holds).
+fn char_literal_len(bytes: &[u8], i: usize) -> usize {
+    if bytes.get(i + 1) == Some(&b'\\') {
+        4
+    } else {
+        3
+    }
+}
+
+/// Scans `source`, yielding scrubbed library lines. Lines inside
+/// `#[cfg(test)]`-attributed items (test modules, test-only impls) are
+/// skipped: when the attribute is seen, the scanner waits for the item's
+/// opening `{` and swallows everything until its matching `}`.
+pub fn scan_lines(source: &str) -> Vec<CodeLine> {
+    let mut state = LexState::default();
+    let mut out = Vec::new();
+    let mut pending_cfg_test = false;
+    // Depth of `{` nesting at which a cfg(test) item began, once entered.
+    let mut skip_from_depth: Option<usize> = None;
+    let mut depth: usize = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let code = scrub_line(raw, &mut state);
+        let opens = code.bytes().filter(|&b| b == b'{').count();
+        let closes = code.bytes().filter(|&b| b == b'}').count();
+
+        if skip_from_depth.is_none() && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let in_skipped = skip_from_depth.is_some();
+        if pending_cfg_test && opens > 0 {
+            skip_from_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        depth = depth + opens - closes.min(depth + opens);
+        if let Some(base) = skip_from_depth {
+            if depth <= base {
+                skip_from_depth = None;
+            }
+            continue;
+        }
+        if in_skipped {
+            continue;
+        }
+        out.push(CodeLine {
+            number: idx + 1,
+            code,
+            raw: raw.to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let a = 1; // x as u64\nlet b /* as u64 */ = 2;\n/* spans\nlines as u64\n*/ let c = 3;";
+        let got = codes(src);
+        assert_eq!(got[0], "let a = 1; ");
+        assert!(!got.concat().contains("as u64"));
+        assert!(got[4].contains("let c = 3;"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let got = codes("let s = \"call .unwrap() now\"; s.len();");
+        assert_eq!(
+            got[0].matches('"').count(),
+            2,
+            "both quotes survive: {:?}",
+            got[0]
+        );
+        assert!(!got[0].contains("unwrap"));
+        assert!(got[0].contains("s.len();"));
+    }
+
+    #[test]
+    fn blanks_raw_strings_and_escapes() {
+        let got = codes("let s = r#\"panic!(\"x\")\"#; let t = \"a\\\"b panic!\";");
+        assert!(!got[0].contains("panic!"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let got = codes("let q = '\"'; let p = x.unwrap();");
+        assert!(got[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = codes("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(got[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn skips_cfg_test_modules() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn lib2() {}";
+        let all: Vec<CodeLine> = scan_lines(src);
+        let joined: String = all
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(joined.contains("a.unwrap()"));
+        assert!(!joined.contains("b.unwrap()"));
+        assert!(joined.contains("fn lib2"));
+        assert_eq!(all.last().map(|l| l.number), Some(6));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_module_stay_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { if x { y.unwrap(); } }\n}\nfn after() { z.unwrap(); }";
+        let joined: String = scan_lines(src)
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!joined.contains("y.unwrap()"));
+        assert!(joined.contains("z.unwrap()"));
+    }
+}

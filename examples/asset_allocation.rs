@@ -11,7 +11,10 @@ use rand::SeedableRng;
 use sachi::prelude::*;
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
     let workload = AssetAllocation::new(m, 11);
     println!(
         "partitioning ${}M across {m} assets (values quantized to {}-bit ICs)",
@@ -54,6 +57,13 @@ fn main() {
         ga.evaluations
     );
 
-    let split: Vec<char> = result.spins.iter().map(|s| if s.bit() { 'A' } else { 'B' }).collect();
-    println!("\nSACHI assignment: {}", split.into_iter().collect::<String>());
+    let split: Vec<char> = result
+        .spins
+        .iter()
+        .map(|s| if s.bit() { 'A' } else { 'B' })
+        .collect();
+    println!(
+        "\nSACHI assignment: {}",
+        split.into_iter().collect::<String>()
+    );
 }

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 use sachi::prelude::*;
 
 fn main() {
-    let side: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     // Ising-CIM's envelope: unsigned 2-bit ICs, King's graph.
     let workload = MolecularDynamics::with_resolution(side, side, 33, 2);
     let graph = workload.graph();
@@ -29,13 +32,18 @@ fn main() {
     let (s_result, s_report) = sachi.solve_detailed(graph, &init, &opts);
 
     let mut cim = CimMachine::new();
-    let (c_result, c_report) = cim.solve_detailed(graph, &init, &opts).expect("within Ising-CIM envelope");
+    let (c_result, c_report) = cim
+        .solve_detailed(graph, &init, &opts)
+        .expect("within Ising-CIM envelope");
 
     // Same algorithm, same trajectory — only the hardware differs.
     assert_eq!(s_result.energy, c_result.energy);
     assert_eq!(s_result.sweeps, c_result.sweeps);
 
-    println!("\n{:<12} {:>12} {:>14} {:>8}", "machine", "cycles", "energy", "reuse");
+    println!(
+        "\n{:<12} {:>12} {:>14} {:>8}",
+        "machine", "cycles", "energy", "reuse"
+    );
     println!(
         "{:<12} {:>12} {:>14} {:>8.1}",
         "SACHI(n3)",

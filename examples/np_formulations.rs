@@ -45,7 +45,10 @@ fn main() {
     // --- max cut ---
     let problem = lucas::max_cut(&petersen).expect("formulation builds");
     let spins = solve_qubo(&problem, 6, "max-cut      ");
-    println!("              cut {} of 15 edges (optimum for Petersen: 12)\n", lucas::cut_size(&petersen, &spins));
+    println!(
+        "              cut {} of 15 edges (optimum for Petersen: 12)\n",
+        lucas::cut_size(&petersen, &spins)
+    );
 
     // --- minimum vertex cover ---
     let problem = lucas::vertex_cover(&petersen).expect("formulation builds");
@@ -63,18 +66,27 @@ fn main() {
         let spins = solve_qubo(&problem, 15, &format!("{k}-coloring   "));
         match lucas::decode_coloring(&petersen, k, &spins) {
             Some(colors) => println!("              proper {k}-coloring found: {colors:?}\n"),
-            None => println!("              no proper {k}-coloring (expected for k=2: chromatic number is 3)\n"),
+            None => println!(
+                "              no proper {k}-coloring (expected for k=2: chromatic number is 3)\n"
+            ),
         }
     }
 
     // --- text-format round trip ---
-    let dimacs = to_dimacs(lucas::max_cut(&petersen).expect("formulation builds").graph());
+    let dimacs = to_dimacs(
+        lucas::max_cut(&petersen)
+            .expect("formulation builds")
+            .graph(),
+    );
     let reparsed = parse_dimacs(&dimacs).expect("round-trip parses");
     println!(
         "DIMACS round-trip: {} bytes, {} spins, {} edges — identical: {}",
         dimacs.len(),
         reparsed.num_spins(),
         reparsed.num_edges(),
-        reparsed == *lucas::max_cut(&petersen).expect("formulation builds").graph()
+        reparsed
+            == *lucas::max_cut(&petersen)
+                .expect("formulation builds")
+                .graph()
     );
 }

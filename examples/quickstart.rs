@@ -36,7 +36,10 @@ fn main() {
     for design in DesignKind::ALL {
         let mut machine = SachiMachine::new(SachiConfig::new(design));
         let (result, report) = machine.solve_detailed(graph, &init, &opts);
-        assert_eq!(result.energy, golden.energy, "machines must match the golden model");
+        assert_eq!(
+            result.energy, golden.energy,
+            "machines must match the golden model"
+        );
         println!(
             "{:<12} {:>6} {:>14} {:>14} {:>8.1} {:>10}",
             design.label(),

@@ -12,7 +12,12 @@ use sachi::prelude::*;
 
 fn main() {
     let mut ctx = SachiContext::new(SachiConfig::new(DesignKind::N3));
-    println!("context up: L1 in {} mode, {} sets x {} ways", ctx.l1().mode(), ctx.l1().sets(), ctx.l1().ways());
+    println!(
+        "context up: L1 in {} mode, {} sets x {} ways",
+        ctx.l1().mode(),
+        ctx.l1().sets(),
+        ctx.l1().ways()
+    );
 
     // Phase 1: the host runs conventional work; the L1 is a plain cache.
     let mut rng = StdRng::seed_from_u64(1);
@@ -35,13 +40,23 @@ fn main() {
     let seg_init = SpinVector::random(seg.graph().num_spins(), &mut rng);
     let md_handle = ctx.upload(md.graph(), &md_init);
     let seg_handle = ctx.upload(seg.graph(), &seg_init);
-    println!("phase 2 (upload): staged problems #{} and #{}", md_handle.id(), seg_handle.id());
+    println!(
+        "phase 2 (upload): staged problems #{} and #{}",
+        md_handle.id(),
+        seg_handle.id()
+    );
 
     // Phase 3: launches. Each one flips the mode register, flushes the
     // L1, solves, and hands the cache back.
     let md_acc = |s: &SpinVector| md.accuracy(s);
     let seg_acc = |s: &SpinVector| seg.accuracy(s);
-    let launches: [(&str, &ProblemHandle, &IsingGraph, &dyn Fn(&SpinVector) -> f64); 2] = [
+    type Launch<'a> = (
+        &'a str,
+        &'a ProblemHandle,
+        &'a IsingGraph,
+        &'a dyn Fn(&SpinVector) -> f64,
+    );
+    let launches: [Launch; 2] = [
         ("molecular dynamics", &md_handle, md.graph(), &md_acc),
         ("image segmentation", &seg_handle, seg.graph(), &seg_acc),
     ];

@@ -12,9 +12,15 @@ use rand::SeedableRng;
 use sachi::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let workload = TspTour::new(n, 17);
-    println!("{n} cities, {} spins in the one-hot Lucas encoding", workload.graph().num_spins());
+    println!(
+        "{n} cities, {} spins in the one-hot Lucas encoding",
+        workload.graph().num_spins()
+    );
 
     // Best-of-a-few annealed SACHI solves (standard practice for quadratic
     // TSP encodings).
@@ -24,9 +30,12 @@ fn main() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let mut best: Option<(SolveResult, RunReport)> = None;
     for seed in 0..4 {
-        let (result, report) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        let (result, report) =
+            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
         let better = match &best {
-            Some((b, _)) => workload.decoded_length(&result.spins) < workload.decoded_length(&b.spins),
+            Some((b, _)) => {
+                workload.decoded_length(&result.spins) < workload.decoded_length(&b.spins)
+            }
             None => true,
         };
         if better {
@@ -44,7 +53,10 @@ fn main() {
 
     let (ref_tour, ref_len) = tsp_reference(workload.distances());
     println!("2-opt reference: {ref_tour:?}  length {ref_len}");
-    println!("tour quality   : {:.1}% of reference", workload.accuracy(&result.spins) * 100.0);
+    println!(
+        "tour quality   : {:.1}% of reference",
+        workload.accuracy(&result.spins) * 100.0
+    );
 
     // The paper's decision variant: is there an assignment with H < W?
     let decision = TspDecision::new(64, 5);
@@ -57,7 +69,11 @@ fn main() {
         "\ndecision TSP (64 cities, complete graph): H = {} vs W = {} -> {} ({} iterations, {})",
         dresult.energy,
         w,
-        if decision.hamiltonian_below(&dresult.spins, w) { "feasible" } else { "infeasible" },
+        if decision.hamiltonian_below(&dresult.spins, w) {
+            "feasible"
+        } else {
+            "infeasible"
+        },
         dreport.sweeps,
         dreport.total_cycles
     );

@@ -43,7 +43,7 @@
 //! paper (documented in EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use sachi_baselines as baselines;
 pub use sachi_core as arch;

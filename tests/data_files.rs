@@ -24,7 +24,8 @@ fn petersen_dimacs_loads_and_reaches_the_optimal_cut() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let mut best_cut = 0;
     for seed in 0..8 {
-        let (result, _) = machine.solve_detailed(w.graph(), &init, &SolveOptions::for_graph(w.graph(), seed));
+        let (result, _) =
+            machine.solve_detailed(w.graph(), &init, &SolveOptions::for_graph(w.graph(), seed));
         best_cut = best_cut.max(w.cut_weight(&result.spins));
     }
     assert_eq!(best_cut, 12, "Petersen's max cut is 12");
@@ -42,8 +43,18 @@ fn random64_gset_loads_and_solves() {
     let mut rng = StdRng::seed_from_u64(2);
     let init = SpinVector::random(64, &mut rng);
     let mut solver = CpuReferenceSolver::new();
-    let r = solve_multi_start(&mut solver, w.graph(), &init, &SolveOptions::for_graph(w.graph(), 3), 6);
-    assert!(w.accuracy(&r.spins) > 0.95, "accuracy {}", w.accuracy(&r.spins));
+    let r = solve_multi_start(
+        &mut solver,
+        w.graph(),
+        &init,
+        &SolveOptions::for_graph(w.graph(), 3),
+        6,
+    );
+    assert!(
+        w.accuracy(&r.spins) > 0.95,
+        "accuracy {}",
+        w.accuracy(&r.spins)
+    );
 }
 
 #[test]

@@ -49,7 +49,8 @@ fn lucas_formulations_solve_on_the_sachi_machine() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let mut best_cut = 0;
     for seed in 0..5 {
-        let (result, report) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        let (result, report) =
+            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
         best_cut = best_cut.max(lucas::cut_size(&input, &result.spins));
         assert!(report.reuse >= 1.0);
     }
@@ -94,8 +95,14 @@ fn cmos_annealer_quality_comparable_but_envelope_narrow() {
     let opts = SolveOptions::for_graph(graph, 8);
 
     let mut chip = CmosAnnealer::new(side);
-    let (result, report) = chip.solve_detailed(graph, &init, &opts).expect("in envelope");
-    assert!(w.accuracy(&result.spins) > 0.85, "chip accuracy {}", w.accuracy(&result.spins));
+    let (result, report) = chip
+        .solve_detailed(graph, &init, &opts)
+        .expect("in envelope");
+    assert!(
+        w.accuracy(&result.spins) > 0.85,
+        "chip accuracy {}",
+        w.accuracy(&result.spins)
+    );
     assert!(report.total_cycles.get() > 0);
 
     // A 4-bit instance is out of envelope — SACHI's reconfigurability is
@@ -105,7 +112,11 @@ fn cmos_annealer_quality_comparable_but_envelope_narrow() {
     let mut sachi = SachiMachine::new(SachiConfig::default());
     let mut rng = StdRng::seed_from_u64(9);
     let hinit = SpinVector::random(heavy.graph().num_spins(), &mut rng);
-    let (hres, _) = sachi.solve_detailed(heavy.graph(), &hinit, &SolveOptions::for_graph(heavy.graph(), 10));
+    let (hres, _) = sachi.solve_detailed(
+        heavy.graph(),
+        &hinit,
+        &SolveOptions::for_graph(heavy.graph(), 10),
+    );
     assert!(heavy.accuracy(&hres.spins) > 0.9);
 }
 
@@ -114,11 +125,18 @@ fn qubo_problems_preserve_optima_through_the_machine() {
     // Brute-force a small QUBO, then confirm the machine's annealed
     // answer reaches the same optimum objective.
     let mut q = QuboBuilder::new(6);
-    q.linear(0, -2).linear(3, 1).quadratic(0, 1, 3).quadratic(2, 3, -4).quadratic(4, 5, 2).quadratic(1, 4, -1);
+    q.linear(0, -2)
+        .linear(3, 1)
+        .quadratic(0, 1, 3)
+        .quadratic(2, 3, -4)
+        .quadratic(4, 5, 2)
+        .quadratic(1, 4, -1);
     let problem = q.build().expect("builds");
     let brute_best = (0..(1u32 << 6))
         .map(|mask| {
-            let spins: SpinVector = (0..6).map(|b| Spin::from_bit((mask >> b) & 1 == 1)).collect();
+            let spins: SpinVector = (0..6)
+                .map(|b| Spin::from_bit((mask >> b) & 1 == 1))
+                .collect();
             problem.objective(&spins)
         })
         .min()
@@ -130,7 +148,8 @@ fn qubo_problems_preserve_optima_through_the_machine() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N2));
     let mut best = i64::MAX;
     for seed in 0..8 {
-        let (result, _) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        let (result, _) =
+            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
         best = best.min(problem.objective(&result.spins));
     }
     assert_eq!(best, brute_best);

@@ -79,7 +79,9 @@ fn brim_matches_golden_within_its_envelope() {
     let opts = SolveOptions::for_graph(graph, 19).with_trace();
     let reference = golden(graph, &init, &opts);
     let mut brim = BrimMachine::new();
-    let (got, report) = brim.solve_detailed(graph, &init, &opts).expect("within BRIM envelope");
+    let (got, report) = brim
+        .solve_detailed(graph, &init, &opts)
+        .expect("within BRIM envelope");
     assert_matches("BRIM", &reference, &got);
     assert!((report.reuse - 1.0).abs() < f64::EPSILON);
 }
@@ -94,7 +96,9 @@ fn ising_cim_matches_golden_within_its_envelope() {
     let opts = SolveOptions::for_graph(graph, 29).with_trace();
     let reference = golden(graph, &init, &opts);
     let mut cim = CimMachine::new();
-    let (got, report) = cim.solve_detailed(graph, &init, &opts).expect("within Ising-CIM envelope");
+    let (got, report) = cim
+        .solve_detailed(graph, &init, &opts)
+        .expect("within Ising-CIM envelope");
     assert_matches("Ising-CIM", &reference, &got);
     assert!((report.reuse - 1.0).abs() < f64::EPSILON);
 }
@@ -114,9 +118,13 @@ fn all_machines_agree_with_each_other_on_shared_envelope() {
         let got = SachiMachine::new(SachiConfig::new(design)).solve(graph, &init, &opts);
         assert_matches(design.label(), &reference, &got);
     }
-    let (brim, _) = BrimMachine::new().solve_detailed(graph, &init, &opts).expect("BRIM envelope");
+    let (brim, _) = BrimMachine::new()
+        .solve_detailed(graph, &init, &opts)
+        .expect("BRIM envelope");
     assert_matches("BRIM", &reference, &brim);
-    let (cim, _) = CimMachine::new().solve_detailed(graph, &init, &opts).expect("CIM envelope");
+    let (cim, _) = CimMachine::new()
+        .solve_detailed(graph, &init, &opts)
+        .expect("CIM envelope");
     assert_matches("Ising-CIM", &reference, &cim);
 }
 
@@ -130,7 +138,11 @@ fn geometry_never_changes_results() {
     let init = SpinVector::random(graph.num_spins(), &mut rng);
     let opts = SolveOptions::for_graph(graph, 43).with_trace();
     let reference = golden(graph, &init, &opts);
-    for hierarchy in [CacheHierarchy::hpca_default(), CacheHierarchy::desktop(), CacheHierarchy::server()] {
+    for hierarchy in [
+        CacheHierarchy::hpca_default(),
+        CacheHierarchy::desktop(),
+        CacheHierarchy::server(),
+    ] {
         let got = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy))
             .solve(graph, &init, &opts);
         assert_matches("hierarchy preset", &reference, &got);
@@ -139,6 +151,7 @@ fn geometry_never_changes_results() {
         compute: CacheGeometry::new(1, 4, 64, 1),
         storage: CacheGeometry::new(1, 2, 64, 2),
     };
-    let got = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny)).solve(graph, &init, &opts);
+    let got = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(tiny))
+        .solve(graph, &init, &opts);
     assert_matches("tiny hierarchy", &reference, &got);
 }

@@ -27,9 +27,22 @@ fn xnorm_program_computes_a_tuple_local_field() {
     for (k, (j, s)) in neighbors.iter().enumerate() {
         exec.write_dram(0, &enc.encode(*j).unwrap()).unwrap();
         let program = [
-            Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0, len: 132 },
-            Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: r as u16 },
-            Instruction::Xnorm { dest: (k + 1) as u8, src1: (128 + k) as u32, src2: 0, bit: r as u8 },
+            Instruction::Fist {
+                subop: FistSubop::DramToStorage,
+                addr: 0,
+                len: 132,
+            },
+            Instruction::Fist {
+                subop: FistSubop::StorageToCompute,
+                addr: 0,
+                len: r as u16,
+            },
+            Instruction::Xnorm {
+                dest: (k + 1) as u8,
+                src1: (128 + k) as u32,
+                src2: 0,
+                bit: r as u8,
+            },
         ];
         exec.run(&program).unwrap();
         let product = exec.register((k + 1) as u8);
@@ -58,10 +71,28 @@ fn xnorm_hardware_counters_accumulate() {
     exec.write_dram(0, &[true, false, true, false]).unwrap();
     exec.write_dram(8, &[true]).unwrap();
     let program = [
-        Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0, len: 9 },
-        Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: 4 },
-        Instruction::Xnorm { dest: 0, src1: 8, src2: 0, bit: 4 },
-        Instruction::Xnorm { dest: 1, src1: 8, src2: 0, bit: 4 },
+        Instruction::Fist {
+            subop: FistSubop::DramToStorage,
+            addr: 0,
+            len: 9,
+        },
+        Instruction::Fist {
+            subop: FistSubop::StorageToCompute,
+            addr: 0,
+            len: 4,
+        },
+        Instruction::Xnorm {
+            dest: 0,
+            src1: 8,
+            src2: 0,
+            bit: 4,
+        },
+        Instruction::Xnorm {
+            dest: 1,
+            src1: 8,
+            src2: 0,
+            bit: 4,
+        },
     ];
     exec.run(&program).unwrap();
     // Two XNORM pulses: two compute accesses, four word-line activations.
@@ -73,10 +104,27 @@ fn xnorm_hardware_counters_accumulate() {
 #[test]
 fn program_bytes_roundtrip_through_decoder() {
     let program = vec![
-        Instruction::Fist { subop: FistSubop::DramWrite, addr: 0, len: 64 },
-        Instruction::Fist { subop: FistSubop::DramToStorage, addr: 0, len: 64 },
-        Instruction::Fist { subop: FistSubop::StorageToCompute, addr: 0, len: 8 },
-        Instruction::Xnorm { dest: 1, src1: 70, src2: 0, bit: 8 },
+        Instruction::Fist {
+            subop: FistSubop::DramWrite,
+            addr: 0,
+            len: 64,
+        },
+        Instruction::Fist {
+            subop: FistSubop::DramToStorage,
+            addr: 0,
+            len: 64,
+        },
+        Instruction::Fist {
+            subop: FistSubop::StorageToCompute,
+            addr: 0,
+            len: 8,
+        },
+        Instruction::Xnorm {
+            dest: 1,
+            src1: 70,
+            src2: 0,
+            bit: 8,
+        },
     ];
     let bytes: Vec<u8> = program.iter().flat_map(|i| i.encode()).collect();
     let decoded = Instruction::decode_program(&bytes).unwrap();

@@ -13,7 +13,9 @@ use sachi::prelude::*;
 fn fig15a_reuse_table() {
     let reuse = |kind: CopKind| {
         let shape = kind.standard_shape(1_000).with_resolution(4);
-        PerfModel::new(SachiConfig::new(DesignKind::N3)).iteration(&shape).reuse
+        PerfModel::new(SachiConfig::new(DesignKind::N3))
+            .iteration(&shape)
+            .reuse
     };
     assert_eq!(reuse(CopKind::AssetAllocation), 4);
     assert_eq!(reuse(CopKind::MolecularDynamics), 32);
@@ -34,7 +36,9 @@ fn fig15bc_sachi_beats_brim() {
 
     let mut sachi = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let (_, s) = sachi.solve_detailed(graph, &init, &opts);
-    let (_, b) = BrimMachine::new().solve_detailed(graph, &init, &opts).expect("BRIM envelope");
+    let (_, b) = BrimMachine::new()
+        .solve_detailed(graph, &init, &opts)
+        .expect("BRIM envelope");
 
     let speedup = b.total_cycles.ratio(s.total_cycles);
     let energy_gain = b.energy.total().ratio(s.energy.total());
@@ -53,7 +57,10 @@ fn fig15bc_sachi_beats_brim() {
     let asset = cpi(CopKind::AssetAllocation);
     let tsp = cpi(CopKind::TravelingSalesman);
     assert!(asset > 1.0, "asset speedup {asset:.1}");
-    assert!(tsp > asset, "TSP speedup {tsp:.1} should exceed asset {asset:.1}");
+    assert!(
+        tsp > asset,
+        "TSP speedup {tsp:.1} should exceed asset {asset:.1}"
+    );
 }
 
 /// Fig. 15d/e: SACHI(n3) beats Ising-CIM on cycles (paper: ~70-80x) and
@@ -68,13 +75,22 @@ fn fig15de_sachi_beats_ising_cim() {
 
     let mut sachi = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let (_, s) = sachi.solve_detailed(graph, &init, &opts);
-    let (_, c) = CimMachine::new().solve_detailed(graph, &init, &opts).expect("CIM envelope");
+    let (_, c) = CimMachine::new()
+        .solve_detailed(graph, &init, &opts)
+        .expect("CIM envelope");
 
     let speedup = c.total_cycles.ratio(s.total_cycles);
-    assert!(speedup > 20.0 && speedup < 500.0, "speedup {speedup:.1}x out of plausible band");
+    assert!(
+        speedup > 20.0 && speedup < 500.0,
+        "speedup {speedup:.1}x out of plausible band"
+    );
     assert!(c.energy.total() > s.energy.total());
     // Reuse: N*R = 16 for the paper; interior tuples dominate here.
-    assert!(s.reuse / c.reuse > 8.0, "reuse advantage {:.1}", s.reuse / c.reuse);
+    assert!(
+        s.reuse / c.reuse > 8.0,
+        "reuse advantage {:.1}",
+        s.reuse / c.reuse
+    );
 }
 
 /// Fig. 17: CPI ladder n3 <= n2 <= n1b <= n1a at every size, and CPI
@@ -86,8 +102,12 @@ fn fig17_cpi_ladder_and_monotonicity() {
         for spins in [500u64, 10_000, 200_000, 1_000_000] {
             let shape = kind.standard_shape(spins);
             let est = |k| PerfModel::new(SachiConfig::new(k)).iteration(&shape);
-            let (ea, eb, ec, ed) =
-                (est(DesignKind::N1a), est(DesignKind::N1b), est(DesignKind::N2), est(DesignKind::N3));
+            let (ea, eb, ec, ed) = (
+                est(DesignKind::N1a),
+                est(DesignKind::N1b),
+                est(DesignKind::N2),
+                est(DesignKind::N3),
+            );
             let (a, b, c, d) = (
                 ea.effective_cycles.get(),
                 eb.effective_cycles.get(),
@@ -98,7 +118,10 @@ fn fig17_cpi_ladder_and_monotonicity() {
             // n3 tie exactly for single-neighbor COPs modulo round count).
             let le = |x: u64, y: u64| (x as f64) <= (y as f64) * 1.001;
             // n3 is always the best design; n1b never loses to n1a.
-            assert!(le(d, a) && le(d, b) && le(d, c), "{kind} at {spins}: n3 {d} not best of {a} {b} {c}");
+            assert!(
+                le(d, a) && le(d, b) && le(d, c),
+                "{kind} at {spins}: n3 {d} not best of {a} {b} {c}"
+            );
             assert!(le(b, a), "{kind} at {spins}: n1b {b} > n1a {a}");
             // n2 <= n1b holds whenever n2's larger resident footprint has
             // not yet cost it tile parallelism (it stores R x more per
@@ -126,7 +149,11 @@ fn fig17_tsp_has_highest_cpi() {
                 .get()
         };
         let tsp = cpi(CopKind::TravelingSalesman);
-        for other in [CopKind::AssetAllocation, CopKind::ImageSegmentation, CopKind::MolecularDynamics] {
+        for other in [
+            CopKind::AssetAllocation,
+            CopKind::ImageSegmentation,
+            CopKind::MolecularDynamics,
+        ] {
             assert!(tsp > cpi(other), "{design}: TSP not the worst vs {other}");
         }
     }
@@ -162,7 +189,10 @@ fn fig18_resolution_sensitivity() {
                 assert!(hi / lo < n1_growth, "n3 should be less R-sensitive than n1");
                 continue;
             }
-            assert!((hi - lo).abs() / lo < 0.25, "{design} on {kind} not ~flat: {lo} vs {hi}");
+            assert!(
+                (hi - lo).abs() / lo < 0.25,
+                "{design} on {kind} not ~flat: {lo} vs {hi}"
+            );
         }
     }
 }
@@ -178,10 +208,16 @@ fn fig19b_solution_time_ladder() {
     let opts = SolveOptions::for_graph(graph, 5);
     let mut times = Vec::new();
     for design in DesignKind::ALL {
-        let (_, report) = SachiMachine::new(SachiConfig::new(design)).solve_detailed(graph, &init, &opts);
+        let (_, report) =
+            SachiMachine::new(SachiConfig::new(design)).solve_detailed(graph, &init, &opts);
         times.push(report.wall_time.get());
     }
-    assert!(times[3] < times[2], "n3 {:?} !< n2 {:?}", times[3], times[2]);
+    assert!(
+        times[3] < times[2],
+        "n3 {:?} !< n2 {:?}",
+        times[3],
+        times[2]
+    );
     assert!(times[2] < times[1], "n2 !< n1b");
     assert!(times[1] <= times[0], "n1b !<= n1a");
 }
@@ -223,7 +259,10 @@ fn fig19c_low_resolution_needs_more_iterations_to_iso_accuracy() {
         low += sweeps_to_target(2, seed);
         high += sweeps_to_target(16, seed);
     }
-    assert!(low > high, "2-bit reached iso-accuracy in {low} sweeps vs 16-bit {high}");
+    assert!(
+        low > high,
+        "2-bit reached iso-accuracy in {low} sweeps vs 16-bit {high}"
+    );
 }
 
 /// Sec. VII.2: bigger cache presets monotonically improve 1M-spin TSP.
@@ -239,8 +278,16 @@ fn sec7_cache_scaling() {
     let base = cpi(CacheHierarchy::hpca_default());
     let desktop = cpi(CacheHierarchy::desktop());
     let server = cpi(CacheHierarchy::server());
-    assert!(base / desktop > 2.0, "desktop speedup {:.1}", base / desktop);
-    assert!(desktop / server > 1.5, "server over desktop {:.1}", desktop / server);
+    assert!(
+        base / desktop > 2.0,
+        "desktop speedup {:.1}",
+        base / desktop
+    );
+    assert!(
+        desktop / server > 1.5,
+        "server over desktop {:.1}",
+        desktop / server
+    );
 }
 
 /// The 2x CPI claim: Ising-CIM's read-modify-write makes each compute a
@@ -265,8 +312,9 @@ fn ablations_change_cost_not_results() {
 
     let (base_result, base) =
         SachiMachine::new(SachiConfig::new(DesignKind::N3)).solve_detailed(graph, &init, &opts);
-    let (norep_result, norep) = SachiMachine::new(SachiConfig::new(DesignKind::N3).without_tuple_rep())
-        .solve_detailed(graph, &init, &opts);
+    let (norep_result, norep) =
+        SachiMachine::new(SachiConfig::new(DesignKind::N3).without_tuple_rep())
+            .solve_detailed(graph, &init, &opts);
     assert_eq!(base_result.energy, norep_result.energy);
     assert_eq!(base.cross_tuple_rereads, 0);
     assert!(norep.cross_tuple_rereads > 0);
@@ -277,9 +325,12 @@ fn ablations_change_cost_not_results() {
     };
     let (pf_result, pf) = SachiMachine::new(SachiConfig::new(DesignKind::N2).with_hierarchy(tiny))
         .solve_detailed(graph, &init, &opts);
-    let (nopf_result, nopf) =
-        SachiMachine::new(SachiConfig::new(DesignKind::N2).with_hierarchy(tiny).without_prefetch())
-            .solve_detailed(graph, &init, &opts);
+    let (nopf_result, nopf) = SachiMachine::new(
+        SachiConfig::new(DesignKind::N2)
+            .with_hierarchy(tiny)
+            .without_prefetch(),
+    )
+    .solve_detailed(graph, &init, &opts);
     assert_eq!(pf_result.energy, nopf_result.energy);
     assert!(nopf.total_cycles > pf.total_cycles);
 }

@@ -10,7 +10,9 @@ use sachi::prelude::*;
 fn arbitrary_king_graph(rows: usize, cols: usize, salt: u64, max_abs: i32) -> IsingGraph {
     let mut k = salt;
     topology::king(rows, cols, |i, j| {
-        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        k = k
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let span = (2 * max_abs + 1) as u64;
         ((k >> 33) % span) as i32 - max_abs + (i as i32 - j as i32) % 2
     })

@@ -12,7 +12,10 @@ use sachi::prelude::*;
 /// salt, keeping failures reproducible).
 fn weight(salt: u64, i: u32, j: u32, max_abs: i32) -> i32 {
     let mut x = salt ^ ((i as u64) << 32) ^ j as u64;
-    x = x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(31).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = x
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .rotate_left(31)
+        .wrapping_mul(0xbf58476d1ce4e5b9);
     let span = (2 * max_abs + 1) as u64;
     ((x >> 33) % span) as i32 - max_abs
 }

@@ -32,7 +32,10 @@ fn functional_n3_solves_10k_atoms() {
     let measured_per_sweep = report.compute_cycles.get() / report.sweeps;
     let predicted = est.compute_cycles.get();
     let err = (measured_per_sweep as f64 - predicted as f64).abs() / predicted as f64;
-    assert!(err < 0.05, "model {predicted} vs measured {measured_per_sweep} ({err:.3})");
+    assert!(
+        err < 0.05,
+        "model {predicted} vs measured {measured_per_sweep} ({err:.3})"
+    );
 }
 
 #[test]
@@ -48,7 +51,10 @@ fn functional_decision_tsp_at_2k_cities() {
     let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
     let (result, report) = machine.solve_detailed(graph, &init, &opts);
     assert_eq!(result.sweeps, 3);
-    assert!(report.rounds_per_sweep > 1, "2K-city tuples must overflow the compute array");
+    assert!(
+        report.rounds_per_sweep > 1,
+        "2K-city tuples must overflow the compute array"
+    );
     assert!(report.load_cycles > Cycles::ZERO);
     // Reuse per RWL drive: wide tuples split across ~13 rows, so the
     // measured reuse is N*(R+1)/rows ~ 769 (one drive per row), still
@@ -71,7 +77,8 @@ fn resident_machine_handles_5k_spins_with_rounds() {
         storage: CacheGeometry::sachi_storage_default(),
     };
     let golden = CpuReferenceSolver::new().solve(graph, &init, &opts);
-    let mut machine = ResidentN3Machine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy));
+    let mut machine =
+        ResidentN3Machine::new(SachiConfig::new(DesignKind::N3).with_hierarchy(hierarchy));
     let (result, report) = machine.solve_detailed(graph, &init, &opts);
     assert_eq!(result.energy, golden.energy);
     assert!(report.rounds_per_sweep > 1);

@@ -13,9 +13,21 @@ fn n1a_closed_forms() {
     let d = stationarity(DesignKind::N1a);
     for n in NS {
         for r in RS {
-            assert_eq!(d.phase1_cycles(n, r, ROW_BITS), n * r as u64, "phase1 N={n} R={r}");
-            assert_eq!(d.idle_cycles(n, r), (r as u64 - 1) * n + 1, "idle N={n} R={r}");
-            assert_eq!(d.xnor_queue_bits(n, r), n * (r as u64 + 1), "queue N={n} R={r}");
+            assert_eq!(
+                d.phase1_cycles(n, r, ROW_BITS),
+                n * r as u64,
+                "phase1 N={n} R={r}"
+            );
+            assert_eq!(
+                d.idle_cycles(n, r),
+                (r as u64 - 1) * n + 1,
+                "idle N={n} R={r}"
+            );
+            assert_eq!(
+                d.xnor_queue_bits(n, r),
+                n * (r as u64 + 1),
+                "queue N={n} R={r}"
+            );
             assert_eq!(d.max_reuse(n, r), 1);
             assert_eq!(d.resident_bits_per_tuple(n, r), n);
             assert_eq!(d.driven_bits_per_tuple(n, r, ROW_BITS), n * r as u64);
@@ -30,7 +42,11 @@ fn n1b_closed_forms() {
         for r in RS {
             assert_eq!(d.phase1_cycles(n, r, ROW_BITS), n * r as u64);
             assert_eq!(d.idle_cycles(n, r), r as u64, "n1b idle is R");
-            assert_eq!(d.xnor_queue_bits(n, r), r as u64 + 1, "n1b queue is one entry");
+            assert_eq!(
+                d.xnor_queue_bits(n, r),
+                r as u64 + 1,
+                "n1b queue is one entry"
+            );
             assert_eq!(d.max_reuse(n, r), 1);
         }
     }
@@ -57,11 +73,19 @@ fn n3_closed_forms() {
         for r in RS {
             let groups_per_row = (ROW_BITS / (r as u64 + 1)).max(1);
             let rows = n.max(1).div_ceil(groups_per_row);
-            assert_eq!(d.phase1_cycles(n, r, ROW_BITS), rows, "n3 is one cycle per occupied row");
+            assert_eq!(
+                d.phase1_cycles(n, r, ROW_BITS),
+                rows,
+                "n3 is one cycle per occupied row"
+            );
             assert_eq!(d.xnor_queue_bits(n, r), 0);
             assert_eq!(d.max_reuse(n, r), n * r as u64, "n3 reuse is N*R");
             assert_eq!(d.resident_bits_per_tuple(n, r), n * (r as u64 + 1));
-            assert_eq!(d.driven_bits_per_tuple(n, r, ROW_BITS), rows, "one drive per row");
+            assert_eq!(
+                d.driven_bits_per_tuple(n, r, ROW_BITS),
+                rows,
+                "one drive per row"
+            );
         }
     }
 }
@@ -73,7 +97,11 @@ fn ladder_invariants_hold_across_the_grid() {
             let p1 = |k| stationarity(k).phase1_cycles(n, r, ROW_BITS);
             assert!(p1(DesignKind::N3) <= p1(DesignKind::N2), "N={n} R={r}");
             assert!(p1(DesignKind::N2) <= p1(DesignKind::N1b), "N={n} R={r}");
-            assert_eq!(p1(DesignKind::N1b), p1(DesignKind::N1a), "n1 variants share phase-1 cost");
+            assert_eq!(
+                p1(DesignKind::N1b),
+                p1(DesignKind::N1a),
+                "n1 variants share phase-1 cost"
+            );
 
             let reuse = |k| stationarity(k).max_reuse(n, r);
             assert!(reuse(DesignKind::N1a) <= reuse(DesignKind::N2));

@@ -18,11 +18,7 @@ fn best_of_restarts(
         // A slower-than-default schedule: these tests assert solution
         // quality, not convergence speed.
         let opts = SolveOptions {
-            schedule: Schedule::new(
-                (2 * graph.max_abs_coefficient().max(1)) as f64,
-                0.95,
-                0.05,
-            ),
+            schedule: Schedule::new((2 * graph.max_abs_coefficient().max(1)) as f64, 0.95, 0.05),
             ..SolveOptions::for_graph(graph, seed)
         };
         let (result, _) = machine.solve_detailed(graph, init, &opts);
@@ -84,7 +80,13 @@ fn tsp_tour_quality_close_to_two_opt() {
     for seed in 0..8 {
         let mut rng = StdRng::seed_from_u64(seed);
         let init = SpinVector::random(graph.num_spins(), &mut rng);
-        let (result, _) = machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
+        // Same slower-than-default schedule as best_of_restarts: this
+        // test asserts tour quality, not convergence speed.
+        let opts = SolveOptions {
+            schedule: Schedule::new((2 * graph.max_abs_coefficient().max(1)) as f64, 0.95, 0.05),
+            ..SolveOptions::for_graph(graph, seed)
+        };
+        let (result, _) = machine.solve_detailed(graph, &init, &opts);
         best_len = best_len.min(w.decoded_length(&result.spins));
     }
     let ref_len = w.reference_length();
@@ -118,7 +120,10 @@ fn pso_and_ga_are_competent_but_not_exact() {
     let graph = w.graph();
     let ga = run_ga_on_graph(graph, &GaOptions::standard(6));
     let pso = run_pso_on_graph(graph, &PsoOptions::standard(7));
-    for (label, acc) in [("GA", w.accuracy(&ga.best_spins())), ("PSO", w.accuracy(&pso.best_spins()))] {
+    for (label, acc) in [
+        ("GA", w.accuracy(&ga.best_spins())),
+        ("PSO", w.accuracy(&pso.best_spins())),
+    ] {
         assert!(acc > 0.7, "{label} accuracy {acc}");
     }
 }
@@ -135,7 +140,9 @@ fn edmonds_karp_and_ising_agree_on_the_disc() {
     let ising = best_of_restarts(&mut machine, graph, &init, 6, |s| w.accuracy(s));
     let (flow_labels, _) = edmonds_karp_segmentation(&w);
     let n = graph.num_spins();
-    let distance = ising.distance(&flow_labels).min(n - ising.distance(&flow_labels));
+    let distance = ising
+        .distance(&flow_labels)
+        .min(n - ising.distance(&flow_labels));
     assert!(
         distance < n / 4,
         "Ising and min-cut disagree on {distance}/{n} pixels"
