@@ -16,4 +16,13 @@ cargo run -q -p xtask -- lint
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# The ensemble determinism contract must hold with the worker pool to
+# itself and under heavy harness contention: run the suite serially and
+# with 8 concurrent test threads.
+echo "==> ensemble determinism (--test-threads=1)"
+cargo test -q --test ensemble_determinism -- --test-threads=1
+
+echo "==> ensemble determinism (--test-threads=8)"
+cargo test -q --test ensemble_determinism -- --test-threads=8
+
 echo "ci: all gates passed"

@@ -331,6 +331,8 @@ impl BrimMachine {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         };
         Ok((result, report))
     }

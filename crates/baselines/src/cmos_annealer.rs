@@ -279,6 +279,8 @@ impl CmosAnnealer {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         };
         Ok((result, report))
     }

@@ -330,6 +330,8 @@ impl CimMachine {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         };
         Ok((result, report))
     }

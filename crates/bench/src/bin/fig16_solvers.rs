@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sachi_baselines::prelude::*;
-use sachi_bench::{duration, percent, section, timed, Table};
+use sachi_bench::{duration, percent, section, threads_arg, timed, Table};
 use sachi_core::prelude::*;
 use sachi_ising::prelude::*;
 use sachi_workloads::prelude::*;
@@ -29,19 +29,35 @@ struct Row {
     opt_name: &'static str,
 }
 
-fn sachi_best(workload: &dyn Workload, restarts: u64) -> (f64, Duration) {
+/// Runs a deterministic replica ensemble of SACHI(n3) over the bench's
+/// worker threads and reports the best accuracy across replicas plus
+/// the summed simulated time (the serial-equivalent cost, matching the
+/// paper's single-machine restart loop).
+fn sachi_best(workload: &dyn Workload, restarts: usize) -> (f64, Duration) {
     let graph = workload.graph();
     let mut rng = StdRng::seed_from_u64(1);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
-    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
-    let mut best_acc = 0.0f64;
-    let mut sim_ns = 0.0f64;
-    for seed in 0..restarts {
-        let (result, report) =
-            machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
-        best_acc = best_acc.max(workload.accuracy(&result.spins));
-        sim_ns += report.wall_time.get();
+    let opts = SolveOptions::for_graph(graph, 1);
+    let mut runner = EnsembleRunner::new(restarts);
+    if let Some(t) = threads_arg() {
+        runner = runner.with_threads(t);
     }
+    let ledger = ReplicaLedger::new(restarts);
+    let config = SachiConfig::new(DesignKind::N3);
+    let best_of = runner.run(graph, &init, &opts, |k| {
+        ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
+    });
+    let best_acc = best_of
+        .replicas
+        .iter()
+        .map(|r| workload.accuracy(&r.spins))
+        .fold(0.0f64, f64::max);
+    let sim_ns: f64 = ledger
+        .finish()
+        .reports
+        .iter()
+        .map(|r| r.wall_time.get())
+        .sum();
     (best_acc, Duration::from_nanos(sim_ns as u64))
 }
 
@@ -94,18 +110,7 @@ fn main() {
     {
         let w = TspTour::new(8, 7);
         let graph = w.graph();
-        let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
-        let mut best_acc = 0.0f64;
-        let mut sim_ns = 0.0f64;
-        for seed in 0..8 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let init = SpinVector::random(graph.num_spins(), &mut rng);
-            let (result, report) =
-                machine.solve_detailed(graph, &init, &SolveOptions::for_graph(graph, seed));
-            best_acc = best_acc.max(w.accuracy(&result.spins));
-            sim_ns += report.wall_time.get();
-        }
-        let sachi_time = Duration::from_nanos(sim_ns as u64);
+        let (best_acc, sachi_time) = sachi_best(&w, 8);
         let (ga, ga_time) = timed(|| run_ga_on_graph(graph, &GaOptions::standard(6)));
         let (pso, pso_time) = timed(|| run_pso_on_graph(graph, &PsoOptions::standard(7)));
         let ((_, opt_len), opt_time) = timed(|| tsp_reference(w.distances()));

@@ -3,8 +3,11 @@
 //! including the compute-array-overflow regimes the paper annotates, plus
 //! the HD/UHD-video segmentation points (2M and 8M pixels).
 
-use sachi_bench::{section, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi_bench::{duration, section, threads_arg, timed, Table};
 use sachi_core::prelude::*;
+use sachi_ising::prelude::*;
 use sachi_workloads::prelude::*;
 
 const SIZES: [u64; 7] = [500, 1_000, 10_000, 100_000, 200_000, 300_000, 1_000_000];
@@ -56,6 +59,64 @@ fn main() {
         ]);
     }
     video.print();
+
+    // Replica-level scaling, measured: the same 8-replica SACHI(n3)
+    // ensemble at increasing worker-thread counts. Results are asserted
+    // identical at every T (the determinism contract); speedups are
+    // host wall-clock and are cross-checked against the model-side
+    // `EnsembleReport::ideal_speedup` schedule bound.
+    section("replica-ensemble scaling (8 SACHI(n3) replicas, molecular dynamics 24x24)");
+    let md = MolecularDynamics::new(24, 24, 13);
+    let graph = md.graph();
+    let mut rng = StdRng::seed_from_u64(17);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 19);
+    let replicas = 8usize;
+    let config = SachiConfig::new(DesignKind::N3);
+    let thread_counts: Vec<usize> = threads_arg().map_or_else(|| vec![1, 2, 4, 8], |t| vec![1, t]);
+
+    let mut baseline: Option<(sachi_ising::ensemble::BestOf, f64)> = None;
+    let mut ideal = None;
+    let mut ts = Table::new([
+        "threads",
+        "wall-clock",
+        "speedup",
+        "model bound",
+        "identical?",
+    ]);
+    for &t in &thread_counts {
+        let ledger = ReplicaLedger::new(replicas);
+        let (best_of, wall) = timed(|| {
+            EnsembleRunner::new(replicas)
+                .with_threads(t)
+                .run(graph, &init, &opts, |k| {
+                    ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
+                })
+        });
+        let report = ledger.finish();
+        let bound = report.ideal_speedup(t);
+        if ideal.is_none() {
+            ideal = Some(report);
+        }
+        let (identical, secs1) = match &baseline {
+            None => (true, wall.as_secs_f64()),
+            Some((b, s1)) => (*b == best_of, *s1),
+        };
+        assert!(identical, "thread count changed ensemble results");
+        ts.row([
+            t.to_string(),
+            duration(wall),
+            format!("{:.2}x", secs1 / wall.as_secs_f64().max(1e-12)),
+            format!("{bound:.2}x"),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        if baseline.is_none() {
+            baseline = Some((best_of, wall.as_secs_f64()));
+        }
+    }
+    ts.print();
+    println!("(speedup is host wall-clock; the model bound is the deterministic");
+    println!("longest-first schedule over the measured per-replica cycle counts)");
 
     section("paper's qualitative annotations");
     println!("(i)   n3 fastest everywhere; (ii) n2 ~= n3 for single-neighbor COPs;");

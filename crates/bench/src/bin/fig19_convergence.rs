@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sachi_bench::{percent, section, Table};
+use sachi_bench::{percent, section, threads_arg, Table};
 use sachi_core::prelude::*;
 use sachi_ising::prelude::*;
 use sachi_workloads::prelude::*;
@@ -22,7 +22,21 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
     let opts = SolveOptions::for_graph(graph, 3).with_trace();
-    let result = CpuReferenceSolver::new().solve(graph, &init, &opts);
+    // Best-of-4 deterministic replica ensemble: the plotted trace is the
+    // lowest-energy replica's, and is identical at any --threads value.
+    let mut runner = EnsembleRunner::new(4);
+    if let Some(t) = threads_arg() {
+        runner = runner.with_threads(t);
+    }
+    let best_of = runner.run_reference(graph, &init, &opts);
+    println!(
+        "ensemble: {} replicas over {} threads; best replica {} ({} sweeps total)",
+        best_of.replicas.len(),
+        runner.threads(),
+        best_of.best_index,
+        best_of.stats.total_sweeps
+    );
+    let result = best_of.best().clone();
     let trace = &result.trace;
     let stride = (trace.len() / 12).max(1);
     // Normalize descent progress: 1.0 at the first recorded H, 0.0 at the

@@ -123,6 +123,29 @@ impl Table {
     }
 }
 
+/// Parses a `--threads N` flag out of an argument list (see
+/// [`threads_arg`]). `N == 0` reads as "auto", i.e. `None`.
+pub fn threads_from<I>(args: I) -> Option<usize>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// Worker-thread override for the replica-ensemble benches: parses
+/// `--threads N` from the process arguments. `None` (flag absent or
+/// `N == 0`) means "use every available core". Thread count never
+/// changes bench results — only wall-clock.
+pub fn threads_arg() -> Option<usize> {
+    threads_from(std::env::args().skip(1))
+}
+
 /// Formats a ratio as "12.3x".
 pub fn ratio(numerator: f64, denominator: f64) -> String {
     if denominator == 0.0 {
@@ -167,6 +190,19 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn threads_flag_parses_with_auto_fallback() {
+        fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(str::to_string)
+        }
+        assert_eq!(threads_from(argv("--threads 8")), Some(8));
+        assert_eq!(threads_from(argv("--release --threads 2 --x")), Some(2));
+        assert_eq!(threads_from(argv("--threads 0")), None);
+        assert_eq!(threads_from(argv("--threads lots")), None);
+        assert_eq!(threads_from(argv("--no-threads")), None);
+        assert_eq!(threads_from(argv("")), None);
     }
 
     #[test]

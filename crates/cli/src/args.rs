@@ -38,8 +38,11 @@ pub struct SolveArgs {
     pub resolution: Option<u32>,
     /// RNG seed.
     pub seed: u64,
-    /// Annealing restarts.
+    /// Annealing restarts (ensemble replicas).
     pub restarts: u64,
+    /// Worker threads for the replica ensemble (0 = all available
+    /// cores). Thread count never changes results, only wall-clock.
+    pub threads: usize,
     /// Cache hierarchy preset.
     pub hierarchy: CacheHierarchy,
 }
@@ -55,6 +58,7 @@ impl Default for SolveArgs {
             resolution: None,
             seed: 0,
             restarts: 1,
+            threads: 0,
             hierarchy: CacheHierarchy::hpca_default(),
         }
     }
@@ -181,6 +185,11 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                     .parse()
                     .map_err(|_| err("--restarts needs an integer"))?
             }
+            "--threads" => {
+                args.threads = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--threads needs an integer (0 = all cores)"))?
+            }
             "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
         }
@@ -253,7 +262,10 @@ sachi — stationarity-aware, all-digital, near-memory Ising architecture simula
 USAGE:
   sachi solve    [--cop asset|imgseg|tsp|md] [--size N] [--file PATH [--gset]]
                  [--design n1a|n1b|n2|n3] [--resolution R] [--seed S]
-                 [--restarts K] [--hierarchy default|desktop|server]
+                 [--restarts K] [--threads T] [--hierarchy default|desktop|server]
+                 (--threads 0, the default, uses every core; restarts run
+                  as a deterministic parallel replica ensemble — results
+                  are identical at any thread count)
   sachi compare  <same flags>         run every machine on one problem
   sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
                  [--iterations I] [--hierarchy ...]
@@ -262,6 +274,7 @@ USAGE:
 
 EXAMPLES:
   sachi solve --cop md --size 1024 --design n3 --restarts 4
+  sachi solve --cop md --size 1024 --restarts 16 --threads 8
   sachi solve --file g05.gset --gset --design n3
   sachi compare --cop imgseg --size 144
   sachi estimate --cop tsp --spins 1000000 --hierarchy server
@@ -274,7 +287,7 @@ mod tests {
     #[test]
     fn parses_solve_with_all_flags() {
         let cmd = parse(
-            "solve --cop tsp --size 64 --design n2 --resolution 8 --seed 9 --restarts 3 --hierarchy server"
+            "solve --cop tsp --size 64 --design n2 --resolution 8 --seed 9 --restarts 3 --threads 2 --hierarchy server"
                 .split_whitespace(),
         )
         .unwrap();
@@ -286,10 +299,24 @@ mod tests {
                 assert_eq!(a.resolution, Some(8));
                 assert_eq!(a.seed, 9);
                 assert_eq!(a.restarts, 3);
+                assert_eq!(a.threads, 2);
                 assert_eq!(a.hierarchy, CacheHierarchy::server());
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_defaults_to_auto_and_rejects_garbage() {
+        let cmd = parse(["solve"]).unwrap();
+        match cmd {
+            Command::Solve(a) => assert_eq!(a.threads, 0),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["solve", "--threads", "lots"])
+            .unwrap_err()
+            .0
+            .contains("--threads needs an integer"));
     }
 
     #[test]

@@ -135,22 +135,33 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
     let opts = SolveOptions::for_graph(graph, args.seed + 1);
-    let mut machine = SachiMachine::new(config_for(args));
+    let config = config_for(args);
 
-    let mut best: Option<(SolveResult, RunReport)> = None;
-    for k in 0..args.restarts {
-        let o = SolveOptions {
-            seed: opts.seed + k,
-            ..opts.clone()
-        };
-        let (result, report) = machine.solve_detailed(graph, &init, &o);
-        if best.as_ref().is_none_or(|(b, _)| result.energy < b.energy) {
-            best = Some((result, report));
-        }
+    let replicas =
+        usize::try_from(args.restarts.max(1)).map_err(|_| "--restarts too large".to_string())?;
+    let mut runner = EnsembleRunner::new(replicas);
+    if args.threads > 0 {
+        runner = runner.with_threads(args.threads);
     }
-    let (result, report) = best.expect("restarts >= 1");
+    let ledger = ReplicaLedger::new(replicas);
+    let best_of = runner.run(graph, &init, &opts, |k| {
+        ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
+    });
+    let ensemble = ledger.finish();
+    let report = ensemble.reports[best_of.best_index].clone();
+    let stats = best_of.stats;
+    let best_index = best_of.best_index;
+    let result = best_of.into_best();
 
     println!("design  : {}", report.design.label());
+    println!(
+        "ensemble: {} replicas over {} threads (best: replica {}, {} converged, {} sweeps total)",
+        replicas,
+        runner.threads(),
+        best_index,
+        stats.converged,
+        stats.total_sweeps
+    );
     println!(
         "result  : H = {}  ({} iterations, converged: {})",
         result.energy, result.sweeps, result.converged

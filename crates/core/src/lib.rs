@@ -19,7 +19,10 @@
 //! * [`perf`] — the closed-form CPI/energy model used for million-spin
 //!   sweeps (pinned against the machine by parity tests);
 //! * [`isa`] — the `FIST`/`XNORM` software interface (Sec. IV.E, Fig. 14);
-//! * [`config`] — machine configuration and the Sec. VII.2 cache presets.
+//! * [`config`] — machine configuration and the Sec. VII.2 cache presets;
+//! * [`ensemble`] — thread-safe per-replica [`machine::RunReport`]
+//!   folding for parallel replica ensembles, cross-checked against the
+//!   [`multicore`] analytic model.
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@
 pub mod config;
 pub mod designs;
 pub mod encoding;
+pub mod ensemble;
 pub mod isa;
 pub mod machine;
 pub mod multicore;
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use crate::config::{DesignKind, SachiConfig};
     pub use crate::designs::{stationarity, ComputeContext, Stationarity};
     pub use crate::encoding::MixedEncoding;
+    pub use crate::ensemble::{DetailedSolver, EnsembleReport, ReplicaLedger, ReportingMachine};
     pub use crate::isa::{FistSubop, Instruction, MicroExecutor};
     pub use crate::machine::{RunReport, SachiMachine};
     pub use crate::multicore::{MulticoreEstimate, MulticoreModel, Partition};

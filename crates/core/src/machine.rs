@@ -445,6 +445,8 @@ impl SachiMachine {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         };
         (result, report)
     }

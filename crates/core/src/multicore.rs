@@ -33,14 +33,26 @@ impl Partition {
     /// lattice-ordered graphs (King's, grid) this is the locality-aware
     /// choice.
     ///
+    /// An empty graph (`n == 0`) yields an empty assignment — every core
+    /// owns zero spins — rather than silently dividing by a clamped
+    /// size. With `n < cores` the blocks degenerate to one spin each and
+    /// the surplus cores own nothing; block sizes always differ by at
+    /// most one.
+    ///
     /// # Panics
     ///
     /// Panics if `cores == 0`.
     pub fn contiguous(n: usize, cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
-        let assignment = (0..n)
-            .map(|i| ((i * cores) / n.max(1)).min(cores - 1) as u32)
-            .collect();
+        if n == 0 {
+            return Partition {
+                assignment: Vec::new(),
+                cores,
+            };
+        }
+        // i < n ⇒ i·C/n ≤ (n-1)·C/n < C, so the index is already in
+        // range without clamping.
+        let assignment = (0..n).map(|i| ((i * cores) / n) as u32).collect();
         Partition { assignment, cores }
     }
 
@@ -272,5 +284,61 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         let _ = Partition::contiguous(10, 0);
+    }
+
+    #[test]
+    fn empty_graph_partitions_to_empty_assignment() {
+        let g = sachi_ising::graph::GraphBuilder::new(0)
+            .build()
+            .expect("empty graph");
+        for p in [Partition::contiguous(0, 4), Partition::interleaved(0, 4)] {
+            assert_eq!(p.cores(), 4);
+            assert_eq!(p.core_sizes(), vec![0, 0, 0, 0]);
+            assert_eq!(p.cut_edges(&g), 0);
+        }
+    }
+
+    #[test]
+    fn fewer_spins_than_cores_stays_in_range_and_balanced() {
+        for (n, cores) in [(1usize, 2usize), (3, 8), (5, 7), (7, 8)] {
+            for p in [
+                Partition::contiguous(n, cores),
+                Partition::interleaved(n, cores),
+            ] {
+                let sizes = p.core_sizes();
+                assert_eq!(sizes.len(), cores);
+                assert_eq!(sizes.iter().sum::<u64>(), n as u64);
+                // Every spin maps to a valid core, one spin per core at
+                // most when n < cores.
+                assert!(sizes.iter().all(|&s| s <= 1), "{n}/{cores}: {sizes:?}");
+                for i in 0..n {
+                    assert!((p.core_of(i) as usize) < cores);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_never_cuts_more_lattice_edges_than_interleaved() {
+        // Cut-size monotonicity on a locality-rich lattice: at every
+        // core count, the contiguous partition's cut is no larger than
+        // the interleaved one's, and the contiguous cut grows
+        // monotonically with the core count (more seams, never fewer).
+        let g = topology::king(24, 24, |_, _| 1).unwrap();
+        let n = g.num_spins();
+        let mut last_contiguous = 0u64;
+        for cores in [1usize, 2, 3, 4, 6, 8, 16] {
+            let cc = Partition::contiguous(n, cores).cut_edges(&g);
+            let ic = Partition::interleaved(n, cores).cut_edges(&g);
+            assert!(
+                cc <= ic,
+                "{cores} cores: contiguous {cc} > interleaved {ic}"
+            );
+            assert!(
+                cc >= last_contiguous,
+                "{cores} cores: cut {cc} fell below {last_contiguous}"
+            );
+            last_contiguous = cc;
+        }
     }
 }

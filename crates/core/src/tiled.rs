@@ -564,6 +564,8 @@ impl ResidentN3Machine {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         };
         (result, report)
     }

@@ -14,7 +14,10 @@
 //! * [`anneal`] — geometric schedules and the Metropolis annealer block;
 //! * [`solver`] — the shared solve protocol, the per-spin
 //!   [`solver::decide_update`] every machine uses, and the golden-model
-//!   [`solver::CpuReferenceSolver`].
+//!   [`solver::CpuReferenceSolver`];
+//! * [`ensemble`] — the deterministic parallel replica-ensemble engine
+//!   (`R` independent replicas over `T` scoped threads, bit-identical
+//!   at every `T`).
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod anneal;
+pub mod ensemble;
 pub mod graph;
 pub mod hamiltonian;
 pub mod io;
@@ -47,6 +51,7 @@ pub mod spin;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::anneal::{Annealer, Cooling, Schedule};
+    pub use crate::ensemble::{derive_replica_seed, BestOf, EnsembleRunner, EnsembleStats};
     pub use crate::graph::{topology, GraphBuilder, GraphError, IsingGraph};
     pub use crate::hamiltonian::{energy, flip_delta, local_field, update_rule};
     pub use crate::io::{parse_dimacs, parse_gset, to_dimacs, ParseError};

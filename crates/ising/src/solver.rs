@@ -73,7 +73,11 @@ impl Default for SolveOptions {
 }
 
 /// Outcome of an iterative solve.
-#[derive(Debug, Clone)]
+///
+/// Equality is byte-for-byte over every field — the determinism and
+/// conformance suites compare whole results across thread counts and
+/// machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolveResult {
     /// Final spin configuration.
     pub spins: SpinVector,
@@ -88,6 +92,10 @@ pub struct SolveResult {
     pub converged: bool,
     /// Post-sweep energies, if requested.
     pub trace: Vec<i64>,
+    /// Metropolis uphill moves the annealer block accepted.
+    pub uphill_accepted: u64,
+    /// Metropolis uphill moves the annealer block rejected.
+    pub uphill_rejected: u64,
 }
 
 /// The per-spin decision shared by every machine: deterministic sign update
@@ -198,17 +206,26 @@ impl IterativeSolver for CpuReferenceSolver {
             flips: total_flips,
             converged,
             trace,
+            uphill_accepted: annealer.uphill_accepted(),
+            uphill_rejected: annealer.uphill_rejected(),
         }
     }
 }
 
-/// Runs `restarts` independent solves (seeds `options.seed + k`) and
-/// returns the best-energy result. Standard practice for simulated
-/// annealing, used by the examples and the Fig. 16/19 harnesses.
+/// Runs `restarts` independent solves and returns the best-energy
+/// result. Standard practice for simulated annealing, used by the
+/// examples and the Fig. 16/19 harnesses.
+///
+/// Restart `k` runs with the seed
+/// [`crate::ensemble::derive_replica_seed`]`(options.seed, k)` — the
+/// same derivation the parallel [`crate::ensemble::EnsembleRunner`]
+/// uses, so a sequential multi-start through one borrowed solver is
+/// bit-identical to a threaded ensemble of the same solver (the
+/// conformance suite asserts this).
 ///
 /// # Panics
 ///
-/// Panics if `restarts == 0`.
+/// Panics if `restarts == 0` or `restarts` overflows `usize`.
 pub fn solve_multi_start<S: IterativeSolver>(
     solver: &mut S,
     graph: &IsingGraph,
@@ -217,18 +234,10 @@ pub fn solve_multi_start<S: IterativeSolver>(
     restarts: u64,
 ) -> SolveResult {
     assert!(restarts > 0, "need at least one restart");
-    let mut best: Option<SolveResult> = None;
-    for k in 0..restarts {
-        let opts = SolveOptions {
-            seed: options.seed + k,
-            ..options.clone()
-        };
-        let result = solver.solve(graph, initial, &opts);
-        if best.as_ref().is_none_or(|b| result.energy < b.energy) {
-            best = Some(result);
-        }
-    }
-    best.expect("restarts > 0")
+    let replicas = usize::try_from(restarts).expect("restart count fits in usize");
+    crate::ensemble::EnsembleRunner::new(replicas)
+        .run_sequential(solver, graph, initial, options)
+        .into_best()
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ const UNIT_SAFETY_SCOPE: &[&str] = &[
     "crates/core/src/machine.rs",
     "crates/core/src/tiled.rs",
     "crates/core/src/designs.rs",
+    "crates/core/src/ensemble.rs",
 ];
 
 /// Library crates that must not panic on library paths.

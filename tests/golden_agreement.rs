@@ -129,6 +129,56 @@ fn all_machines_agree_with_each_other_on_shared_envelope() {
 }
 
 #[test]
+fn threaded_ensembles_match_sequential_golden_runs_on_every_design() {
+    // Differential conformance for the parallel replica path: each SACHI
+    // design, run as a 4-replica / 4-thread ensemble, must equal a
+    // sequential golden-model run replica for replica — same derived
+    // seed, same spins, same trajectory, same accept/reject counts.
+    let w = MolecularDynamics::new(7, 7, 47);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(11);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 53).with_trace();
+    let replicas = 4usize;
+
+    // Sequential golden runs, one per derived replica seed.
+    let goldens: Vec<SolveResult> = (0..replicas)
+        .map(|k| {
+            let o = SolveOptions {
+                seed: derive_replica_seed(opts.seed, k as u64),
+                ..opts.clone()
+            };
+            golden(graph, &init, &o)
+        })
+        .collect();
+
+    for design in DesignKind::ALL {
+        let config = SachiConfig::new(design);
+        let best_of =
+            EnsembleRunner::new(replicas)
+                .with_threads(4)
+                .run(graph, &init, &opts, |_| SachiMachine::new(config.clone()));
+        assert_eq!(best_of.replicas.len(), replicas);
+        for (k, (got, reference)) in best_of.replicas.iter().zip(&goldens).enumerate() {
+            let label = format!("{} replica {k}", design.label());
+            assert_matches(&label, reference, got);
+            assert_eq!(
+                got.uphill_accepted, reference.uphill_accepted,
+                "{label}: uphill accepts"
+            );
+            assert_eq!(
+                got.uphill_rejected, reference.uphill_rejected,
+                "{label}: uphill rejects"
+            );
+        }
+        // The reduction picks the true minimum (lowest index on ties).
+        let best = best_of.best();
+        assert!(goldens.iter().all(|g| g.energy >= best.energy));
+        assert_eq!(best, &goldens[best_of.best_index]);
+    }
+}
+
+#[test]
 fn geometry_never_changes_results() {
     // Shrinking the compute/storage arrays forces rounds and DRAM
     // streaming but must not perturb the functional outcome.

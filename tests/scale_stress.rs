@@ -84,6 +84,38 @@ fn resident_machine_handles_5k_spins_with_rounds() {
     assert!(report.rounds_per_sweep > 1);
 }
 
+/// Fast tier-1 cousin of the soak below: a 4-thread SACHI(n3) replica
+/// ensemble at 1,600 spins, checked bit-for-bit against the sequential
+/// golden ensemble and sanity-checked for quality and accounting.
+#[test]
+fn ensemble_smoke_4_threads_at_1600_atoms() {
+    let w = MolecularDynamics::new(40, 40, 11);
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(12);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(graph, 13).with_max_sweeps(15);
+    let replicas = 4usize;
+
+    let ledger = ReplicaLedger::new(replicas);
+    let config = SachiConfig::new(DesignKind::N3);
+    let best_of = EnsembleRunner::new(replicas)
+        .with_threads(4)
+        .run(graph, &init, &opts, |k| {
+            ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
+        });
+
+    let mut solver = CpuReferenceSolver::new();
+    let reference = EnsembleRunner::new(replicas).run_sequential(&mut solver, graph, &init, &opts);
+    assert_eq!(best_of, reference);
+
+    assert_eq!(best_of.stats.replicas as usize, replicas);
+    assert!(w.accuracy(&best_of.best().spins) > 0.8);
+    let report = ledger.finish();
+    assert_eq!(report.reports.len(), replicas);
+    assert!(report.serial_cycles >= report.max_replica_cycles);
+    assert!(report.ideal_speedup(4) >= 1.0);
+}
+
 /// Manual soak: a quarter-million-atom functional solve. Run with
 /// `cargo test --release -- --ignored scale_soak`.
 #[test]
