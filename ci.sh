@@ -25,4 +25,9 @@ cargo test -q --test ensemble_determinism -- --test-threads=1
 echo "==> ensemble determinism (--test-threads=8)"
 cargo test -q --test ensemble_determinism -- --test-threads=8
 
+# Fast fault-injection sweep: asserts the zero-rate identity and the
+# thread-count independence of the fault stream on a small instance.
+echo "==> disc_faults --smoke"
+cargo run -q -p sachi-bench --bin disc_faults -- --smoke
+
 echo "ci: all gates passed"

@@ -264,7 +264,8 @@ impl BrimMachine {
         let mut converged = false;
         let mut trace = Vec::new();
 
-        while sweeps < options.max_sweeps {
+        let max_sweeps = options.effective_max_sweeps(graph.num_spins());
+        while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for i in 0..n {
                 let h_sigma = local_field(graph, &spins, i);
@@ -333,6 +334,7 @@ impl BrimMachine {
             trace,
             uphill_accepted: annealer.uphill_accepted(),
             uphill_rejected: annealer.uphill_rejected(),
+            degraded: false,
         };
         Ok((result, report))
     }

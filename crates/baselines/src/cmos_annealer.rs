@@ -204,7 +204,8 @@ impl CmosAnnealer {
         let mut total_flips = 0u64;
         let mut converged = false;
         let mut trace = Vec::new();
-        while sweeps < options.max_sweeps {
+        let max_sweeps = options.effective_max_sweeps(graph.num_spins());
+        while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for group in 0..4usize {
                 // All cells of one group update in parallel from the
@@ -281,6 +282,7 @@ impl CmosAnnealer {
             trace,
             uphill_accepted: annealer.uphill_accepted(),
             uphill_rejected: annealer.uphill_rejected(),
+            degraded: false,
         };
         Ok((result, report))
     }

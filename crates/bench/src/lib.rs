@@ -23,6 +23,7 @@
 //! | `disc_cache_scaling` | Sec. VII.2 — cache-size presets |
 //! | `disc_conventional` | Sec. VII.1 — impact on conventional workloads |
 //! | `disc_multicore` | Sec. IV.B.2 — multi-core scaling |
+//! | `disc_faults` | robustness — quality vs injected read BER, parity + retry recovery |
 //! | `abl_tuple_rep` | ablation — tuple-rep on/off |
 //! | `abl_residency` | ablation — analytic residency billing vs physical resident machine |
 //! | `abl_prefetch` | ablation — prefetcher on/off |

@@ -2,6 +2,7 @@
 //! dependency; the grammar is small and fully tested).
 
 use sachi_core::config::DesignKind;
+use sachi_ising::recovery::RecoveryPolicy;
 use sachi_mem::cache::CacheHierarchy;
 use sachi_workloads::spec::CopKind;
 use std::fmt;
@@ -45,6 +46,12 @@ pub struct SolveArgs {
     pub threads: usize,
     /// Cache hierarchy preset.
     pub hierarchy: CacheHierarchy,
+    /// Transient read bit-error rate (None = perfect memory).
+    pub fault_ber: Option<f64>,
+    /// Seed of the fault stream (independent of the solve seed).
+    pub fault_seed: u64,
+    /// Recovery policy applied when parity detects a fault.
+    pub fault_policy: RecoveryPolicy,
 }
 
 impl Default for SolveArgs {
@@ -60,6 +67,9 @@ impl Default for SolveArgs {
             restarts: 1,
             threads: 0,
             hierarchy: CacheHierarchy::hpca_default(),
+            fault_ber: None,
+            fault_seed: 0,
+            fault_policy: RecoveryPolicy::default(),
         }
     }
 }
@@ -191,6 +201,25 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                     .map_err(|_| err("--threads needs an integer (0 = all cores)"))?
             }
             "--hierarchy" => args.hierarchy = parse_hierarchy(take_value(flag, &mut it)?)?,
+            "--fault-ber" => {
+                let ber: f64 = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--fault-ber needs a number in [0, 1]"))?;
+                if !(0.0..=1.0).contains(&ber) {
+                    return Err(err("--fault-ber needs a number in [0, 1]"));
+                }
+                args.fault_ber = Some(ber);
+            }
+            "--fault-seed" => {
+                args.fault_seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--fault-seed needs an integer"))?
+            }
+            "--fault-policy" => {
+                args.fault_policy = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|e: String| err(format!("--fault-policy: {e}")))?
+            }
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
         }
     }
@@ -263,9 +292,13 @@ USAGE:
   sachi solve    [--cop asset|imgseg|tsp|md] [--size N] [--file PATH [--gset]]
                  [--design n1a|n1b|n2|n3] [--resolution R] [--seed S]
                  [--restarts K] [--threads T] [--hierarchy default|desktop|server]
+                 [--fault-ber P] [--fault-seed S] [--fault-policy failfast|retry|retry:N]
                  (--threads 0, the default, uses every core; restarts run
                   as a deterministic parallel replica ensemble — results
-                  are identical at any thread count)
+                  are identical at any thread count. --fault-ber injects
+                  deterministic transient bit flips at probability P per
+                  read bit; parity-detected faults follow --fault-policy,
+                  retry:N by default)
   sachi compare  <same flags>         run every machine on one problem
   sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
                  [--iterations I] [--hierarchy ...]
@@ -276,6 +309,7 @@ EXAMPLES:
   sachi solve --cop md --size 1024 --design n3 --restarts 4
   sachi solve --cop md --size 1024 --restarts 16 --threads 8
   sachi solve --file g05.gset --gset --design n3
+  sachi solve --cop md --size 1024 --fault-ber 1e-4 --fault-policy retry:5
   sachi compare --cop imgseg --size 144
   sachi estimate --cop tsp --spins 1000000 --hierarchy server
 ";
@@ -395,6 +429,44 @@ mod tests {
             .unwrap_err()
             .0
             .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let cmd = parse(
+            "solve --fault-ber 1e-4 --fault-seed 42 --fault-policy retry:5".split_whitespace(),
+        )
+        .unwrap();
+        match cmd {
+            Command::Solve(a) => {
+                assert_eq!(a.fault_ber, Some(1e-4));
+                assert_eq!(a.fault_seed, 42);
+                assert_eq!(
+                    a.fault_policy,
+                    RecoveryPolicy::RefetchRetry { max_retries: 5 }
+                );
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(["solve", "--fault-policy", "failfast"]).unwrap() {
+            Command::Solve(a) => {
+                assert_eq!(a.fault_ber, None);
+                assert_eq!(a.fault_policy, RecoveryPolicy::FailFast);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["solve", "--fault-ber", "2.0"])
+            .unwrap_err()
+            .0
+            .contains("[0, 1]"));
+        assert!(parse(["solve", "--fault-ber", "often"])
+            .unwrap_err()
+            .0
+            .contains("[0, 1]"));
+        assert!(parse(["solve", "--fault-policy", "hope"])
+            .unwrap_err()
+            .0
+            .contains("--fault-policy"));
     }
 
     #[test]

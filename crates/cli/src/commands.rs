@@ -24,13 +24,14 @@ fn near_square(size: usize) -> (usize, usize) {
     (side, size.div_ceil(side))
 }
 
-fn build_problem(args: &SolveArgs) -> Result<Problem, String> {
+fn build_problem(args: &SolveArgs) -> Result<Problem, SachiError> {
     if let Some(path) = &args.file {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SachiError::Io(format!("cannot read {path}: {e}")))?;
         let graph = if args.gset {
-            parse_gset(&text).map_err(|e| format!("{path}: {e}"))?
+            parse_gset(&text).map_err(|e| SachiError::Parse(format!("{path}: {e}")))?
         } else {
-            parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))?
+            parse_dimacs(&text).map_err(|e| SachiError::Parse(format!("{path}: {e}")))?
         };
         // A pure antiferromagnetic instance reads as weighted max-cut,
         // which gives loaded files an accuracy metric.
@@ -50,7 +51,9 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, String> {
             accuracy: None,
         });
     }
-    let kind = args.cop.expect("parser guarantees cop or file");
+    let kind = args
+        .cop
+        .ok_or_else(|| SachiError::Usage("need --cop or --file".to_string()))?;
     let seed = args.seed;
     Ok(match kind {
         CopKind::AssetAllocation => {
@@ -103,23 +106,28 @@ fn config_for(args: &SolveArgs) -> SachiConfig {
     if let Some(r) = args.resolution {
         config = config.with_resolution(r);
     }
+    if let Some(ber) = args.fault_ber {
+        let model =
+            FaultModel::new(args.fault_seed).with_read_ber(FaultRate::from_probability(ber));
+        config = config.with_fault(FaultProfile::new(model).with_policy(args.fault_policy));
+    }
     config
 }
 
-fn check_resolution(args: &SolveArgs, graph: &IsingGraph) -> Result<(), String> {
+fn check_resolution(args: &SolveArgs, graph: &IsingGraph) -> Result<(), SachiError> {
     if let Some(r) = args.resolution {
         let required = graph.bits_required();
         if r < required {
-            return Err(format!(
+            return Err(SachiError::Config(format!(
                 "--resolution {r} cannot represent this problem's coefficients (needs {required}-bit); drop the flag or pass >= {required}"
-            ));
+            )));
         }
     }
     Ok(())
 }
 
 /// `sachi solve`.
-pub fn solve(args: &SolveArgs) -> Result<(), String> {
+pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
     let problem = build_problem(args)?;
     let graph = &problem.graph;
     check_resolution(args, graph)?;
@@ -137,8 +145,8 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
     let opts = SolveOptions::for_graph(graph, args.seed + 1);
     let config = config_for(args);
 
-    let replicas =
-        usize::try_from(args.restarts.max(1)).map_err(|_| "--restarts too large".to_string())?;
+    let replicas = usize::try_from(args.restarts.max(1))
+        .map_err(|_| SachiError::Usage("--restarts too large".to_string()))?;
     let mut runner = EnsembleRunner::new(replicas);
     if args.threads > 0 {
         runner = runner.with_threads(args.threads);
@@ -169,6 +177,17 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
     if let Some(acc) = &problem.accuracy {
         println!("accuracy: {}", percent(acc(&result.spins)));
     }
+    if args.fault_ber.is_some() {
+        println!(
+            "faults  : {} injected, {} detected, {} retries, {}/{} replicas degraded ({})",
+            ensemble.faults_injected,
+            ensemble.faults_detected,
+            ensemble.fault_retries,
+            ensemble.degraded_replicas,
+            replicas,
+            args.fault_policy
+        );
+    }
     println!(
         "cycles  : {} total ({} compute, {} loading, {} rounds/iter)",
         report.total_cycles.get(),
@@ -187,11 +206,34 @@ pub fn solve(args: &SolveArgs) -> Result<(), String> {
         breakdown.row([c.label().to_string(), format!("{e}")]);
     }
     breakdown.print();
+    if args.fault_ber.is_some() {
+        // Fault outcomes surface as typed errors (exit code 4) so sweep
+        // scripts can tell "solved despite faults" from "gave up".
+        if args.fault_policy == RecoveryPolicy::FailFast && ensemble.degraded_replicas > 0 {
+            return Err(SachiError::FaultDetected {
+                detected: ensemble.faults_detected,
+            });
+        }
+        let total = u64::try_from(replicas).unwrap_or(u64::MAX);
+        if ensemble.degraded_replicas >= total {
+            return Err(SachiError::FaultBudgetExhausted {
+                degraded: ensemble.degraded_replicas,
+                replicas: total,
+            });
+        }
+    }
     Ok(())
 }
 
 /// `sachi compare`.
-pub fn compare(args: &SolveArgs) -> Result<(), String> {
+pub fn compare(args: &SolveArgs) -> Result<(), SachiError> {
+    if args.fault_ber.is_some() {
+        return Err(SachiError::Config(
+            "compare cross-checks machines against the golden model and needs a perfect \
+             memory hierarchy; drop --fault-ber (use solve for fault sweeps)"
+                .to_string(),
+        ));
+    }
     let problem = build_problem(args)?;
     let graph = &problem.graph;
     check_resolution(args, graph)?;
@@ -260,7 +302,7 @@ pub fn compare(args: &SolveArgs) -> Result<(), String> {
 }
 
 /// `sachi estimate`.
-pub fn estimate(args: &EstimateArgs) -> Result<(), String> {
+pub fn estimate(args: &EstimateArgs) -> Result<(), SachiError> {
     let mut config = SachiConfig::new(args.design).with_hierarchy(args.hierarchy);
     if let Some(r) = args.resolution {
         config = config.with_resolution(r);

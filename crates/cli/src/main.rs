@@ -8,6 +8,7 @@ mod args;
 mod commands;
 
 use args::Command;
+use sachi_core::error::SachiError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -15,10 +16,13 @@ fn main() -> ExitCode {
     let parsed = match args::parse(argv.iter().map(String::as_str)) {
         Ok(cmd) => cmd,
         Err(e) => {
+            // Argument errors share the usage exit class (the `ArgError`
+            // type lives in this crate, so map instead of `From`).
+            let e = SachiError::Usage(e.0);
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{}", args::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(e.exit_code());
         }
     };
     let outcome = match parsed {
@@ -38,7 +42,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,6 +1,8 @@
 //! SACHI machine configuration (Sec. V.1 plus the Sec. VII.2 presets).
 
+use sachi_ising::recovery::RecoveryPolicy;
 use sachi_mem::cache::CacheHierarchy;
+use sachi_mem::fault::FaultModel;
 use sachi_mem::params::TechnologyParams;
 use std::fmt;
 
@@ -43,6 +45,33 @@ impl fmt::Display for DesignKind {
     }
 }
 
+/// A fault model plus the recovery policy applied when parity detects
+/// one of its faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultProfile {
+    /// What faults are injected and from which seed.
+    pub model: FaultModel,
+    /// What the machine does when a fault is detected.
+    pub policy: RecoveryPolicy,
+}
+
+impl FaultProfile {
+    /// Profile with the given model and the default retry policy.
+    pub fn new(model: FaultModel) -> Self {
+        FaultProfile {
+            model,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Replaces the recovery policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
 /// Full machine configuration.
 ///
 /// ```
@@ -70,6 +99,11 @@ pub struct SachiConfig {
     pub prefetch: bool,
     /// Tuple-rep enabled (Sec. IV.B.1). Disable for `abl_tuple_rep`.
     pub tuple_rep: bool,
+    /// Optional fault-injection profile. `None` (the default) is a
+    /// perfect memory hierarchy; honored by [`crate::machine::SachiMachine`]
+    /// (the fully bit-accurate pipeline). The resident-optimized
+    /// [`crate::tiled::ResidentN3Machine`] models a fault-free hierarchy.
+    pub fault: Option<FaultProfile>,
 }
 
 impl SachiConfig {
@@ -84,6 +118,7 @@ impl SachiConfig {
             resolution: None,
             prefetch: true,
             tuple_rep: true,
+            fault: None,
         }
     }
 
@@ -129,6 +164,20 @@ impl SachiConfig {
         self.tuple_rep = false;
         self
     }
+
+    /// Enables fault injection with the given profile.
+    #[must_use]
+    pub fn with_fault(mut self, profile: FaultProfile) -> Self {
+        self.fault = Some(profile);
+        self
+    }
+
+    /// Removes any fault profile (back to the perfect hierarchy).
+    #[must_use]
+    pub fn without_faults(mut self) -> Self {
+        self.fault = None;
+        self
+    }
 }
 
 impl Default for SachiConfig {
@@ -150,6 +199,22 @@ mod tests {
         assert!(c.prefetch);
         assert!(c.tuple_rep);
         assert_eq!(c.resolution, None);
+        assert_eq!(c.fault, None);
+    }
+
+    #[test]
+    fn fault_profile_builders_compose() {
+        use sachi_mem::fault::FaultRate;
+        let model = FaultModel::new(5).with_read_ber(FaultRate::from_ppb(1000));
+        let profile = FaultProfile::new(model.clone()).with_policy(RecoveryPolicy::FailFast);
+        assert_eq!(profile.policy, RecoveryPolicy::FailFast);
+        let c = SachiConfig::default().with_fault(profile.clone());
+        assert_eq!(c.fault, Some(profile));
+        assert_eq!(c.without_faults().fault, None);
+        // Default profile: inert model, retry policy.
+        let d = FaultProfile::default();
+        assert!(d.model.is_inert());
+        assert_eq!(d.policy, RecoveryPolicy::default());
     }
 
     #[test]

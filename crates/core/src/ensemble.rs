@@ -127,6 +127,14 @@ pub struct EnsembleReport {
     /// Merged per-component energy across replicas (parallelism moves
     /// work in time, not in joules).
     pub energy: EnergyLedger,
+    /// Parity detections summed over every replica.
+    pub faults_detected: u64,
+    /// Injected transient flips summed over every replica.
+    pub faults_injected: u64,
+    /// Recovery re-fetches summed over every replica.
+    pub fault_retries: u64,
+    /// Replicas whose fault recovery gave up (degraded or aborted).
+    pub degraded_replicas: u64,
 }
 
 impl EnsembleReport {
@@ -134,16 +142,28 @@ impl EnsembleReport {
         let mut serial = Cycles::ZERO;
         let mut longest = Cycles::ZERO;
         let mut energy = EnergyLedger::new();
+        let mut faults_detected = 0u64;
+        let mut faults_injected = 0u64;
+        let mut fault_retries = 0u64;
+        let mut degraded_replicas = 0u64;
         for report in &reports {
             serial += report.total_cycles;
             longest = longest.max(report.total_cycles);
             energy.merge(&report.energy);
+            faults_detected += report.faults.detected;
+            faults_injected += report.faults.injected_flips;
+            fault_retries += report.faults.retries;
+            degraded_replicas += u64::from(report.faults.degraded);
         }
         EnsembleReport {
             reports,
             serial_cycles: serial,
             max_replica_cycles: longest,
             energy,
+            faults_detected,
+            faults_injected,
+            fault_retries,
+            degraded_replicas,
         }
     }
 

@@ -1,0 +1,120 @@
+//! The workspace error taxonomy and its process exit-code mapping.
+//!
+//! The CLI used to stringify every failure and exit 1; scripting around
+//! it (CI smoke tests, sweep harnesses) could not tell a typo from a
+//! solver failure from a fault-injection outcome. [`SachiError`]
+//! classifies failures, and [`SachiError::exit_code`] maps the classes
+//! onto distinct process exit codes:
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 0    | success                                             |
+//! | 2    | usage / parse / I/O / configuration error           |
+//! | 3    | solve failure                                       |
+//! | 4    | fault outcome (fail-fast detection, budget spent)   |
+//!
+//! Exit code 1 is deliberately unused: it is what a panic-turned-abort
+//! produces, so scripts can distinguish "SACHI reported an error" from
+//! "SACHI crashed".
+
+use std::fmt;
+
+/// Classified failure of a SACHI pipeline entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SachiError {
+    /// Bad command-line usage (unknown flag, missing value).
+    Usage(String),
+    /// Malformed input file (GSet/DIMACS parse failure).
+    Parse(String),
+    /// Filesystem error reading input.
+    Io(String),
+    /// Invalid configuration (bad resolution, bad geometry).
+    Config(String),
+    /// The solve itself failed.
+    Solve(String),
+    /// A fail-fast policy aborted on detected faults.
+    FaultDetected {
+        /// Parity detections that triggered the abort.
+        detected: u64,
+    },
+    /// Every replica exhausted its fault-recovery budget.
+    FaultBudgetExhausted {
+        /// Replicas flagged degraded.
+        degraded: u64,
+        /// Replicas run.
+        replicas: u64,
+    },
+}
+
+impl SachiError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SachiError::Usage(_)
+            | SachiError::Parse(_)
+            | SachiError::Io(_)
+            | SachiError::Config(_) => 2,
+            SachiError::Solve(_) => 3,
+            SachiError::FaultDetected { .. } | SachiError::FaultBudgetExhausted { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for SachiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SachiError::Usage(msg) => write!(f, "usage error: {msg}"),
+            SachiError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SachiError::Io(msg) => write!(f, "io error: {msg}"),
+            SachiError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SachiError::Solve(msg) => write!(f, "solve failed: {msg}"),
+            SachiError::FaultDetected { detected } => write!(
+                f,
+                "aborted by fail-fast recovery policy: {detected} fault(s) detected"
+            ),
+            SachiError::FaultBudgetExhausted { degraded, replicas } => write!(
+                f,
+                "fault-recovery budget exhausted: all {degraded}/{replicas} replicas degraded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SachiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_partition_the_classes() {
+        assert_eq!(SachiError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(SachiError::Parse("x".into()).exit_code(), 2);
+        assert_eq!(SachiError::Io("x".into()).exit_code(), 2);
+        assert_eq!(SachiError::Config("x".into()).exit_code(), 2);
+        assert_eq!(SachiError::Solve("x".into()).exit_code(), 3);
+        assert_eq!(SachiError::FaultDetected { detected: 1 }.exit_code(), 4);
+        assert_eq!(
+            SachiError::FaultBudgetExhausted {
+                degraded: 2,
+                replicas: 2
+            }
+            .exit_code(),
+            4
+        );
+    }
+
+    #[test]
+    fn display_renders_the_class_and_detail() {
+        let e = SachiError::Parse("line 3: bad edge".into());
+        assert_eq!(e.to_string(), "parse error: line 3: bad edge");
+        let e = SachiError::FaultDetected { detected: 7 };
+        assert!(e.to_string().contains("fail-fast"));
+        assert!(e.to_string().contains('7'));
+        let e = SachiError::FaultBudgetExhausted {
+            degraded: 4,
+            replicas: 4,
+        };
+        assert!(e.to_string().contains("4/4"));
+    }
+}

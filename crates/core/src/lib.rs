@@ -49,6 +49,7 @@ pub mod config;
 pub mod designs;
 pub mod encoding;
 pub mod ensemble;
+pub mod error;
 pub mod isa;
 pub mod machine;
 pub mod multicore;
@@ -60,12 +61,13 @@ pub mod tuple;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::config::{DesignKind, SachiConfig};
+    pub use crate::config::{DesignKind, FaultProfile, SachiConfig};
     pub use crate::designs::{stationarity, ComputeContext, Stationarity};
     pub use crate::encoding::MixedEncoding;
     pub use crate::ensemble::{DetailedSolver, EnsembleReport, ReplicaLedger, ReportingMachine};
+    pub use crate::error::SachiError;
     pub use crate::isa::{FistSubop, Instruction, MicroExecutor};
-    pub use crate::machine::{RunReport, SachiMachine};
+    pub use crate::machine::{FaultReport, RunReport, SachiMachine};
     pub use crate::multicore::{MulticoreEstimate, MulticoreModel, Partition};
     pub use crate::perf::{IterationEstimate, PerfModel, SolveEstimate};
     pub use crate::phases::PhaseSchedule;

@@ -28,16 +28,57 @@ use crate::tuple::TupleStore;
 use sachi_ising::anneal::Annealer;
 use sachi_ising::graph::IsingGraph;
 use sachi_ising::hamiltonian::energy;
+use sachi_ising::recovery::RecoveryPolicy;
 use sachi_ising::solver::{decide_update, IterativeSolver, SolveOptions, SolveResult};
 use sachi_ising::spin::SpinVector;
 use sachi_mem::dram::DramController;
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
+use sachi_mem::fault::FaultInjector;
 use sachi_mem::sram::SramTile;
 use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 use sachi_mem::units::{Bits, Cycles, Nanoseconds};
 
+/// Fault-injection and recovery accounting of one solve.
+///
+/// All zeros (the `Default`) when the machine runs without a fault
+/// profile — so existing report consumers are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Transient bit flips injected into tuple fetches (including
+    /// re-fetches).
+    pub injected_flips: u64,
+    /// Tuple fetches that carried at least one injected flip.
+    pub corrupted_fetches: u64,
+    /// Corruptions caught by tuple-row parity (odd flip count).
+    pub detected: u64,
+    /// Corruptions that aliased past parity (even, non-zero flip count)
+    /// and perturbed the computed local field.
+    pub undetected: u64,
+    /// Re-fetches performed by the `RefetchRetry` recovery policy.
+    pub retries: u64,
+    /// Cycles spent on recovery re-fetches (serialized onto the
+    /// critical path — a re-fetch stalls the pipeline).
+    pub refetch_cycles: Cycles,
+    /// Bits corrupted in DRAM streams (count only; quality effects flow
+    /// through the read-path BER).
+    pub dram_corrupted_bits: u64,
+    /// True if recovery gave up: a fail-fast abort, or a read that
+    /// exhausted its re-fetch budget.
+    pub degraded: bool,
+}
+
+impl FaultReport {
+    /// Whether any fault activity happened at all.
+    pub fn any_activity(&self) -> bool {
+        self.injected_flips > 0
+            || self.dram_corrupted_bits > 0
+            || self.detected > 0
+            || self.degraded
+    }
+}
+
 /// Architecture-level statistics of one solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Design that ran.
     pub design: DesignKind,
@@ -77,6 +118,9 @@ pub struct RunReport {
     pub cross_tuple_rereads: u64,
     /// Prefetches issued by the DRAM controller.
     pub prefetches: u64,
+    /// Fault-injection and recovery accounting (all zeros without a
+    /// fault profile).
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -123,7 +167,21 @@ impl std::fmt::Display for RunReport {
             self.adjacency_reads,
             self.queue_peak_bits,
             self.redundant_discharges
-        )
+        )?;
+        if self.faults.any_activity() {
+            write!(
+                f,
+                "\n  faults : {} flips / {} fetches ({} detected, {} undetected), {} retries, {} dram bits{}",
+                self.faults.injected_flips,
+                self.faults.corrupted_fetches,
+                self.faults.detected,
+                self.faults.undetected,
+                self.faults.retries,
+                self.faults.dram_corrupted_bits,
+                if self.faults.degraded { "; DEGRADED" } else { "" }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -258,7 +316,20 @@ impl SachiMachine {
         let mut trace = Vec::new();
         let schedule_fill = design.idle_cycles(count_u64(max_degree), enc.bits()) + 3;
 
-        while sweeps < options.max_sweeps {
+        // Fault layer: the injector's stream is salted with the solve
+        // seed (the per-replica derived seed in an ensemble), so fault
+        // sequences are a pure function of (master seed, fault seed,
+        // replica index) — byte-identical at any thread count.
+        let mut fault: Option<(FaultInjector, RecoveryPolicy)> = self
+            .config
+            .fault
+            .as_ref()
+            .map(|profile| (profile.model.injector(options.seed), profile.policy));
+        let mut fault_report = FaultReport::default();
+        let mut fail_fast = false;
+
+        let max_sweeps = options.effective_max_sweeps(n);
+        while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for (round, chunk) in chunks.iter().enumerate() {
                 // --- loading for this round ---
@@ -286,7 +357,18 @@ impl SachiMachine {
                             .clone()
                             .map(|i| tuples.tuple(i).storage_bits(enc.bits()))
                             .sum();
-                        let dram_cycles = dram.load(Bits::new(chunk_storage), &mut ledger);
+                        let dram_cycles = match fault.as_mut() {
+                            Some((inj, _)) => {
+                                let (cycles, corrupted) = dram.load_with_faults(
+                                    Bits::new(chunk_storage),
+                                    &mut ledger,
+                                    inj,
+                                );
+                                fault_report.dram_corrupted_bits += corrupted;
+                                cycles
+                            }
+                            None => dram.load(Bits::new(chunk_storage), &mut ledger),
+                        };
                         // The Sec. IV.A prefetcher hides the DRAM stream
                         // entirely; without it, the stream serializes.
                         if !self.config.prefetch {
@@ -333,6 +415,71 @@ impl SachiMachine {
                         // Count the cross-tuple re-reads the ablation incurs.
                         tuples.local_field(i);
                     }
+                    // --- fault injection + parity + recovery ---
+                    // The hardware compute above is exact; faults strike
+                    // the tuple-row *fetch*. One parity bit per tuple row
+                    // (derived from the tuple-rep layout) catches every
+                    // odd flip count; even non-zero counts alias past it
+                    // and corrupt the computed local field.
+                    let mut h_sigma = h_sigma;
+                    if let Some((inj, policy)) = fault.as_mut() {
+                        let tuple_bits = tuples.tuple(i).storage_bits(enc.bits());
+                        let mut flips = inj.flips_in_read(tuple_bits);
+                        let mut attempts = 0u32;
+                        while flips % 2 == 1 {
+                            fault_report.detected += 1;
+                            match *policy {
+                                RecoveryPolicy::FailFast => {
+                                    fault_report.degraded = true;
+                                    fail_fast = true;
+                                    flips = 0;
+                                }
+                                RecoveryPolicy::RefetchRetry { max_retries } => {
+                                    if attempts < max_retries {
+                                        // Re-fetch the row: storage→compute
+                                        // movement plus one row cycle,
+                                        // serialized onto the critical path.
+                                        attempts += 1;
+                                        fault_report.retries += 1;
+                                        fault_report.refetch_cycles +=
+                                            tech.storage_to_compute_cycles() + Cycles::new(1);
+                                        ledger.record(
+                                            EnergyComponent::DataMovement,
+                                            tech.movement_energy_per_bit() * tuple_bits,
+                                        );
+                                        ledger.record(
+                                            EnergyComponent::SramWrite,
+                                            tech.sram_write_energy_per_bit() * tuple_bits,
+                                        );
+                                        flips = inj.flips_in_read(tuple_bits);
+                                        continue;
+                                    }
+                                    // Budget spent: scrub with a clean
+                                    // (slow-path) refetch and carry on,
+                                    // but the replica is flagged.
+                                    fault_report.degraded = true;
+                                    flips = 0;
+                                }
+                            }
+                            break;
+                        }
+                        if fail_fast {
+                            break;
+                        }
+                        if flips > 0 {
+                            // Even flip count: parity aliases. The
+                            // corruption lands on one neighbor slot of
+                            // the tuple, inverting that product term.
+                            fault_report.undetected += 1;
+                            let t = tuples.tuple(i);
+                            if !t.neighbors.is_empty() {
+                                let slot = inj.pick_index(t.neighbors.len());
+                                h_sigma -= 2
+                                    * i64::from(t.couplings[slot])
+                                    * t.neighbor_spins[slot].value();
+                            }
+                        }
+                    }
                     let current = spins.get(i);
                     let new = decide_update(current, h_sigma, &mut annealer);
                     annealer_decisions += 1;
@@ -367,6 +514,14 @@ impl SachiMachine {
                 } else {
                     total_cycles += dram.effective_round_cycles(round_compute, round_load);
                 }
+                if fail_fast {
+                    break;
+                }
+            }
+            if fail_fast {
+                // Fail-fast abort: the partial sweep's cycles are booked,
+                // but it does not count as a completed iteration.
+                break;
             }
 
             sweeps += 1;
@@ -418,6 +573,16 @@ impl SachiMachine {
             tech.annealer_energy_per_decision() * annealer_decisions,
         );
 
+        // Recovery re-fetches stall the pipeline: they serialize onto
+        // both the load tally and the critical path.
+        if let Some((inj, _)) = fault.as_ref() {
+            let counters = inj.counters();
+            fault_report.injected_flips = counters.transient_flips;
+            fault_report.corrupted_fetches = counters.reads_corrupted;
+            load_cycles += fault_report.refetch_cycles;
+            total_cycles += fault_report.refetch_cycles;
+        }
+
         let report = RunReport {
             design: self.config.design,
             resolution_bits: enc.bits(),
@@ -437,6 +602,7 @@ impl SachiMachine {
             adjacency_reads: tuples.adjacency_reads(),
             cross_tuple_rereads: tuples.cross_tuple_rereads(),
             prefetches: dram.prefetches_issued(),
+            faults: fault_report,
         };
         let result = SolveResult {
             energy: energy(graph, &spins),
@@ -447,6 +613,7 @@ impl SachiMachine {
             trace,
             uphill_accepted: annealer.uphill_accepted(),
             uphill_rejected: annealer.uphill_rejected(),
+            degraded: fault_report.degraded,
         };
         (result, report)
     }
@@ -638,6 +805,109 @@ mod tests {
         }
         assert!(report.wall_time.get() > 0.0);
         assert!(report.cycles_per_iteration() > 0.0);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::config::FaultProfile;
+        use sachi_mem::fault::{FaultModel, FaultRate};
+
+        fn profile(ber_ppb: u64, policy: RecoveryPolicy) -> FaultProfile {
+            FaultProfile::new(FaultModel::new(0xFA17).with_read_ber(FaultRate::from_ppb(ber_ppb)))
+                .with_policy(policy)
+        }
+
+        #[test]
+        fn inert_profile_is_identity() {
+            let (g, init, opts) = king_setup(41);
+            let mut plain = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+            let mut faulted = SachiMachine::new(
+                SachiConfig::new(DesignKind::N3)
+                    .with_fault(FaultProfile::new(FaultModel::new(123))),
+            );
+            let (want, want_report) = plain.solve_detailed(&g, &init, &opts);
+            let (got, got_report) = faulted.solve_detailed(&g, &init, &opts);
+            assert_eq!(got, want, "inert fault profile changed the solve");
+            assert_eq!(got_report.faults, FaultReport::default());
+            assert_eq!(got_report.total_cycles, want_report.total_cycles);
+            assert_eq!(got_report.load_cycles, want_report.load_cycles);
+            assert!(
+                (got_report.energy.total().get() - want_report.energy.total().get()).abs() < 1e-9
+            );
+        }
+
+        #[test]
+        fn nonzero_ber_is_deterministic() {
+            let (g, init, opts) = king_setup(43);
+            // ~1e-3 BER: enough activity to exercise every counter.
+            let run = || {
+                let mut m = SachiMachine::new(
+                    SachiConfig::new(DesignKind::N2)
+                        .with_fault(profile(1_000_000, RecoveryPolicy::default())),
+                );
+                m.solve_detailed(&g, &init, &opts)
+            };
+            let (a, ra) = run();
+            let (b, rb) = run();
+            assert_eq!(a, b);
+            assert_eq!(ra.faults, rb.faults);
+            assert!(ra.faults.injected_flips > 0, "BER 1e-3 never fired");
+            assert_eq!(ra.total_cycles, rb.total_cycles);
+        }
+
+        #[test]
+        fn failfast_aborts_on_first_detection() {
+            let (g, init, opts) = king_setup(47);
+            // Massive BER: a detection happens almost immediately.
+            let mut m = SachiMachine::new(
+                SachiConfig::new(DesignKind::N3)
+                    .with_fault(profile(100_000_000, RecoveryPolicy::FailFast)),
+            );
+            let (result, report) = m.solve_detailed(&g, &init, &opts);
+            assert!(result.degraded);
+            assert!(!result.converged);
+            assert!(report.faults.degraded);
+            assert_eq!(report.faults.detected, 1, "fail-fast stops at the first");
+            assert_eq!(report.faults.retries, 0);
+            assert_eq!(result.sweeps, 0, "aborted inside the first sweep");
+        }
+
+        #[test]
+        fn retry_policy_books_refetches_on_the_critical_path() {
+            let (g, init, opts) = king_setup(53);
+            let mut m = SachiMachine::new(SachiConfig::new(DesignKind::N3).with_fault(profile(
+                10_000_000, // ~1e-2: detections every few tuples
+                RecoveryPolicy::RefetchRetry { max_retries: 5 },
+            )));
+            let (result, report) = m.solve_detailed(&g, &init, &opts);
+            assert!(report.faults.detected > 0);
+            assert!(report.faults.retries > 0);
+            assert!(report.faults.refetch_cycles > Cycles::ZERO);
+            // Refetches serialize: the run is strictly slower than clean.
+            let mut clean = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+            let (_, clean_report) = clean.solve_detailed(&g, &init, &opts);
+            if result.sweeps == clean_report.sweeps {
+                assert!(report.load_cycles > clean_report.load_cycles);
+            }
+            // The run completes either way; degradation only ever comes
+            // from an exhausted budget, never a crash.
+            assert!(result.sweeps > 0);
+        }
+
+        #[test]
+        fn zero_retry_budget_degrades_but_completes() {
+            let (g, init, opts) = king_setup(59);
+            let mut m = SachiMachine::new(SachiConfig::new(DesignKind::N1b).with_fault(profile(
+                50_000_000,
+                RecoveryPolicy::RefetchRetry { max_retries: 0 },
+            )));
+            let (result, report) = m.solve_detailed(&g, &init, &opts);
+            assert!(report.faults.detected > 0);
+            assert_eq!(report.faults.retries, 0);
+            assert!(report.faults.degraded);
+            assert!(result.degraded);
+            assert!(result.sweeps > 0, "degraded replicas still finish");
+        }
     }
 
     #[test]

@@ -393,7 +393,8 @@ impl ResidentN3Machine {
         let mut resident_chunk: Option<usize> = None;
         let schedule_fill = 2 + 3; // n3 pipeline fill + tail
 
-        while sweeps < options.max_sweeps {
+        let max_sweeps = options.effective_max_sweeps(graph.num_spins());
+        while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for (round, chunk) in chunks.iter().enumerate() {
                 // --- (re)load the round if it is not resident ---
@@ -556,6 +557,7 @@ impl ResidentN3Machine {
             adjacency_reads: tuples.adjacency_reads(),
             cross_tuple_rereads: tuples.cross_tuple_rereads(),
             prefetches: 0,
+            faults: crate::machine::FaultReport::default(),
         };
         let result = SolveResult {
             energy: energy(graph, &spins),
@@ -566,6 +568,7 @@ impl ResidentN3Machine {
             trace,
             uphill_accepted: annealer.uphill_accepted(),
             uphill_rejected: annealer.uphill_rejected(),
+            degraded: false,
         };
         (result, report)
     }

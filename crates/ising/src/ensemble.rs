@@ -83,6 +83,9 @@ pub struct EnsembleStats {
     pub uphill_accepted: u64,
     /// Total Metropolis uphill moves rejected across all replicas.
     pub uphill_rejected: u64,
+    /// Replicas flagged degraded by fault recovery (exhausted re-fetch
+    /// budget or fail-fast abort).
+    pub degraded: u64,
 }
 
 /// The reduction of an ensemble: every replica's result in replica
@@ -91,8 +94,10 @@ pub struct EnsembleStats {
 pub struct BestOf {
     /// Per-replica results, indexed by replica (not completion order).
     pub replicas: Vec<SolveResult>,
-    /// Index of the lowest-energy replica (ties break to the lowest
-    /// index).
+    /// Index of the lowest-energy *healthy* replica (ties break to the
+    /// lowest index). Degraded replicas — flagged by fault recovery —
+    /// can win only when every replica is degraded, so a corrupted
+    /// result is never silently preferred over a clean one.
     pub best_index: usize,
     /// Aggregate accept/reject and progress statistics.
     pub stats: EnsembleStats,
@@ -107,7 +112,16 @@ impl BestOf {
             ..EnsembleStats::default()
         };
         for (k, r) in replicas.iter().enumerate() {
-            if r.energy < replicas[best_index].energy {
+            let best = &replicas[best_index];
+            // Health dominates energy: a healthy replica always beats a
+            // degraded one; within the same health class, lower energy
+            // wins and ties keep the lowest index.
+            let better = match (r.degraded, best.degraded) {
+                (false, true) => true,
+                (true, false) => false,
+                _ => r.energy < best.energy,
+            };
+            if better {
                 best_index = k;
             }
             stats.converged += u64::from(r.converged);
@@ -115,6 +129,7 @@ impl BestOf {
             stats.total_flips += r.flips;
             stats.uphill_accepted += r.uphill_accepted;
             stats.uphill_rejected += r.uphill_rejected;
+            stats.degraded += u64::from(r.degraded);
         }
         BestOf {
             replicas,
@@ -421,6 +436,45 @@ mod tests {
         let best_energy = best_of.best().energy;
         assert!(best_of.replicas.iter().all(|r| r.energy >= best_energy));
         assert_eq!(best_of.into_best().energy, best_energy);
+    }
+
+    fn result_with(energy: i64, degraded: bool) -> SolveResult {
+        SolveResult {
+            spins: SpinVector::filled(1, Spin::Up),
+            energy,
+            sweeps: 1,
+            flips: 0,
+            converged: true,
+            trace: Vec::new(),
+            uphill_accepted: 0,
+            uphill_rejected: 0,
+            degraded,
+        }
+    }
+
+    #[test]
+    fn degraded_replicas_lose_to_healthy_ones() {
+        // The degraded replica has the best raw energy but must not win.
+        let best_of = BestOf::reduce(vec![
+            result_with(-10, true),
+            result_with(-4, false),
+            result_with(-7, false),
+        ]);
+        assert_eq!(best_of.best_index, 2);
+        assert_eq!(best_of.stats.degraded, 1);
+
+        // All degraded: fall back to the overall lowest energy.
+        let all_bad = BestOf::reduce(vec![result_with(-3, true), result_with(-9, true)]);
+        assert_eq!(all_bad.best_index, 1);
+        assert_eq!(all_bad.stats.degraded, 2);
+
+        // Ties still break to the lowest index within a health class.
+        let tied = BestOf::reduce(vec![
+            result_with(-5, true),
+            result_with(-5, false),
+            result_with(-5, false),
+        ]);
+        assert_eq!(tied.best_index, 1);
     }
 
     #[test]

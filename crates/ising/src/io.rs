@@ -309,6 +309,32 @@ mod tests {
     }
 
     #[test]
+    fn gset_errors_render_actionable_messages() {
+        // Malformed header: not a vertex count.
+        let err = parse_gset("graph of 800\n1 2 1\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 1: header needs '<n> <m>'");
+        let err = parse_gset("").unwrap_err();
+        assert_eq!(err.to_string(), "bad header: empty input");
+        // Bad edge lines point at the offending line number.
+        let err = parse_gset("3 2\n1 2 1\n2 three 1\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 3: edge needs 'u v w'");
+        let err = parse_gset("3 1\n1 2 1.5\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2: edge needs integer weight");
+        let err = parse_gset("3 1\n0 2 1\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2: vertices are 1-indexed");
+        // Graph-constraint violations pass through the builder.
+        let err = parse_gset("2 2\n1 2 1\n2 1 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(_)));
+        assert!(err.to_string().starts_with("invalid graph:"), "{err}");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        let err = parse_gset("2 1\n1 9 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(_)), "{err}");
+        // The source chain exposes the underlying GraphError.
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let err = malformed(7, "bad edge");
         assert_eq!(format!("{err}"), "line 7: bad edge");

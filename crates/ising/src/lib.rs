@@ -17,7 +17,10 @@
 //!   [`solver::CpuReferenceSolver`];
 //! * [`ensemble`] — the deterministic parallel replica-ensemble engine
 //!   (`R` independent replicas over `T` scoped threads, bit-identical
-//!   at every `T`).
+//!   at every `T`);
+//! * [`recovery`] — the fault-recovery policy (`FailFast` /
+//!   `RefetchRetry`) the machines apply when parity detects a
+//!   corrupted tuple fetch.
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@ pub mod ensemble;
 pub mod graph;
 pub mod hamiltonian;
 pub mod io;
+pub mod recovery;
 pub mod solver;
 pub mod spin;
 
@@ -55,6 +59,7 @@ pub mod prelude {
     pub use crate::graph::{topology, GraphBuilder, GraphError, IsingGraph};
     pub use crate::hamiltonian::{energy, flip_delta, local_field, update_rule};
     pub use crate::io::{parse_dimacs, parse_gset, to_dimacs, ParseError};
+    pub use crate::recovery::RecoveryPolicy;
     pub use crate::solver::{
         decide_update, solve_multi_start, CpuReferenceSolver, IterativeSolver, SolveOptions,
         SolveResult,

@@ -1,0 +1,123 @@
+//! Recovery policy for detected memory faults.
+//!
+//! The all-digital SACHI pipeline makes injected faults *detectable*
+//! (tuple-row parity flags an odd number of flipped bits), which raises
+//! the question of what to do next. [`RecoveryPolicy`] is the answer
+//! the solve layer threads from the CLI down to the machines:
+//!
+//! * [`RecoveryPolicy::FailFast`] — abort the replica on the first
+//!   detected fault and surface it as a degraded, non-converged result.
+//!   The right choice when any corruption invalidates the experiment.
+//! * [`RecoveryPolicy::RefetchRetry`] — re-fetch the corrupted tuple
+//!   row from the storage array up to `max_retries` times per read
+//!   (each re-fetch costs storage→compute movement cycles and energy);
+//!   if the budget is exhausted the replica continues but is flagged
+//!   *degraded*, and degraded replicas lose `BestOf` ties to healthy
+//!   ones so a corrupted winner is never silently reported.
+//!
+//! Retries re-draw from the same deterministic fault stream, so the
+//! whole recovery trajectory — including how many retries each read
+//! needed — is a pure function of `(master seed, fault seed, replica
+//! index)` and is byte-identical at any thread count.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What the solve pipeline does when parity detects a corrupted fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Abort the replica on the first detected fault.
+    FailFast,
+    /// Re-fetch the corrupted row, at most `max_retries` times per read,
+    /// then continue with the replica flagged degraded.
+    RefetchRetry {
+        /// Re-fetch budget per corrupted read.
+        max_retries: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// The default re-fetch budget.
+    pub const DEFAULT_MAX_RETRIES: u32 = 3;
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::RefetchRetry {
+            max_retries: RecoveryPolicy::DEFAULT_MAX_RETRIES,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPolicy::FailFast => write!(f, "failfast"),
+            RecoveryPolicy::RefetchRetry { max_retries } => write!(f, "retry:{max_retries}"),
+        }
+    }
+}
+
+impl FromStr for RecoveryPolicy {
+    type Err = String;
+
+    /// Parses `failfast`, `retry`, or `retry:N`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "failfast" => Ok(RecoveryPolicy::FailFast),
+            "retry" => Ok(RecoveryPolicy::default()),
+            other => match other.strip_prefix("retry:") {
+                Some(n) => n
+                    .parse::<u32>()
+                    .map(|max_retries| RecoveryPolicy::RefetchRetry { max_retries })
+                    .map_err(|_| format!("invalid retry budget '{n}' (expected retry:N)")),
+                None => Err(format!(
+                    "unknown recovery policy '{other}' (expected failfast, retry, or retry:N)"
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_spellings() {
+        assert_eq!("failfast".parse(), Ok(RecoveryPolicy::FailFast));
+        assert_eq!(
+            "retry".parse(),
+            Ok(RecoveryPolicy::RefetchRetry { max_retries: 3 })
+        );
+        assert_eq!(
+            "retry:7".parse(),
+            Ok(RecoveryPolicy::RefetchRetry { max_retries: 7 })
+        );
+        assert_eq!(
+            "retry:0".parse(),
+            Ok(RecoveryPolicy::RefetchRetry { max_retries: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_a_message() {
+        let err = "retry:x".parse::<RecoveryPolicy>().unwrap_err();
+        assert!(err.contains("retry:N"), "{err}");
+        let err = "bogus".parse::<RecoveryPolicy>().unwrap_err();
+        assert!(err.contains("failfast"), "{err}");
+        assert!("retry:".parse::<RecoveryPolicy>().is_err());
+        assert!("FAILFAST".parse::<RecoveryPolicy>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [
+            RecoveryPolicy::FailFast,
+            RecoveryPolicy::default(),
+            RecoveryPolicy::RefetchRetry { max_retries: 9 },
+        ] {
+            assert_eq!(p.to_string().parse::<RecoveryPolicy>(), Ok(p));
+        }
+    }
+}

@@ -33,6 +33,10 @@ pub struct SolveOptions {
     pub seed: u64,
     /// Record the post-sweep energy trace (Fig. 19a).
     pub record_trace: bool,
+    /// Optional hard budget on per-spin update *steps* (a timeout guard
+    /// expressed in work, not wall-clock, so it stays deterministic).
+    /// `None` leaves `max_sweeps` as the only cap.
+    pub step_budget: Option<u64>,
 }
 
 impl SolveOptions {
@@ -43,6 +47,7 @@ impl SolveOptions {
             schedule: Schedule::for_coefficient_range(graph.max_abs_coefficient()),
             seed,
             record_trace: false,
+            step_budget: None,
         }
     }
 
@@ -59,6 +64,28 @@ impl SolveOptions {
         self.max_sweeps = max_sweeps;
         self
     }
+
+    /// Sets the step budget (per-spin updates across all sweeps).
+    #[must_use]
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// The sweep cap after applying the step budget for a problem of
+    /// `num_spins` spins: `min(max_sweeps, max(1, budget / num_spins))`.
+    /// Every solver derives its loop bound from this, so a budgeted run
+    /// is the same function on every machine and the conformance suites
+    /// keep holding with a budget set.
+    pub fn effective_max_sweeps(&self, num_spins: usize) -> u64 {
+        match self.step_budget {
+            None => self.max_sweeps,
+            Some(budget) => {
+                let spins = u64::try_from(num_spins.max(1)).unwrap_or(u64::MAX);
+                self.max_sweeps.min((budget / spins).max(1))
+            }
+        }
+    }
 }
 
 impl Default for SolveOptions {
@@ -68,6 +95,7 @@ impl Default for SolveOptions {
             schedule: Schedule::default(),
             seed: 0,
             record_trace: false,
+            step_budget: None,
         }
     }
 }
@@ -96,6 +124,10 @@ pub struct SolveResult {
     pub uphill_accepted: u64,
     /// Metropolis uphill moves the annealer block rejected.
     pub uphill_rejected: u64,
+    /// True if the machine hit its fault-recovery budget (or a fail-fast
+    /// abort) and the result may be corrupted. Degraded replicas lose
+    /// `BestOf` ties to healthy ones.
+    pub degraded: bool,
 }
 
 /// The per-spin decision shared by every machine: deterministic sign update
@@ -175,7 +207,8 @@ impl IterativeSolver for CpuReferenceSolver {
         let mut sweeps = 0u64;
         let mut converged = false;
 
-        while sweeps < options.max_sweeps {
+        let max_sweeps = options.effective_max_sweeps(graph.num_spins());
+        while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for i in 0..graph.num_spins() {
                 let h_sigma = local_field(graph, &spins, i);
@@ -208,6 +241,7 @@ impl IterativeSolver for CpuReferenceSolver {
             trace,
             uphill_accepted: annealer.uphill_accepted(),
             uphill_rejected: annealer.uphill_rejected(),
+            degraded: false,
         }
     }
 }
@@ -318,6 +352,31 @@ mod tests {
         let result = solver.solve(&g, &init, &opts);
         assert_eq!(result.sweeps, 2);
         assert!(!result.converged);
+    }
+
+    #[test]
+    fn step_budget_caps_sweeps() {
+        let g = topology::complete(20, |i, j| if (i + j) % 2 == 0 { 3 } else { -3 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let init = SpinVector::random(20, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        // 100 steps over 20 spins => 5 sweeps.
+        let opts = SolveOptions::for_graph(&g, 1).with_step_budget(100);
+        assert_eq!(opts.effective_max_sweeps(20), 5);
+        let result = solver.solve(&g, &init, &opts);
+        assert!(result.sweeps <= 5);
+        // A budget smaller than one sweep still allows a single sweep.
+        assert_eq!(opts.clone().with_step_budget(3).effective_max_sweeps(20), 1);
+        // max_sweeps stays the binding cap when it is tighter.
+        let tight = opts.with_max_sweeps(2);
+        assert_eq!(tight.effective_max_sweeps(20), 2);
+        // No budget: unchanged.
+        assert_eq!(
+            SolveOptions::for_graph(&g, 1).effective_max_sweeps(20),
+            10_000
+        );
+        // Degenerate zero-spin problems never divide by zero.
+        assert_eq!(tight.effective_max_sweeps(0), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! exactly when the current round drains.
 
 use crate::energy::{EnergyComponent, EnergyLedger};
+use crate::fault::FaultInjector;
 use crate::params::TechnologyParams;
 use crate::units::{Bits, Cycles, Picojoules};
 
@@ -146,6 +147,23 @@ impl DramController {
         self.stream_cycles(payload)
     }
 
+    /// [`DramController::load`] through a [`FaultInjector`]: cycle and
+    /// energy accounting are identical to a clean load (corrupted beats
+    /// still occupy the bus and burn the same energy); the injector
+    /// additionally draws per-bit stream corruption and the corrupted
+    /// bit count is returned alongside the cycles. With an inert model
+    /// this is bit-identical to `load` and consumes no RNG draws.
+    pub fn load_with_faults(
+        &mut self,
+        payload: Bits,
+        ledger: &mut EnergyLedger,
+        inj: &mut FaultInjector,
+    ) -> (Cycles, u64) {
+        let cycles = self.load(payload, ledger);
+        let corrupted = inj.flips_in_dram_stream(payload.get());
+        (cycles, corrupted)
+    }
+
     /// Critical-path cycles of a compute round of `compute` cycles whose
     /// *next* round needs `load` cycles of DRAM streaming.
     ///
@@ -257,6 +275,36 @@ mod tests {
             with.effective_round_cycles(Cycles::new(10), Cycles::new(40)),
             Cycles::new(40)
         );
+    }
+
+    #[test]
+    fn faulted_load_keeps_clean_accounting_and_counts_corruption() {
+        use crate::fault::{FaultModel, FaultRate};
+        let mut clean = DramController::new(TechnologyParams::default());
+        let mut faulted = DramController::new(TechnologyParams::default());
+        let mut clean_ledger = EnergyLedger::new();
+        let mut faulted_ledger = EnergyLedger::new();
+
+        // Inert model: identical in every respect, no draws.
+        let mut inert = FaultModel::new(4).injector(0);
+        let state = inert.stream_state();
+        let want = clean.load(Bits::from_bytes(128), &mut clean_ledger);
+        let (got, corrupted) =
+            faulted.load_with_faults(Bits::from_bytes(128), &mut faulted_ledger, &mut inert);
+        assert_eq!(got, want);
+        assert_eq!(corrupted, 0);
+        assert_eq!(inert.stream_state(), state);
+        assert_eq!(faulted.loads(), clean.loads());
+        assert!((faulted_ledger.total().get() - clean_ledger.total().get()).abs() < 1e-12);
+
+        // Certainty DRAM BER corrupts every streamed bit; cycles unchanged.
+        let model = FaultModel::new(4).with_dram_ber(FaultRate::from_ppb(1_000_000_000));
+        let mut inj = model.injector(0);
+        let (cycles, corrupted) =
+            faulted.load_with_faults(Bits::new(100), &mut faulted_ledger, &mut inj);
+        assert_eq!(cycles, faulted.stream_cycles(Bits::new(100)));
+        assert_eq!(corrupted, 100);
+        assert_eq!(inj.counters().dram_flips, 100);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! SACHI's reuse-aware designs.
 
 use crate::energy::{EnergyComponent, EnergyLedger};
+use crate::fault::FaultInjector;
 use crate::params::TechnologyParams;
 use crate::units::convert::count_u64;
 use crate::units::Picojoules;
@@ -471,6 +472,53 @@ impl SramTile {
         self.compute_xnor(row, input, 0..self.cols)
     }
 
+    /// Normal-mode range read through a [`FaultInjector`]: the stored
+    /// bits are read exactly as [`SramTile::read_range`] would, then the
+    /// injector applies transient flips and stuck-at overrides to the
+    /// *returned* values (a read fault corrupts the sensed data, not the
+    /// cell contents). Returns the possibly-corrupted bits and the number
+    /// of transient flips injected. With an inert model this is
+    /// bit-identical to `read_range` and consumes no RNG draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on out-of-bounds.
+    pub fn read_range_with_faults(
+        &mut self,
+        row: usize,
+        cols: Range<usize>,
+        inj: &mut FaultInjector,
+    ) -> Result<(Vec<bool>, u64), AccessError> {
+        let start = cols.start;
+        let mut bits = self.read_range(row, cols)?;
+        let flips = inj.corrupt_sram_read(row, start, &mut bits);
+        Ok((bits, flips))
+    }
+
+    /// Ising-compute access through a [`FaultInjector`]: the discharge
+    /// pattern is computed exactly as [`SramTile::compute_xnor`] would,
+    /// then transient flips / stuck-at overrides corrupt the *sensed*
+    /// outputs. Energy accounting is untouched — a flipped sense
+    /// amplifier output costs the same as a correct one. Returns the
+    /// sensed values plus the transient flip count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] if `row` is out of bounds or `sense`
+    /// exceeds the row width.
+    pub fn compute_xnor_with_faults(
+        &mut self,
+        row: usize,
+        input: bool,
+        sense: Range<usize>,
+        inj: &mut FaultInjector,
+    ) -> Result<(Vec<bool>, u64), AccessError> {
+        let start = sense.start;
+        let mut out = self.compute_xnor(row, input, sense)?;
+        let flips = inj.corrupt_sram_read(row, start, &mut out);
+        Ok((out, flips))
+    }
+
     /// Fault-injection hook: flips the stored bit at `(row, col)` without
     /// booking any access energy, returning the new value. Models a
     /// particle-strike/retention upset for resilience testing — the
@@ -676,6 +724,54 @@ mod tests {
             faulty.stats().rwl_activations
         );
         assert!(faulty.inject_bit_flip(9, 0).is_err());
+    }
+
+    #[test]
+    fn faulted_reads_are_identity_under_an_inert_model() {
+        use crate::fault::FaultModel;
+        let mut t = tile_with_pattern();
+        let mut clean = tile_with_pattern();
+        let mut inj = FaultModel::new(7).injector(0);
+        let (bits, flips) = t.read_range_with_faults(0, 0..6, &mut inj).unwrap();
+        assert_eq!(flips, 0);
+        assert_eq!(bits, clean.read_range(0, 0..6).unwrap());
+        let (out, flips) = t.compute_xnor_with_faults(0, true, 0..6, &mut inj).unwrap();
+        assert_eq!(flips, 0);
+        assert_eq!(out, clean.compute_xnor(0, true, 0..6).unwrap());
+        // Accounting identical to the fault-free path.
+        assert_eq!(t.stats(), clean.stats());
+    }
+
+    #[test]
+    fn faulted_reads_corrupt_outputs_not_cells() {
+        use crate::fault::{FaultModel, FaultRate};
+        let model = FaultModel::new(3).with_read_ber(FaultRate::from_ppb(1_000_000_000));
+        let mut inj = model.injector(0);
+        let mut t = tile_with_pattern();
+        let (bits, flips) = t.read_range_with_faults(0, 0..6, &mut inj).unwrap();
+        assert_eq!(flips, 6, "certainty BER flips every sensed bit");
+        assert_eq!(bits, vec![false, true, false, false, true, true]);
+        // The stored cells are untouched: a clean read still sees the truth.
+        assert_eq!(
+            t.read_range(0, 0..6).unwrap(),
+            vec![true, false, true, true, false, false]
+        );
+        let (out, flips) = t.compute_xnor_with_faults(0, true, 2..5, &mut inj).unwrap();
+        assert_eq!(flips, 3);
+        assert_eq!(out, vec![false, false, true]);
+    }
+
+    #[test]
+    fn stuck_cell_pins_the_sensed_window() {
+        use crate::fault::FaultModel;
+        let model = FaultModel::new(0).with_stuck_cell(0, 4, true);
+        let mut inj = model.injector(0);
+        let mut t = tile_with_pattern();
+        // Window 2..6 of row 0: stored [1, 1, 0, 0]; col 4 stuck at 1.
+        let (bits, flips) = t.read_range_with_faults(0, 2..6, &mut inj).unwrap();
+        assert_eq!(flips, 0);
+        assert_eq!(bits, vec![true, true, true, false]);
+        assert_eq!(inj.counters().stuck_overrides, 1);
     }
 
     #[test]

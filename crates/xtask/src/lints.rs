@@ -1,9 +1,10 @@
-//! The four repo-specific lints and the driver that runs them.
+//! The five repo-specific lints and the driver that runs them.
 //!
 //! | lint | what it enforces |
 //! |------|------------------|
 //! | `unit-safety` | no raw numeric `as` casts in memory-model and energy/cycle accounting code — arithmetic goes through the `units.rs` newtypes |
 //! | `panic-freedom` | no `.unwrap()` / `panic!` in library code of `sachi-core`, `sachi-mem`, `sachi-ising` (`.expect("invariant …")` is the sanctioned escape hatch) |
+//! | `fault-strict` | the fault-injection and recovery modules may not even `.expect(…)` — fault handling code must never be a panic source itself |
 //! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
 //! | `hygiene` | `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` stay present in every crate root |
 //!
@@ -65,6 +66,10 @@ const UNIT_SAFETY_SCOPE: &[&str] = &[
 /// Library crates that must not panic on library paths.
 const PANIC_FREEDOM_SCOPE: &[&str] = &["crates/core/src", "crates/mem/src", "crates/ising/src"];
 
+/// Fault-handling modules held to the stricter no-`expect` standard:
+/// code that models failures must not introduce its own abort paths.
+const FAULT_STRICT_SCOPE: &[&str] = &["crates/mem/src/fault.rs", "crates/ising/src/recovery.rs"];
+
 /// Numeric primitive names that make an `as` cast a unit-safety concern.
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
@@ -88,6 +93,7 @@ pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
     unit_safety(root, &mut findings)?;
     panic_freedom(root, &mut findings)?;
+    fault_strict(root, &mut findings)?;
     bench_registration(root, &mut findings)?;
     hygiene(root, &mut findings)?;
 
@@ -226,6 +232,32 @@ fn panic_freedom(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String>
                                 "`{pattern}…` in library code; return a Result or use \
                                  `.expect(\"<invariant>\")` with a message stating why \
                                  failure is impossible"
+                            ),
+                            raw: line.raw.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn fault_strict(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for scope in FAULT_STRICT_SCOPE {
+        for file in rust_files(&root.join(scope))? {
+            let text = read(&file)?;
+            for line in scan_lines(&text) {
+                for pattern in [".unwrap()", ".expect("] {
+                    if line.code.contains(pattern) {
+                        findings.push(Finding {
+                            lint: "fault-strict",
+                            path: rel(root, &file),
+                            line: line.number,
+                            message: format!(
+                                "`{pattern}…` in fault-handling code; the injection and \
+                                 recovery layer must stay panic-free — return a Result or \
+                                 restructure so the fallible case cannot arise"
                             ),
                             raw: line.raw.clone(),
                         });
@@ -376,6 +408,12 @@ mod tests {
             "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! d\npub fn f(x: u32) -> u64 { let y = x as u64; y }\npub fn g(o: Option<u8>) -> u8 { o.unwrap() }\n",
         );
         mk("crates/mem/Cargo.toml", "[package]\nname = \"m\"\n");
+        // fault-strict violation: `.expect` is fine elsewhere in the
+        // library but not in the fault module.
+        mk(
+            "crates/mem/src/fault.rs",
+            "//! d\npub fn h(o: Option<u8>) -> u8 { o.expect(\"invariant\") }\n",
+        );
         // hygiene violation: missing deny(missing_docs).
         mk("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n//! d\n");
         mk("crates/core/Cargo.toml", "[package]\nname = \"c\"\n");
@@ -394,8 +432,17 @@ mod tests {
         let lints: Vec<&str> = findings.iter().map(|f| f.lint).collect();
         assert!(lints.contains(&"unit-safety"), "{findings:?}");
         assert!(lints.contains(&"panic-freedom"), "{findings:?}");
+        assert!(lints.contains(&"fault-strict"), "{findings:?}");
         assert!(lints.contains(&"bench-registration"), "{findings:?}");
         assert!(lints.contains(&"hygiene"), "{findings:?}");
+        // The `.expect` in the fault module fires fault-strict only — it
+        // is sanctioned for ordinary library code.
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.lint == "panic-freedom" && f.path.ends_with("fault.rs")),
+            "{findings:?}"
+        );
         let baseline = findings.len();
 
         // Allowlist the cast; one fewer finding, no stale entries.

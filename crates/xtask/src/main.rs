@@ -6,8 +6,9 @@
 //! cargo run -p xtask -- lint [--root <dir>]
 //! ```
 //!
-//! runs four repo-specific static-analysis lints (unit-safety,
-//! panic-freedom, bench-registration, hygiene — see [`lints`]) over the
+//! runs five repo-specific static-analysis lints (unit-safety,
+//! panic-freedom, fault-strict, bench-registration, hygiene — see
+//! [`lints`]) over the
 //! workspace and exits non-zero if any unsuppressed finding remains.
 //! Exceptions live in `lint.allow.toml` at the workspace root; every
 //! entry needs a one-line `reason` and stale entries are themselves
@@ -66,7 +67,7 @@ fn main() -> ExitCode {
     let root = workspace_root(root_override);
     match lints::run(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean (unit-safety, panic-freedom, bench-registration, hygiene)");
+            println!("xtask lint: clean (unit-safety, panic-freedom, fault-strict, bench-registration, hygiene)");
             ExitCode::SUCCESS
         }
         Ok(findings) => {

@@ -99,6 +99,92 @@ fn master_seed_of(opts: &SolveOptions) -> u64 {
     opts.seed
 }
 
+/// Runs a machine ensemble with an optional fault profile, returning the
+/// results plus the folded per-replica accounting.
+fn machine_ensemble(
+    graph: &IsingGraph,
+    init: &SpinVector,
+    opts: &SolveOptions,
+    replicas: usize,
+    threads: usize,
+    fault: Option<FaultProfile>,
+) -> (sachi::ising::ensemble::BestOf, EnsembleReport) {
+    let mut config = SachiConfig::new(DesignKind::N3);
+    if let Some(profile) = fault {
+        config = config.with_fault(profile);
+    }
+    let ledger = ReplicaLedger::new(replicas);
+    let best_of = EnsembleRunner::new(replicas)
+        .with_threads(threads)
+        .run(graph, init, opts, |k| {
+            ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
+        });
+    (best_of, ledger.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A zero-rate fault model is *provably inert*: the ensemble output
+    /// is byte-equal to a run with no fault profile at all, and no fault
+    /// accounting ever becomes nonzero. The fault layer extends the PR 2
+    /// determinism contract rather than weakening it.
+    #[test]
+    fn zero_rate_fault_model_is_identity(salt in 0u64..500, master in 0u64..500, fault_seed in any::<u64>()) {
+        let graph = frustrated_graph(4, 4, salt);
+        let mut rng = StdRng::seed_from_u64(salt ^ 0x0FA1);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let opts = SolveOptions::for_graph(&graph, master).with_max_sweeps(60);
+        let replicas = 3usize;
+
+        let (golden, golden_report) =
+            machine_ensemble(&graph, &init, &opts, replicas, 2, None);
+        let inert = FaultProfile::new(FaultModel::new(fault_seed));
+        let (faulted, faulted_report) =
+            machine_ensemble(&graph, &init, &opts, replicas, 2, Some(inert));
+
+        prop_assert_eq!(&faulted, &golden);
+        for (got, want) in faulted_report.reports.iter().zip(&golden_report.reports) {
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(got.faults, FaultReport::default());
+        }
+    }
+
+    /// The fault trajectory is a pure function of `(master seed, fault
+    /// seed, replica index)`: at a nonzero BER, 1-thread and 8-thread
+    /// ensembles agree byte-for-byte — results *and* per-replica fault
+    /// accounting (injections, detections, retries, degraded flags).
+    #[test]
+    fn fault_streams_are_thread_count_independent(salt in 0u64..500, master in 0u64..500, fault_seed in any::<u64>()) {
+        let graph = frustrated_graph(4, 4, salt);
+        let mut rng = StdRng::seed_from_u64(salt ^ 0x1FA2);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let opts = SolveOptions::for_graph(&graph, master).with_max_sweeps(60);
+        let replicas = 4usize;
+        let profile = FaultProfile::new(
+            FaultModel::new(fault_seed).with_read_ber(FaultRate::from_probability(1e-3)),
+        );
+
+        let (reference, reference_report) =
+            machine_ensemble(&graph, &init, &opts, replicas, 1, Some(profile.clone()));
+        let (threaded, threaded_report) =
+            machine_ensemble(&graph, &init, &opts, replicas, 8, Some(profile));
+
+        prop_assert_eq!(&threaded, &reference);
+        prop_assert_eq!(
+            threaded_report.reports.len(),
+            reference_report.reports.len()
+        );
+        for (got, want) in threaded_report.reports.iter().zip(&reference_report.reports) {
+            prop_assert_eq!(&got.faults, &want.faults);
+        }
+        prop_assert_eq!(threaded_report.faults_injected, reference_report.faults_injected);
+        prop_assert_eq!(threaded_report.faults_detected, reference_report.faults_detected);
+        prop_assert_eq!(threaded_report.fault_retries, reference_report.fault_retries);
+        prop_assert_eq!(threaded_report.degraded_replicas, reference_report.degraded_replicas);
+    }
+}
+
 /// Sequential (borrowed-solver) ensembles and threaded ensembles are the
 /// same function — the bridge that lets `solve_multi_start` share the
 /// determinism contract.
