@@ -30,4 +30,10 @@ cargo test -q --test ensemble_determinism -- --test-threads=8
 echo "==> disc_faults --smoke"
 cargo run -q -p sachi-bench --bin disc_faults -- --smoke
 
+# Scalar vs bit-plane kernel tripwire: asserts H equality between the
+# two compute paths on the dense acceptance tuple and a full sweep
+# (timing ratios are only gated in the full, non-smoke run).
+echo "==> perf_kernels --smoke"
+cargo run -q -p sachi-bench --bin perf_kernels -- --smoke
+
 echo "ci: all gates passed"

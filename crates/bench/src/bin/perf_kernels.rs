@@ -1,0 +1,228 @@
+//! Scalar vs bit-plane kernel timing for all four stationarity designs.
+//!
+//! Two granularities, both on identical inputs through identical
+//! `SramTile`s so the comparison isolates the kernel:
+//!
+//! * **per H-compute** — a dense degree-256, R=8 tuple (the acceptance
+//!   shape for the bit-plane fast path), `compute_tuple` vs
+//!   `compute_tuple_fast` with a reused [`ComputeScratch`];
+//! * **per sweep** — one full update pass over every spin of a King's
+//!   graph, tuples prebuilt so the loop measures compute, not mapping.
+//!
+//! Every timed pair is asserted H-identical first (the differential
+//! proptests in `tests/plane_equivalence.rs` prove the full counter
+//! contract; this harness re-checks H as a cheap tripwire), then the
+//! measured ns/call and speedups are printed and written to
+//! `BENCH_perf.json`. The full run asserts the ≥5× acceptance bar on
+//! the dense kernel for every design; `--smoke` runs reduced reps for
+//! CI and checks equality only (CI machines are too noisy to gate on a
+//! timing ratio).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi_bench::{section, Table};
+use sachi_core::prelude::*;
+use sachi_ising::prelude::*;
+use sachi_mem::prelude::*;
+
+/// Dense-kernel acceptance shape: degree 256 at R = 8.
+const DENSE_DEGREE: usize = 256;
+const DENSE_R: u32 = 8;
+/// Row-bit budget for `tile_requirements` (mirrors the proptest suite).
+const ROW_BITS: usize = 800;
+
+/// Nanoseconds per call of `f`, amortized over `iters` runs.
+fn ns_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+/// A dense tuple with coefficients spanning the full R-bit range.
+fn dense_tuple(degree: usize) -> SpinTuple {
+    let span = 1i64 << DENSE_R;
+    let min = -(1i64 << (DENSE_R - 1));
+    SpinTuple {
+        target: 0,
+        neighbors: (1..=degree).map(|j| j as u32).collect(),
+        couplings: (0..degree)
+            .map(|k| ((k as i64 * 37 + 11).rem_euclid(span) + min) as i32)
+            .collect(),
+        neighbor_spins: (0..degree)
+            .map(|k| if k % 3 == 0 { Spin::Down } else { Spin::Up })
+            .collect(),
+        field: 17,
+    }
+}
+
+/// Prebuilds one tuple per spin of `graph` from `spins`.
+fn graph_tuples(graph: &IsingGraph, spins: &SpinVector) -> Vec<SpinTuple> {
+    (0..graph.num_spins())
+        .map(|i| {
+            let (neighbors, weights) = graph.neighbor_slices(i);
+            SpinTuple {
+                target: i as u32,
+                neighbors: neighbors.to_vec(),
+                couplings: weights.to_vec(),
+                neighbor_spins: neighbors.iter().map(|&j| spins.get(j as usize)).collect(),
+                field: graph.field(i),
+            }
+        })
+        .collect()
+}
+
+struct Measurement {
+    design: String,
+    scalar_ns: f64,
+    plane_ns: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        if self.plane_ns == 0.0 {
+            f64::INFINITY
+        } else {
+            self.scalar_ns / self.plane_ns
+        }
+    }
+}
+
+/// Times one design on one tuple set; asserts H equality per tuple.
+fn measure(kind: DesignKind, enc: &MixedEncoding, tuples: &[SpinTuple], iters: u32) -> Measurement {
+    let design = stationarity(kind);
+    let max_degree = tuples.iter().map(SpinTuple::degree).max().unwrap_or(1);
+    let (rows, cols) = design.tile_requirements(max_degree, enc.bits(), ROW_BITS);
+    let mut tile = SramTile::new(rows, cols);
+    let mut ctx = ComputeContext::new();
+    let mut scratch = ComputeScratch::new();
+
+    // Tripwire: both paths agree on H for every tuple before timing.
+    for tuple in tuples {
+        let hs = design.compute_tuple(&mut tile, enc, tuple, Spin::Up, &mut ctx);
+        let hf = design.compute_tuple_fast(&mut tile, enc, tuple, Spin::Up, &mut ctx, &mut scratch);
+        assert_eq!(hs, hf, "{kind}: fast path diverged from scalar");
+        assert_eq!(hs, tuple.local_field(), "{kind}: H diverged from golden");
+    }
+
+    // Warm up, then time. One "call" sweeps the whole tuple set, so the
+    // per-call figure divides by the set size afterwards.
+    let per_set = |ns: f64| ns / tuples.len().max(1) as f64;
+    let scalar_ns = ns_per_call(iters, || {
+        for tuple in tuples {
+            let h = design.compute_tuple(&mut tile, enc, tuple, Spin::Up, &mut ctx);
+            std::hint::black_box(h);
+        }
+    });
+    let plane_ns = ns_per_call(iters, || {
+        for tuple in tuples {
+            let h =
+                design.compute_tuple_fast(&mut tile, enc, tuple, Spin::Up, &mut ctx, &mut scratch);
+            std::hint::black_box(h);
+        }
+    });
+    Measurement {
+        design: kind.to_string(),
+        scalar_ns: per_set(scalar_ns),
+        plane_ns: per_set(plane_ns),
+    }
+}
+
+fn json_rows(rows: &[Measurement], unit: &str) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"design\": \"{}\", \"scalar_{unit}\": {:.1}, \"plane_{unit}\": {:.1}, \"speedup\": {:.2}}}",
+                m.design,
+                m.scalar_ns,
+                m.plane_ns,
+                m.speedup()
+            )
+        })
+        .collect();
+    cells.join(",\n")
+}
+
+fn print_table(title: &str, rows: &[Measurement]) {
+    section(title);
+    let mut t = Table::new(["design", "scalar ns", "plane ns", "speedup"]);
+    for m in rows {
+        t.row([
+            m.design.clone(),
+            format!("{:.1}", m.scalar_ns),
+            format!("{:.1}", m.plane_ns),
+            format!("{:.2}x", m.speedup()),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let (kernel_iters, sweep_iters, lattice) = if smoke { (3, 2, 8) } else { (200, 40, 24) };
+    let enc = MixedEncoding::new(DENSE_R).expect("R = 8 is a valid resolution");
+
+    // Per H-compute: the dense degree-256, R=8 acceptance tuple.
+    let dense = [dense_tuple(DENSE_DEGREE)];
+    let kernel: Vec<Measurement> = DesignKind::ALL
+        .into_iter()
+        .map(|kind| measure(kind, &enc, &dense, kernel_iters))
+        .collect();
+    print_table(
+        &format!("ns per H-compute: dense degree-{DENSE_DEGREE}, R={DENSE_R} tuple"),
+        &kernel,
+    );
+
+    // Per sweep: every spin of a King's graph, tuples prebuilt.
+    let graph = topology::king(lattice, lattice, |i, j| ((i + 3 * j) % 7) as i32 - 3)
+        .expect("king lattice weights fit R=8");
+    let mut rng = StdRng::seed_from_u64(41);
+    let spins = SpinVector::random(graph.num_spins(), &mut rng);
+    let tuples = graph_tuples(&graph, &spins);
+    let sweep: Vec<Measurement> = DesignKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let m = measure(kind, &enc, &tuples, sweep_iters);
+            // Re-scale per-tuple ns back up to the full-sweep figure.
+            Measurement {
+                design: m.design,
+                scalar_ns: m.scalar_ns * tuples.len() as f64,
+                plane_ns: m.plane_ns * tuples.len() as f64,
+            }
+        })
+        .collect();
+    print_table(
+        &format!(
+            "ns per sweep: {lattice}x{lattice} King's graph ({} spins)",
+            graph.num_spins()
+        ),
+        &sweep,
+    );
+
+    let json = format!(
+        "{{\n  \"kernel\": {{\"degree\": {DENSE_DEGREE}, \"r\": {DENSE_R}, \"rows\": [\n{}\n  ]}},\n  \"sweep\": {{\"lattice\": {lattice}, \"spins\": {}, \"rows\": [\n{}\n  ]}}\n}}\n",
+        json_rows(&kernel, "ns"),
+        graph.num_spins(),
+        json_rows(&sweep, "ns"),
+    );
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("\nwrote BENCH_perf.json");
+
+    if smoke {
+        println!("smoke: fast==scalar H equality held for every design at both granularities");
+    } else {
+        for m in &kernel {
+            assert!(
+                m.speedup() >= 5.0,
+                "{}: dense-kernel speedup {:.2}x is below the 5x acceptance bar",
+                m.design,
+                m.speedup()
+            );
+        }
+        println!("acceptance: every design >= 5x on the dense degree-{DENSE_DEGREE} kernel");
+    }
+}

@@ -28,6 +28,7 @@
 //! | `abl_residency` | ablation — analytic residency billing vs physical resident machine |
 //! | `abl_prefetch` | ablation — prefetcher on/off |
 //! | `abl_update_policy` | ablation — storage-update vs RMW local update |
+//! | `perf_kernels` | perf — scalar vs bit-plane kernel ns/H-compute and ns/sweep (writes `BENCH_perf.json`) |
 //!
 //! The crate also ships Criterion micro-benchmarks over the hot kernels
 //! (`cargo bench -p sachi-bench`).

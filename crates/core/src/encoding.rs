@@ -139,6 +139,82 @@ impl MixedEncoding {
         Ok((0..self.bits).map(|b| (word >> b) & 1 == 1).collect())
     }
 
+    /// Encodes `value` as an LSB-aligned two's-complement word — the
+    /// packed, allocation-free equivalent of [`MixedEncoding::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::ValueOutOfRange`] if `value` does not fit.
+    pub fn encode_word(&self, value: i64) -> Result<u64, EncodingError> {
+        if !self.in_range(value) {
+            return Err(EncodingError::ValueOutOfRange {
+                value,
+                bits: self.bits,
+            });
+        }
+        Ok((value as u64) & self.mask())
+    }
+
+    /// Number of `u64` words one bit-plane needs to hold `lanes` lanes.
+    #[must_use]
+    pub fn plane_words(lanes: usize) -> usize {
+        lanes.div_ceil(64).max(1)
+    }
+
+    /// Encodes `values` into bit-plane form without allocating: bit `b` of
+    /// the encoding of `values[k]` lands in lane `k` of plane `b`, where
+    /// plane `b` occupies `planes[b * w..(b + 1) * w]` with
+    /// `w = plane_words(values.len())`. The used plane region is zeroed
+    /// first, so stale lanes never leak between tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::ValueOutOfRange`] on the first value that
+    /// does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` holds fewer than `bits() * w` words.
+    pub fn encode_into(&self, values: &[i32], planes: &mut [u64]) -> Result<(), EncodingError> {
+        let w = Self::plane_words(values.len());
+        let r = self.bits as usize;
+        assert!(
+            planes.len() >= r * w,
+            "plane buffer of {} words < {r} planes x {w} words",
+            planes.len()
+        );
+        for word in &mut planes[..r * w] {
+            *word = 0;
+        }
+        for (lane, &v) in values.iter().enumerate() {
+            let enc = self.encode_word(i64::from(v))?;
+            let (wi, bit) = (lane / 64, lane % 64);
+            for b in 0..r {
+                planes[b * w + wi] |= ((enc >> b) & 1) << bit;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes lane `lane` from bit-plane form: gathers bit `lane` of each
+    /// of the R planes (laid out as in [`MixedEncoding::encode_into`], or
+    /// as produced by plane-at-a-time XNOR kernels) via shift/add and
+    /// sign-extends — the packed equivalent of [`MixedEncoding::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` holds fewer than `bits() * words_per_plane`
+    /// words or `lane` lies beyond `words_per_plane * 64`.
+    pub fn decode_plane(&self, planes: &[u64], words_per_plane: usize, lane: usize) -> i64 {
+        let (wi, bit) = (lane / 64, lane % 64);
+        assert!(wi < words_per_plane, "lane {lane} beyond the plane width");
+        let mut word = 0u64;
+        for b in 0..self.bits as usize {
+            word |= ((planes[b * words_per_plane + wi] >> bit) & 1) << b;
+        }
+        self.decode_word(word)
+    }
+
     /// Decodes LSB-first two's-complement bits (sign-extending the MSB).
     ///
     /// # Panics
@@ -405,6 +481,45 @@ mod tests {
             prop_assert_eq!(Spin::from_bit(sigma.bit()), sigma);
             prop_assert_eq!(sigma.value(), if bit { 1 } else { -1 });
             prop_assert_eq!((-sigma).bit(), !bit);
+        }
+
+        #[test]
+        fn encode_word_matches_bitwise_encode(bits in 2u32..=32, v in any::<i64>()) {
+            let enc = MixedEncoding::new(bits).unwrap();
+            let v = v.rem_euclid(enc.max_value() - enc.min_value() + 1) + enc.min_value();
+            let word = enc.encode_word(v).unwrap();
+            let bools = enc.encode(v).unwrap();
+            for (b, &bit) in bools.iter().enumerate() {
+                prop_assert_eq!((word >> b) & 1 == 1, bit);
+            }
+            prop_assert_eq!(enc.decode_word(word), v);
+            prop_assert!(enc.encode_word(enc.max_value() + 1).is_err());
+        }
+
+        #[test]
+        fn plane_roundtrip_matches_scalar_encode_decode(
+            bits in 2u32..=32,
+            raw in prop::collection::vec(any::<i64>(), 0..100),
+        ) {
+            let enc = MixedEncoding::new(bits).unwrap();
+            let span = enc.max_value() - enc.min_value() + 1;
+            let values: Vec<i32> = raw
+                .iter()
+                .map(|&v| {
+                    i32::try_from(v.rem_euclid(span) + enc.min_value())
+                        .expect("R <= 32 keeps coefficients in i32")
+                })
+                .collect();
+            let w = MixedEncoding::plane_words(values.len());
+            let mut planes = vec![u64::MAX; bits as usize * w];
+            enc.encode_into(&values, &mut planes).unwrap();
+            for (lane, &v) in values.iter().enumerate() {
+                prop_assert_eq!(enc.decode_plane(&planes, w, lane), i64::from(v));
+            }
+            // Lanes beyond the tuple decode from zeroed bits.
+            for lane in values.len()..w * 64 {
+                prop_assert_eq!(enc.decode_plane(&planes, w, lane), 0);
+            }
         }
 
         #[test]

@@ -62,7 +62,7 @@ pub mod tuple;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::config::{DesignKind, FaultProfile, SachiConfig};
-    pub use crate::designs::{stationarity, ComputeContext, Stationarity};
+    pub use crate::designs::{stationarity, ComputeContext, ComputeScratch, Stationarity};
     pub use crate::encoding::MixedEncoding;
     pub use crate::ensemble::{DetailedSolver, EnsembleReport, ReplicaLedger, ReportingMachine};
     pub use crate::error::SachiError;

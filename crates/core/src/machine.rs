@@ -22,7 +22,7 @@
 //!   overlapping the stream with compute.
 
 use crate::config::{DesignKind, SachiConfig};
-use crate::designs::{stationarity, ComputeContext};
+use crate::designs::{stationarity, ComputeContext, ComputeScratch};
 use crate::encoding::MixedEncoding;
 use crate::tuple::TupleStore;
 use sachi_ising::anneal::Annealer;
@@ -270,6 +270,18 @@ impl SachiMachine {
         let (tile_rows, tile_cols) =
             design.tile_requirements(max_degree, enc.bits(), geometry.row_bits());
         let mut tile = SramTile::new(tile_rows, tile_cols);
+        // Per-machine scratch for the bit-plane fast path, hoisted out of
+        // the sweep loop so the hot path never allocates. A non-inert
+        // fault profile pins the scalar path: the injector's positional
+        // RNG contract is defined against the scalar call sequence, and
+        // PR 3's zero-rate-is-identity guarantee makes the selection
+        // below provably unobservable.
+        let mut scratch = ComputeScratch::new();
+        let use_fast = self
+            .config
+            .fault
+            .as_ref()
+            .is_none_or(|profile| profile.model.is_inert());
 
         // Partition spins into compute-array rounds by resident footprint.
         let capacity_bits = geometry.total_bits().get();
@@ -398,7 +410,18 @@ impl SachiMachine {
                                 .all(|(&j, &s)| s == spins.get(to_index(j))),
                             "tuple-rep copies stale at spin {i}: the Fig. 8b update path missed a refresh"
                         );
-                        design.compute_tuple(&mut tile, &enc, tuple, spins.get(i), &mut ctx)
+                        if use_fast {
+                            design.compute_tuple_fast(
+                                &mut tile,
+                                &enc,
+                                tuple,
+                                spins.get(i),
+                                &mut ctx,
+                                &mut scratch,
+                            )
+                        } else {
+                            design.compute_tuple(&mut tile, &enc, tuple, spins.get(i), &mut ctx)
+                        }
                     };
                     let tuple_cycles = ctx.cycles - cycles_before_tuple;
                     let assigned = match self.config.design {

@@ -26,7 +26,7 @@ use sachi_ising::solver::{decide_update, IterativeSolver, SolveOptions, SolveRes
 use sachi_ising::spin::{Spin, SpinVector};
 use sachi_mem::cache::CacheGeometry;
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
-use sachi_mem::sram::SramTile;
+use sachi_mem::sram::{gather_bits, SramTile};
 use sachi_mem::units::convert::{count_u64, to_index};
 use sachi_mem::units::{Bits, Cycles};
 use std::fmt;
@@ -82,6 +82,9 @@ pub struct TiledComputeArray {
     groups_per_row: usize,
     group_bits: usize,
     resolution: u32,
+    // Reusable sense buffer for the packed compute kernel — sized once
+    // for a full row so the hot loop never allocates.
+    out_buf: Vec<u64>,
 }
 
 impl TiledComputeArray {
@@ -107,6 +110,7 @@ impl TiledComputeArray {
             groups_per_row,
             group_bits,
             resolution,
+            out_buf: vec![0u64; geometry.row_bits().div_ceil(64).max(1)],
         }
     }
 
@@ -176,6 +180,7 @@ impl TiledComputeArray {
         let placement = self.plan_tuple(tuple.degree())?;
         let (tile_idx, base_row) = (usize::from(placement.tile), to_index(placement.base_row));
         let tile = &mut self.tiles[tile_idx];
+        let rbits = to_index(self.resolution);
         for (k, (&j, &s)) in tuple
             .couplings
             .iter()
@@ -184,11 +189,11 @@ impl TiledComputeArray {
         {
             let row = base_row + k / self.groups_per_row;
             let col = (k % self.groups_per_row) * self.group_bits;
-            let mut bits = enc
-                .encode(i64::from(j))
-                .expect("coefficient fits the configured resolution");
-            bits.push(s.bit());
-            tile.write_slice(row, col, &bits)
+            let word = enc
+                .encode_word(i64::from(j))
+                .expect("coefficient fits the configured resolution")
+                | (u64::from(s.bit()) << rbits);
+            tile.write_bits_from_word(row, col, self.group_bits, word)
                 .expect("placement validated");
         }
         Ok(placement)
@@ -237,34 +242,28 @@ impl TiledComputeArray {
             placement.rows,
             "placement/degree mismatch"
         );
-        let tile = &mut self.tiles[usize::from(placement.tile)];
+        // Split borrow: the owning tile and the reusable sense buffer are
+        // disjoint fields.
+        let TiledComputeArray { tiles, out_buf, .. } = self;
+        let tile = &mut tiles[usize::from(placement.tile)];
         let r = to_index(enc.bits());
         let mut acc = i64::from(tuple.field);
         let mut k = 0usize;
         for row_off in 0..to_index(placement.rows) {
             let in_row = self.groups_per_row.min(n - row_off * self.groups_per_row);
             let row = to_index(placement.base_row) + row_off;
-            let out = tile
-                .compute_xnor_windowed(
-                    row,
-                    target.bit(),
-                    0..in_row * self.group_bits,
-                    0..in_row * self.group_bits,
-                )
+            let width = in_row * self.group_bits;
+            tile.compute_xnor_packed(row, target.bit(), 0..width, 0..width, out_buf)
                 .expect("placement validated");
             ctx.cycles += 1;
             ctx.rwl_bits_fetched += 1;
-            ctx.xnor_ops += count_u64(in_row * self.group_bits);
+            ctx.xnor_ops += count_u64(width);
             for g in 0..in_row {
-                let bits = &out[g * self.group_bits..g * self.group_bits + r];
-                let equal = out[g * self.group_bits + r];
+                let x = gather_bits(out_buf, g * self.group_bits, r);
+                let equal = gather_bits(out_buf, g * self.group_bits + r, 1) == 1;
                 let sigma_j = if equal { target } else { target.flipped() };
-                let selected: Vec<bool> = if equal {
-                    bits.to_vec()
-                } else {
-                    bits.iter().map(|b| !b).collect()
-                };
-                let mut v = enc.decode(&selected);
+                let selected = if equal { x } else { !x };
+                let mut v = enc.decode_word(selected);
                 if sigma_j == Spin::Down {
                     v += 1;
                 }

@@ -255,6 +255,19 @@ impl IsingGraph {
         }
     }
 
+    /// Borrows vertex `i`'s adjacency as raw CSR slices
+    /// `(neighbors, weights)`, in the same canonical order
+    /// [`IsingGraph::neighbors`] iterates. The zero-overhead view for hot
+    /// loops that sum over a whole adjacency list at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_spins()`.
+    pub fn neighbor_slices(&self, i: usize) -> (&[u32], &[i32]) {
+        let range = self.offsets[i]..self.offsets[i + 1];
+        (&self.neighbors[range.clone()], &self.weights[range])
+    }
+
     /// The largest absolute coefficient (over `J_ij` and `h_i`).
     pub fn max_abs_coefficient(&self) -> i64 {
         let j = self

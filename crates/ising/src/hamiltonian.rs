@@ -40,7 +40,10 @@ pub fn energy(graph: &IsingGraph, spins: &SpinVector) -> i64 {
 pub fn local_field(graph: &IsingGraph, spins: &SpinVector, i: usize) -> i64 {
     debug_assert_eq!(spins.len(), graph.num_spins());
     let mut h_sigma = -(graph.field(i) as i64);
-    for (j, w) in graph.neighbors(i) {
+    // Raw CSR slices: same canonical order as `graph.neighbors(i)`, but
+    // without per-item iterator plumbing in the solver's hottest loop.
+    let (neighbors, weights) = graph.neighbor_slices(i);
+    for (&j, &w) in neighbors.iter().zip(weights.iter()) {
         h_sigma -= w as i64 * spins.get(j as usize).value();
     }
     h_sigma

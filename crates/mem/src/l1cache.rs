@@ -244,13 +244,12 @@ impl L1Cache {
         }
         self.clock += 1;
         let (set, tag) = self.index(addr);
-        // Hit?
-        for way in 0..self.ways {
-            if self.tags[set][way] == Some(tag) {
-                self.stamps[set][way] = self.clock;
-                self.stats.hits += 1;
-                return Ok(Access::Hit);
-            }
+        // Hit? One bounds-checked slice scan; tags are unique per set, so
+        // the first match is the only match.
+        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(tag)) {
+            self.stamps[set][way] = self.clock;
+            self.stats.hits += 1;
+            return Ok(Access::Hit);
         }
         // Miss: fill into an invalid way, else evict LRU.
         self.stats.misses += 1;
@@ -288,11 +287,10 @@ impl L1Cache {
         let access = self.access(addr)?;
         if access == Access::Hit && inj.read_disturb() {
             let (set, tag) = self.index(addr);
-            for way in 0..self.ways {
-                if self.tags[set][way] == Some(tag) {
-                    self.tags[set][way] = None;
-                    self.stats.fault_invalidations += 1;
-                }
+            // Tags are unique per set: invalidate the single match and stop.
+            if let Some(way) = self.tags[set].iter().position(|&t| t == Some(tag)) {
+                self.tags[set][way] = None;
+                self.stats.fault_invalidations += 1;
             }
         }
         Ok(access)

@@ -1,11 +1,12 @@
-//! The five repo-specific lints and the driver that runs them.
+//! The six repo-specific lints and the driver that runs them.
 //!
 //! | lint | what it enforces |
 //! |------|------------------|
 //! | `unit-safety` | no raw numeric `as` casts in memory-model and energy/cycle accounting code — arithmetic goes through the `units.rs` newtypes |
 //! | `panic-freedom` | no `.unwrap()` / `panic!` in library code of `sachi-core`, `sachi-mem`, `sachi-ising` (`.expect("invariant …")` is the sanctioned escape hatch) |
 //! | `fault-strict` | the fault-injection and recovery modules may not even `.expect(…)` — fault handling code must never be a panic source itself |
-//! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
+//! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` / `perf_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
+//! | `hot-path` | no heap allocation (`vec!`, `.collect(…)`, `.to_vec(…)`, `Vec::…`) inside `compute_*` kernel bodies — the per-sweep hot path runs on caller-provided scratch buffers |
 //! | `hygiene` | `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` stay present in every crate root |
 //!
 //! Findings are suppressed by matching [`crate::allowlist`] entries; a
@@ -70,6 +71,26 @@ const PANIC_FREEDOM_SCOPE: &[&str] = &["crates/core/src", "crates/mem/src", "cra
 /// code that models failures must not introduce its own abort paths.
 const FAULT_STRICT_SCOPE: &[&str] = &["crates/mem/src/fault.rs", "crates/ising/src/recovery.rs"];
 
+/// Files whose `compute_*` function bodies are the per-sweep hot path:
+/// the designs' tuple kernels, the resident array's H-compute, and the
+/// SRAM compute kernels. Allocation there is an N·R-per-sweep tax the
+/// bit-plane fast path exists to remove; the scalar reference paths are
+/// excused by audited `lint.allow.toml` entries.
+const HOT_PATH_SCOPE: &[&str] = &[
+    "crates/core/src/designs.rs",
+    "crates/core/src/tiled.rs",
+    "crates/mem/src/sram.rs",
+];
+
+/// Heap-allocation spellings banned inside hot-path kernel bodies.
+const HOT_PATH_PATTERNS: &[&str] = &[
+    "vec!",
+    ".collect(",
+    ".to_vec(",
+    "Vec::with_capacity(",
+    "Vec::new(",
+];
+
 /// Numeric primitive names that make an `as` cast a unit-safety concern.
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
@@ -95,6 +116,7 @@ pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
     panic_freedom(root, &mut findings)?;
     fault_strict(root, &mut findings)?;
     bench_registration(root, &mut findings)?;
+    hot_path(root, &mut findings)?;
     hygiene(root, &mut findings)?;
 
     let mut used = vec![false; entries.len()];
@@ -281,8 +303,10 @@ fn bench_registration(root: &Path, findings: &mut Vec<Finding>) -> Result<(), St
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let is_experiment =
-            stem.starts_with("fig") || stem.starts_with("abl_") || stem.starts_with("disc_");
+        let is_experiment = stem.starts_with("fig")
+            || stem.starts_with("abl_")
+            || stem.starts_with("disc_")
+            || stem.starts_with("perf_");
         if !is_experiment {
             continue;
         }
@@ -316,6 +340,64 @@ fn bench_registration(root: &Path, findings: &mut Vec<Finding>) -> Result<(), St
                 message: format!("bench binary `{stem}` is not referenced in EXPERIMENTS.md"),
                 raw: String::new(),
             });
+        }
+    }
+    Ok(())
+}
+
+fn hot_path(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for scope in HOT_PATH_SCOPE {
+        for file in rust_files(&root.join(scope))? {
+            let text = read(&file)?;
+            // `armed` = a `fn compute_*` signature was seen and its body
+            // brace is still ahead; `depth` = brace depth inside the body.
+            // scan_lines blanks strings/comments, so brace counting on
+            // `code` cannot be fooled by literals.
+            let mut armed = false;
+            let mut depth = 0usize;
+            let mut kernel = String::new();
+            for line in scan_lines(&text) {
+                if !armed && depth == 0 {
+                    if let Some(pos) = line.code.find("fn compute_") {
+                        armed = true;
+                        kernel = line.code[pos + 3..]
+                            .chars()
+                            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                            .collect();
+                    }
+                }
+                if armed || depth > 0 {
+                    for pattern in HOT_PATH_PATTERNS {
+                        if line.code.contains(pattern) {
+                            findings.push(Finding {
+                                lint: "hot-path",
+                                path: rel(root, &file),
+                                line: line.number,
+                                message: format!(
+                                    "heap allocation `{pattern}…` inside hot-path kernel \
+                                     `{kernel}`; use the caller-provided scratch buffers \
+                                     (ComputeScratch, compute_xnor_packed/plane) — the \
+                                     scalar reference path is excused via lint.allow.toml"
+                                ),
+                                raw: line.raw.clone(),
+                            });
+                        }
+                    }
+                    for b in line.code.bytes() {
+                        match b {
+                            b'{' => {
+                                depth += 1;
+                                armed = false;
+                            }
+                            b'}' => depth = depth.saturating_sub(1),
+                            // A `;` at depth 0 ends a bodyless trait
+                            // declaration — nothing to scan.
+                            b';' if depth == 0 => armed = false,
+                            _ => {}
+                        }
+                    }
+                }
+            }
         }
     }
     Ok(())
@@ -416,6 +498,13 @@ mod tests {
         );
         // hygiene violation: missing deny(missing_docs).
         mk("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n//! d\n");
+        // hot-path violation: allocation inside a compute kernel body;
+        // the allocation in `layout` must NOT fire (not a compute fn),
+        // nor the bodyless trait declaration's surroundings.
+        mk(
+            "crates/core/src/designs.rs",
+            "//! d\ntrait T {\n    fn compute_tuple(&self) -> i64;\n}\npub fn layout() { let _ = vec![1]; }\npub fn compute_h() -> i64 {\n    let v = vec![0u64; 4];\n    i64::from(!v.is_empty())\n}\n",
+        );
         mk("crates/core/Cargo.toml", "[package]\nname = \"c\"\n");
         mk(
             "crates/ising/src/lib.rs",
@@ -434,7 +523,13 @@ mod tests {
         assert!(lints.contains(&"panic-freedom"), "{findings:?}");
         assert!(lints.contains(&"fault-strict"), "{findings:?}");
         assert!(lints.contains(&"bench-registration"), "{findings:?}");
+        assert!(lints.contains(&"hot-path"), "{findings:?}");
         assert!(lints.contains(&"hygiene"), "{findings:?}");
+        // hot-path scans compute kernels only: the `vec!` in `layout`
+        // and the bodyless trait declaration never fire.
+        let hot: Vec<&Finding> = findings.iter().filter(|f| f.lint == "hot-path").collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert!(hot[0].message.contains("compute_h"), "{hot:?}");
         // The `.expect` in the fault module fires fault-strict only — it
         // is sanctioned for ordinary library code.
         assert!(

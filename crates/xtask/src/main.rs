@@ -6,9 +6,9 @@
 //! cargo run -p xtask -- lint [--root <dir>]
 //! ```
 //!
-//! runs five repo-specific static-analysis lints (unit-safety,
-//! panic-freedom, fault-strict, bench-registration, hygiene — see
-//! [`lints`]) over the
+//! runs six repo-specific static-analysis lints (unit-safety,
+//! panic-freedom, fault-strict, bench-registration, hot-path,
+//! hygiene — see [`lints`]) over the
 //! workspace and exits non-zero if any unsuppressed finding remains.
 //! Exceptions live in `lint.allow.toml` at the workspace root; every
 //! entry needs a one-line `reason` and stale entries are themselves
@@ -67,7 +67,7 @@ fn main() -> ExitCode {
     let root = workspace_root(root_override);
     match lints::run(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean (unit-safety, panic-freedom, fault-strict, bench-registration, hygiene)");
+            println!("xtask lint: clean (unit-safety, panic-freedom, fault-strict, bench-registration, hot-path, hygiene)");
             ExitCode::SUCCESS
         }
         Ok(findings) => {
