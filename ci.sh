@@ -36,4 +36,18 @@ cargo run -q -p sachi-bench --bin disc_faults -- --smoke
 echo "==> perf_kernels --smoke"
 cargo run -q -p sachi-bench --bin perf_kernels -- --smoke
 
+# Model drift report: asserts the closed-form PerfModel reproduces the
+# functional machine's metered compute cycles exactly on uniform-degree
+# graphs, and prints the load-side cycle deltas for the record.
+echo "==> disc_drift --smoke"
+cargo run -q -p sachi-bench --bin disc_drift -- --smoke
+
+# Observability smoke: a real solve's --metrics json snapshot must pass
+# the sachi.metrics.v1 schema validation, including counter coverage of
+# every subsystem (sram/l1/dram/machine/solver/recovery).
+echo "==> sachi solve --metrics json | xtask validate-metrics"
+cargo run -q -p sachi-cli --bin sachi -- \
+  solve --cop md --size 64 --restarts 2 --metrics json --trace-phases \
+  | cargo run -q -p xtask -- validate-metrics
+
 echo "ci: all gates passed"

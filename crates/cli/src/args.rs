@@ -7,6 +7,15 @@ use sachi_mem::cache::CacheHierarchy;
 use sachi_workloads::spec::CopKind;
 use std::fmt;
 
+/// Machine-readable metrics output format for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Single JSON snapshot (`sachi.metrics.v1` schema) on stdout.
+    Json,
+    /// Prometheus text exposition format version 0.0.4.
+    Prom,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -52,6 +61,10 @@ pub struct SolveArgs {
     pub fault_seed: u64,
     /// Recovery policy applied when parity detects a fault.
     pub fault_policy: RecoveryPolicy,
+    /// Machine-readable metrics output (replaces the human report).
+    pub metrics: Option<MetricsFormat>,
+    /// Record solve-phase spans and include them in the metrics output.
+    pub trace_phases: bool,
 }
 
 impl Default for SolveArgs {
@@ -70,6 +83,8 @@ impl Default for SolveArgs {
             fault_ber: None,
             fault_seed: 0,
             fault_policy: RecoveryPolicy::default(),
+            metrics: None,
+            trace_phases: false,
         }
     }
 }
@@ -220,6 +235,16 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                     .parse()
                     .map_err(|e: String| err(format!("--fault-policy: {e}")))?
             }
+            "--metrics" => {
+                args.metrics = Some(match take_value(flag, &mut it)? {
+                    "json" => MetricsFormat::Json,
+                    "prom" | "prometheus" => MetricsFormat::Prom,
+                    other => {
+                        return Err(err(format!("unknown metrics format '{other}' (json|prom)")))
+                    }
+                })
+            }
+            "--trace-phases" => args.trace_phases = true,
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
         }
     }
@@ -293,12 +318,18 @@ USAGE:
                  [--design n1a|n1b|n2|n3] [--resolution R] [--seed S]
                  [--restarts K] [--threads T] [--hierarchy default|desktop|server]
                  [--fault-ber P] [--fault-seed S] [--fault-policy failfast|retry|retry:N]
+                 [--metrics json|prom] [--trace-phases]
                  (--threads 0, the default, uses every core; restarts run
                   as a deterministic parallel replica ensemble — results
                   are identical at any thread count. --fault-ber injects
                   deterministic transient bit flips at probability P per
                   read bit; parity-detected faults follow --fault-policy,
-                  retry:N by default)
+                  retry:N by default. --metrics replaces the human report
+                  with one machine-readable snapshot on stdout — json is
+                  the sachi.metrics.v1 schema, prom is Prometheus text
+                  exposition; --trace-phases adds hierarchical
+                  upload/round/h_compute/update/writeback/prefetch spans,
+                  metered in solver cycles, to the snapshot)
   sachi compare  <same flags>         run every machine on one problem
   sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
                  [--iterations I] [--hierarchy ...]
@@ -310,6 +341,7 @@ EXAMPLES:
   sachi solve --cop md --size 1024 --restarts 16 --threads 8
   sachi solve --file g05.gset --gset --design n3
   sachi solve --cop md --size 1024 --fault-ber 1e-4 --fault-policy retry:5
+  sachi solve --cop md --size 256 --metrics json --trace-phases
   sachi compare --cop imgseg --size 144
   sachi estimate --cop tsp --spins 1000000 --hierarchy server
 ";
@@ -467,6 +499,36 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--fault-policy"));
+    }
+
+    #[test]
+    fn metrics_flags_parse_and_validate() {
+        match parse("solve --metrics json --trace-phases".split_whitespace()).unwrap() {
+            Command::Solve(a) => {
+                assert_eq!(a.metrics, Some(MetricsFormat::Json));
+                assert!(a.trace_phases);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(["solve", "--metrics", "prometheus"]).unwrap() {
+            Command::Solve(a) => assert_eq!(a.metrics, Some(MetricsFormat::Prom)),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(["solve"]).unwrap() {
+            Command::Solve(a) => {
+                assert_eq!(a.metrics, None);
+                assert!(!a.trace_phases);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["solve", "--metrics", "xml"])
+            .unwrap_err()
+            .0
+            .contains("json|prom"));
+        assert!(parse(["solve", "--metrics"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
     }
 
     #[test]

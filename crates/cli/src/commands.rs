@@ -1,13 +1,15 @@
 //! Command implementations for the `sachi` CLI.
 
-use crate::args::{EstimateArgs, SolveArgs};
+use crate::args::{EstimateArgs, MetricsFormat, SolveArgs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sachi_baselines::prelude::*;
 use sachi_bench::{percent, ratio, Table};
 use sachi_core::prelude::*;
 use sachi_ising::prelude::*;
+use sachi_mem::l1cache::{CacheMode, L1Cache};
 use sachi_mem::prelude::*;
+use sachi_obs::prelude::*;
 use sachi_workloads::prelude::*;
 
 /// A built problem: graph plus an optional domain accuracy scorer.
@@ -106,6 +108,9 @@ fn config_for(args: &SolveArgs) -> SachiConfig {
     if let Some(r) = args.resolution {
         config = config.with_resolution(r);
     }
+    if args.trace_phases {
+        config = config.with_phase_trace();
+    }
     if let Some(ber) = args.fault_ber {
         let model =
             FaultModel::new(args.fault_seed).with_read_ber(FaultRate::from_probability(ber));
@@ -131,14 +136,19 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
     let problem = build_problem(args)?;
     let graph = &problem.graph;
     check_resolution(args, graph)?;
-    println!(
-        "problem : {} ({} spins, {} edges, max degree {}, needs {}-bit ICs)",
-        problem.name,
-        graph.num_spins(),
-        graph.num_edges(),
-        graph.max_degree(),
-        graph.bits_required()
-    );
+    // --metrics replaces the whole human report with one machine-readable
+    // snapshot, so scripts can pipe stdout straight into a parser.
+    let human = args.metrics.is_none();
+    if human {
+        println!(
+            "problem : {} ({} spins, {} edges, max degree {}, needs {}-bit ICs)",
+            problem.name,
+            graph.num_spins(),
+            graph.num_edges(),
+            graph.max_degree(),
+            graph.bits_required()
+        );
+    }
 
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
@@ -151,61 +161,93 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
     if args.threads > 0 {
         runner = runner.with_threads(args.threads);
     }
+    // SACHI repurposes the host's L1 data array as the compute substrate
+    // (Sec. VII.1): claim it around the ensemble so the exported l1_*
+    // metrics carry the real mode-switch and flush accounting of that
+    // handover.
+    let mut l1 = L1Cache::typical_l1();
+    l1.set_mode(CacheMode::IsingCompute);
     let ledger = ReplicaLedger::new(replicas);
     let best_of = runner.run(graph, &init, &opts, |k| {
         ReportingMachine::new(SachiMachine::new(config.clone()), k, &ledger)
     });
     let ensemble = ledger.finish();
+    l1.set_mode(CacheMode::Normal);
     let report = ensemble.reports[best_of.best_index].clone();
     let stats = best_of.stats;
     let best_index = best_of.best_index;
+
+    if let Some(format) = args.metrics {
+        // Fold order is replica order, never completion order, so the
+        // snapshot is identical at any --threads value.
+        let mut reg = ensemble.metrics();
+        for r in &best_of.replicas {
+            r.export_metrics(&mut reg);
+        }
+        l1.stats().export(&mut reg);
+        reg.counter_add(
+            "workload_coeff_saturations",
+            sachi_workloads::encode::saturation_count(),
+        );
+        match format {
+            MetricsFormat::Json => print!("{}", write_snapshot(&reg, &report.phase_spans)),
+            MetricsFormat::Prom => print!("{}", write_exposition(&reg)),
+        }
+    }
+
     let result = best_of.into_best();
 
-    println!("design  : {}", report.design.label());
-    println!(
-        "ensemble: {} replicas over {} threads (best: replica {}, {} converged, {} sweeps total)",
-        replicas,
-        runner.threads(),
-        best_index,
-        stats.converged,
-        stats.total_sweeps
-    );
-    println!(
-        "result  : H = {}  ({} iterations, converged: {})",
-        result.energy, result.sweeps, result.converged
-    );
-    if let Some(acc) = &problem.accuracy {
-        println!("accuracy: {}", percent(acc(&result.spins)));
-    }
-    if args.fault_ber.is_some() {
+    if human {
+        println!("design  : {}", report.design.label());
         println!(
-            "faults  : {} injected, {} detected, {} retries, {}/{} replicas degraded ({})",
-            ensemble.faults_injected,
-            ensemble.faults_detected,
-            ensemble.fault_retries,
-            ensemble.degraded_replicas,
+            "ensemble: {} replicas over {} threads (best: replica {}, {} converged, {} sweeps total)",
             replicas,
-            args.fault_policy
+            runner.threads(),
+            best_index,
+            stats.converged,
+            stats.total_sweeps
         );
+        println!(
+            "result  : H = {}  ({} iterations, converged: {})",
+            result.energy, result.sweeps, result.converged
+        );
+        if let Some(acc) = &problem.accuracy {
+            println!("accuracy: {}", percent(acc(&result.spins)));
+        }
+        if args.fault_ber.is_some() {
+            println!(
+                "faults  : {} injected, {} detected, {} retries, {}/{} replicas degraded ({})",
+                ensemble.faults_injected,
+                ensemble.faults_detected,
+                ensemble.fault_retries,
+                ensemble.degraded_replicas,
+                replicas,
+                args.fault_policy
+            );
+        }
+        println!(
+            "cycles  : {} total ({} compute, {} loading, {} rounds/iter)",
+            report.total_cycles.get(),
+            report.compute_cycles.get(),
+            report.load_cycles.get(),
+            report.rounds_per_sweep
+        );
+        println!(
+            "time    : {}  energy: {}  reuse: {:.1}",
+            report.wall_time,
+            report.energy.total(),
+            report.reuse
+        );
+        let mut breakdown = Table::new(["component", "energy"]);
+        for (c, e) in report.energy.iter() {
+            breakdown.row([c.label().to_string(), format!("{e}")]);
+        }
+        breakdown.print();
+        if args.trace_phases && !report.phase_spans.is_empty() {
+            println!("phases  : (best replica, cycle domain)");
+            print!("{}", render_span_tree(&report.phase_spans));
+        }
     }
-    println!(
-        "cycles  : {} total ({} compute, {} loading, {} rounds/iter)",
-        report.total_cycles.get(),
-        report.compute_cycles.get(),
-        report.load_cycles.get(),
-        report.rounds_per_sweep
-    );
-    println!(
-        "time    : {}  energy: {}  reuse: {:.1}",
-        report.wall_time,
-        report.energy.total(),
-        report.reuse
-    );
-    let mut breakdown = Table::new(["component", "energy"]);
-    for (c, e) in report.energy.iter() {
-        breakdown.row([c.label().to_string(), format!("{e}")]);
-    }
-    breakdown.print();
     if args.fault_ber.is_some() {
         // Fault outcomes surface as typed errors (exit code 4) so sweep
         // scripts can tell "solved despite faults" from "gave up".

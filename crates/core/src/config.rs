@@ -104,6 +104,10 @@ pub struct SachiConfig {
     /// (the fully bit-accurate pipeline). The resident-optimized
     /// [`crate::tiled::ResidentN3Machine`] models a fault-free hierarchy.
     pub fault: Option<FaultProfile>,
+    /// Record hierarchical solve-phase spans (cycle-domain timestamps)
+    /// into the run report. Off by default: a disabled trace allocates
+    /// nothing and records nothing.
+    pub trace_phases: bool,
 }
 
 impl SachiConfig {
@@ -119,6 +123,7 @@ impl SachiConfig {
             prefetch: true,
             tuple_rep: true,
             fault: None,
+            trace_phases: false,
         }
     }
 
@@ -178,6 +183,13 @@ impl SachiConfig {
         self.fault = None;
         self
     }
+
+    /// Enables solve-phase span tracing (`--trace-phases` on the CLI).
+    #[must_use]
+    pub fn with_phase_trace(mut self) -> Self {
+        self.trace_phases = true;
+        self
+    }
 }
 
 impl Default for SachiConfig {
@@ -200,6 +212,8 @@ mod tests {
         assert!(c.tuple_rep);
         assert_eq!(c.resolution, None);
         assert_eq!(c.fault, None);
+        assert!(!c.trace_phases);
+        assert!(SachiConfig::default().with_phase_trace().trace_phases);
     }
 
     #[test]

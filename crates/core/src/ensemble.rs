@@ -17,7 +17,9 @@ use sachi_ising::graph::IsingGraph;
 use sachi_ising::solver::{IterativeSolver, SolveOptions, SolveResult};
 use sachi_ising::spin::SpinVector;
 use sachi_mem::energy::EnergyLedger;
+use sachi_mem::units::convert::{count_u64, ratio_u64};
 use sachi_mem::units::Cycles;
+use sachi_obs::MetricsRegistry;
 use std::sync::Mutex;
 
 /// Anything that can run the solve protocol *and* report accounting —
@@ -197,6 +199,34 @@ impl EnsembleReport {
     /// number the measured wall-clock speedup is cross-checked against.
     pub fn ideal_speedup(&self, threads: usize) -> f64 {
         self.serial_cycles.ratio(self.scheduled_cycles(threads))
+    }
+
+    /// Folds every replica's metrics into one registry.
+    ///
+    /// Replicas are walked in **index order**, so the snapshot is a pure
+    /// function of the replica set: counters and histograms add, and the
+    /// run-level gauges (energy, reuse) are recomputed here from the
+    /// folded totals. Worker-thread count is provably unobservable —
+    /// the ensemble conformance proptest pins exactly that.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for report in &self.reports {
+            report.export_metrics(&mut reg);
+        }
+        // Ensemble-level aggregates, replacing the "last replica wins"
+        // gauges the sequential export left behind.
+        self.energy.export(&mut reg);
+        let rwl = reg.counter("machine_rwl_bits_fetched");
+        if rwl > 0 {
+            reg.gauge_set(
+                "machine_reuse",
+                ratio_u64(reg.counter("machine_xnor_ops"), rwl),
+            );
+        }
+        reg.counter_add("ensemble_replicas", count_u64(self.reports.len()));
+        reg.counter_add("ensemble_serial_cycles", self.serial_cycles.get());
+        reg.counter_add("ensemble_max_replica_cycles", self.max_replica_cycles.get());
+        reg
     }
 }
 

@@ -82,6 +82,15 @@ impl fmt::Display for SachiError {
 
 impl std::error::Error for SachiError {}
 
+impl From<sachi_workloads::encode::EncodeError> for SachiError {
+    /// Workload-encoding failures (coefficient overflow, malformed
+    /// graph) are configuration errors: the instance cannot be
+    /// represented, so the process exits 2.
+    fn from(e: sachi_workloads::encode::EncodeError) -> Self {
+        SachiError::Config(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +111,16 @@ mod tests {
             .exit_code(),
             4
         );
+    }
+
+    #[test]
+    fn encode_errors_map_to_config_exit_2() {
+        let e = SachiError::from(sachi_workloads::encode::EncodeError::CoefficientOverflow {
+            what: "coupling",
+            value: 1 << 40,
+        });
+        assert_eq!(e.exit_code(), 2);
+        assert!(matches!(&e, SachiError::Config(msg) if msg.contains("coupling")));
     }
 
     #[test]

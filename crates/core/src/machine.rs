@@ -31,12 +31,13 @@ use sachi_ising::hamiltonian::energy;
 use sachi_ising::recovery::RecoveryPolicy;
 use sachi_ising::solver::{decide_update, IterativeSolver, SolveOptions, SolveResult};
 use sachi_ising::spin::SpinVector;
-use sachi_mem::dram::DramController;
+use sachi_mem::dram::{DramController, DramStats};
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
 use sachi_mem::fault::FaultInjector;
-use sachi_mem::sram::SramTile;
+use sachi_mem::sram::{SramTile, TileStats};
 use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 use sachi_mem::units::{Bits, Cycles, Nanoseconds};
+use sachi_obs::{MetricsRegistry, PhaseSpan, SolvePhase};
 
 /// Fault-injection and recovery accounting of one solve.
 ///
@@ -74,6 +75,18 @@ impl FaultReport {
             || self.dram_corrupted_bits > 0
             || self.detected > 0
             || self.degraded
+    }
+
+    /// Exports the counters into `reg` under the `recovery_` prefix.
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        reg.counter_add("recovery_injected_flips", self.injected_flips);
+        reg.counter_add("recovery_corrupted_fetches", self.corrupted_fetches);
+        reg.counter_add("recovery_detected", self.detected);
+        reg.counter_add("recovery_undetected", self.undetected);
+        reg.counter_add("recovery_retries", self.retries);
+        reg.counter_add("recovery_refetch_cycles", self.refetch_cycles.get());
+        reg.counter_add("recovery_dram_corrupted_bits", self.dram_corrupted_bits);
+        reg.counter_add("recovery_degraded_replicas", u64::from(self.degraded));
     }
 }
 
@@ -121,6 +134,21 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting (all zeros without a
     /// fault profile).
     pub faults: FaultReport,
+    /// Annealer decisions served by the bit-plane fast path.
+    pub fast_path_computes: u64,
+    /// Annealer decisions served by the scalar reference path (pinned
+    /// by a non-inert fault profile).
+    pub scalar_path_computes: u64,
+    /// Redundant spin-row rewrites elided by the scratch residency tag.
+    pub skipped_spin_writes: u64,
+    /// Raw SRAM tile counters (discharges, reads, writes).
+    pub tile: TileStats,
+    /// DRAM controller counters including prefetch lead/late accounting.
+    pub dram: DramStats,
+    /// Solve-phase spans, recorded only when
+    /// [`crate::config::SachiConfig::trace_phases`] is set (empty — and
+    /// unallocated — otherwise).
+    pub phase_spans: Vec<PhaseSpan>,
 }
 
 impl RunReport {
@@ -131,6 +159,37 @@ impl RunReport {
             return 0.0;
         }
         ratio_u64(self.total_cycles.get(), self.sweeps)
+    }
+
+    /// Exports the whole report into `reg`: `machine_` counters for the
+    /// design-level accounting, plus the embedded SRAM (`sram_`), DRAM
+    /// (`dram_`), recovery (`recovery_`) counters and energy gauges.
+    /// Counters and histograms fold additively across replicas; gauges
+    /// are per-run summaries the ensemble fold recomputes from counter
+    /// sums afterwards.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter_add("machine_sweeps", self.sweeps);
+        reg.counter_add("machine_compute_cycles", self.compute_cycles.get());
+        reg.counter_add("machine_load_cycles", self.load_cycles.get());
+        reg.counter_add("machine_total_cycles", self.total_cycles.get());
+        reg.counter_add("machine_xnor_ops", self.xnor_ops);
+        reg.counter_add("machine_rwl_bits_fetched", self.rwl_bits_fetched);
+        reg.counter_add("machine_redundant_discharges", self.redundant_discharges);
+        reg.counter_add("machine_spin_copy_updates", self.spin_copy_updates);
+        reg.counter_add("machine_adjacency_reads", self.adjacency_reads);
+        reg.counter_add("machine_cross_tuple_rereads", self.cross_tuple_rereads);
+        reg.counter_add("machine_prefetches", self.prefetches);
+        reg.counter_add("machine_fast_path_computes", self.fast_path_computes);
+        reg.counter_add("machine_scalar_path_computes", self.scalar_path_computes);
+        reg.counter_add("machine_skipped_spin_writes", self.skipped_spin_writes);
+        reg.observe("machine_queue_peak_bits", self.queue_peak_bits);
+        reg.observe("replica_total_cycles", self.total_cycles.get());
+        reg.observe("replica_rounds_per_sweep", self.rounds_per_sweep);
+        reg.gauge_set("machine_reuse", self.reuse);
+        self.tile.export(reg);
+        self.dram.export(reg);
+        self.faults.export(reg);
+        self.energy.export(reg);
     }
 }
 
@@ -319,6 +378,22 @@ impl SachiMachine {
             tech.movement_energy_per_bit() * storage_bits_needed,
         );
 
+        // Phase spans: cycle-domain timestamps from the accounting this
+        // loop already maintains. `Vec::new` does not allocate, so a
+        // disabled trace costs one branch per round and nothing else.
+        let trace_phases = self.config.trace_phases;
+        let mut spans: Vec<PhaseSpan> = Vec::new();
+        if trace_phases {
+            spans.push(PhaseSpan {
+                phase: SolvePhase::Upload,
+                sweep: 0,
+                round: 0,
+                start: 0,
+                end: total_cycles.get(),
+                events: 1,
+            });
+        }
+
         let mut compute_cycles = Cycles::ZERO;
         let mut load_cycles = Cycles::ZERO;
         let mut annealer_decisions = 0u64;
@@ -344,6 +419,9 @@ impl SachiMachine {
         while sweeps < max_sweeps {
             let mut flips_this_sweep = 0u64;
             for (round, chunk) in chunks.iter().enumerate() {
+                let round_start = total_cycles;
+                let flips_before_round = flips_this_sweep;
+                let copies_before_round = tuples.spin_copy_updates();
                 // --- loading for this round ---
                 let chunk_resident: u64 = chunk
                     .clone()
@@ -532,10 +610,67 @@ impl SachiMachine {
                 load_cycles += round_load;
                 // The first round of the solve cannot overlap with anything;
                 // later rounds overlap their (pre)load with compute.
-                if sweeps == 0 && round == 0 {
+                let serialized = sweeps == 0 && round == 0;
+                if serialized {
                     total_cycles += round_load + round_compute;
                 } else {
                     total_cycles += dram.effective_round_cycles(round_compute, round_load);
+                }
+                if trace_phases {
+                    let round_no = count_u64(round);
+                    let tuples_in_round = count_u64(chunk.len());
+                    spans.push(PhaseSpan {
+                        phase: SolvePhase::Round,
+                        sweep: sweeps,
+                        round: round_no,
+                        start: round_start.get(),
+                        end: total_cycles.get(),
+                        events: tuples_in_round,
+                    });
+                    // In the serialized first round the load precedes
+                    // compute; overlapped rounds start both together.
+                    let compute_start = if serialized {
+                        round_start + round_load
+                    } else {
+                        round_start
+                    };
+                    spans.push(PhaseSpan {
+                        phase: SolvePhase::HCompute,
+                        sweep: sweeps,
+                        round: round_no,
+                        start: compute_start.get(),
+                        end: (compute_start + round_compute).get(),
+                        events: tuples_in_round,
+                    });
+                    if round_load > Cycles::ZERO && self.config.prefetch && !serialized {
+                        spans.push(PhaseSpan {
+                            phase: SolvePhase::Prefetch,
+                            sweep: sweeps,
+                            round: round_no,
+                            start: round_start.get(),
+                            end: (round_start + round_load).get(),
+                            events: 1,
+                        });
+                    }
+                    spans.push(PhaseSpan {
+                        phase: SolvePhase::Update,
+                        sweep: sweeps,
+                        round: round_no,
+                        start: total_cycles.get(),
+                        end: total_cycles.get(),
+                        events: flips_this_sweep - flips_before_round,
+                    });
+                    let copies = tuples.spin_copy_updates() - copies_before_round;
+                    if copies > 0 {
+                        spans.push(PhaseSpan {
+                            phase: SolvePhase::Writeback,
+                            sweep: sweeps,
+                            round: round_no,
+                            start: total_cycles.get(),
+                            end: total_cycles.get(),
+                            events: copies,
+                        });
+                    }
                 }
                 if fail_fast {
                     break;
@@ -626,6 +761,12 @@ impl SachiMachine {
             cross_tuple_rereads: tuples.cross_tuple_rereads(),
             prefetches: dram.prefetches_issued(),
             faults: fault_report,
+            fast_path_computes: if use_fast { annealer_decisions } else { 0 },
+            scalar_path_computes: if use_fast { 0 } else { annealer_decisions },
+            skipped_spin_writes: scratch.skipped_spin_writes,
+            tile: *stats,
+            dram: dram.stats(),
+            phase_spans: spans,
         };
         let result = SolveResult {
             energy: energy(graph, &spins),

@@ -60,11 +60,24 @@ impl Partition {
     /// locality-oblivious — the baseline the paper's philosophy argues
     /// against.
     ///
+    /// The same edge-case contract as [`Partition::contiguous`]: an
+    /// empty graph (`n == 0`) yields an empty assignment — every core
+    /// owns zero spins; with `n < cores` the first `n` cores own one
+    /// spin each and the surplus cores own nothing. `core_of` is total
+    /// over `0..n` in every case (`i % cores < cores`, so the index
+    /// never needs clamping).
+    ///
     /// # Panics
     ///
     /// Panics if `cores == 0`.
     pub fn interleaved(n: usize, cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
+        if n == 0 {
+            return Partition {
+                assignment: Vec::new(),
+                cores,
+            };
+        }
         Partition {
             assignment: (0..n).map(|i| (i % cores) as u32).collect(),
             cores,
@@ -296,6 +309,40 @@ mod tests {
             assert_eq!(p.core_sizes(), vec![0, 0, 0, 0]);
             assert_eq!(p.cut_edges(&g), 0);
         }
+    }
+
+    #[test]
+    fn interleaved_edge_cases_match_contiguous_contract() {
+        // n == 0: empty assignment, every core owns zero spins, and the
+        // surplus cores still appear (with zero) in core_sizes.
+        for cores in [1usize, 3, 16] {
+            let p = Partition::interleaved(0, cores);
+            assert_eq!(p.cores(), cores);
+            assert_eq!(p.core_sizes(), vec![0u64; cores]);
+        }
+        // cores > n: the first n cores own one spin each, core_of is
+        // total over 0..n, and the mapping is exactly i % cores.
+        for (n, cores) in [(1usize, 5usize), (2, 64), (4, 5)] {
+            let p = Partition::interleaved(n, cores);
+            let sizes = p.core_sizes();
+            assert_eq!(sizes.len(), cores);
+            for i in 0..n {
+                assert_eq!(
+                    p.core_of(i) as usize,
+                    i % cores,
+                    "n={n} cores={cores} i={i}"
+                );
+            }
+            for (c, &s) in sizes.iter().enumerate() {
+                assert_eq!(s, u64::from(c < n), "n={n} cores={cores} core={c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn interleaved_rejects_zero_cores() {
+        let _ = Partition::interleaved(8, 0);
     }
 
     #[test]

@@ -130,6 +130,21 @@ pub struct SolveResult {
     pub degraded: bool,
 }
 
+impl SolveResult {
+    /// Exports the algorithmic outcome into `reg` under the `solver_`
+    /// prefix. Counters only — the final energy is a signed quantity
+    /// and goes out as a gauge.
+    pub fn export_metrics(&self, reg: &mut sachi_obs::MetricsRegistry) {
+        reg.counter_add("solver_sweeps", self.sweeps);
+        reg.counter_add("solver_flips", self.flips);
+        reg.counter_add("solver_uphill_accepted", self.uphill_accepted);
+        reg.counter_add("solver_uphill_rejected", self.uphill_rejected);
+        reg.counter_add("solver_converged_replicas", u64::from(self.converged));
+        reg.counter_add("solver_degraded_replicas", u64::from(self.degraded));
+        reg.observe("solver_replica_flips", self.flips);
+    }
+}
+
 /// The per-spin decision shared by every machine: deterministic sign update
 /// (eqn. 3) plus a Metropolis proposal when the deterministic rule keeps
 /// the spin.

@@ -77,15 +77,54 @@ impl PrefetchCounter {
     }
 }
 
+/// Cumulative controller statistics, snapshot for metrics export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramStats {
+    /// Number of `load` calls.
+    pub loads: u64,
+    /// Total bits streamed from DRAM.
+    pub bits_loaded: u64,
+    /// Prefetches issued (rounds whose next-round load overlapped).
+    pub prefetches_issued: u64,
+    /// Stream cycles fully hidden behind compute by the prefetcher.
+    pub prefetch_hidden_cycles: u64,
+    /// Stream cycles exposed on the critical path despite prefetching
+    /// (the load outlasted the round it overlapped).
+    pub prefetch_exposed_cycles: u64,
+    /// Prefetches that arrived late: the streamed payload outlasted the
+    /// compute round it was meant to hide behind.
+    pub prefetch_late_arrivals: u64,
+}
+
+impl DramStats {
+    /// Exports the counters into `reg` under the `dram_` prefix.
+    pub fn export(&self, reg: &mut sachi_obs::MetricsRegistry) {
+        reg.counter_add("dram_loads", self.loads);
+        reg.counter_add("dram_bits_loaded", self.bits_loaded);
+        reg.counter_add("dram_prefetches_issued", self.prefetches_issued);
+        reg.counter_add("dram_prefetch_hidden_cycles", self.prefetch_hidden_cycles);
+        reg.counter_add("dram_prefetch_exposed_cycles", self.prefetch_exposed_cycles);
+        reg.counter_add("dram_prefetch_late_arrivals", self.prefetch_late_arrivals);
+    }
+
+    /// Adds another controller's counters into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.loads += other.loads;
+        self.bits_loaded += other.bits_loaded;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetch_hidden_cycles += other.prefetch_hidden_cycles;
+        self.prefetch_exposed_cycles += other.prefetch_exposed_cycles;
+        self.prefetch_late_arrivals += other.prefetch_late_arrivals;
+    }
+}
+
 /// Behavioural DRAM + controller model.
 #[derive(Debug, Clone)]
 pub struct DramController {
     params: TechnologyParams,
     prefetch_enabled: bool,
     /// Cumulative statistics.
-    loads: u64,
-    bits_loaded: u64,
-    prefetches_issued: u64,
+    stats: DramStats,
 }
 
 impl DramController {
@@ -94,9 +133,7 @@ impl DramController {
         DramController {
             params,
             prefetch_enabled: true,
-            loads: 0,
-            bits_loaded: 0,
-            prefetches_issued: 0,
+            stats: DramStats::default(),
         }
     }
 
@@ -131,8 +168,8 @@ impl DramController {
     /// on the bus. Call [`DramController::effective_round_cycles`] to decide
     /// how much of that shows up on the critical path.
     pub fn load(&mut self, payload: Bits, ledger: &mut EnergyLedger) -> Cycles {
-        self.loads += 1;
-        self.bits_loaded += payload.get();
+        self.stats.loads += 1;
+        self.stats.bits_loaded += payload.get();
         ledger.record(
             EnergyComponent::DramAccess,
             self.params.movement_energy_per_bit() * payload.get(),
@@ -172,7 +209,16 @@ impl DramController {
     /// full load serializes after the round.
     pub fn effective_round_cycles(&mut self, compute: Cycles, load: Cycles) -> Cycles {
         if load > Cycles::ZERO && self.prefetch_enabled {
-            self.prefetches_issued += 1;
+            self.stats.prefetches_issued += 1;
+            if load <= compute {
+                // Fully hidden: the whole stream rode under the round.
+                self.stats.prefetch_hidden_cycles += load.get();
+            } else {
+                // Late arrival: compute's worth hid, the rest is exposed.
+                self.stats.prefetch_hidden_cycles += compute.get();
+                self.stats.prefetch_exposed_cycles += load.saturating_sub(compute).get();
+                self.stats.prefetch_late_arrivals += 1;
+            }
         }
         if self.prefetch_enabled {
             compute.max(load)
@@ -183,17 +229,22 @@ impl DramController {
 
     /// Number of `load` calls so far.
     pub fn loads(&self) -> u64 {
-        self.loads
+        self.stats.loads
     }
 
     /// Total bits loaded so far.
     pub fn bits_loaded(&self) -> Bits {
-        Bits::new(self.bits_loaded)
+        Bits::new(self.stats.bits_loaded)
     }
 
     /// Number of prefetches issued so far.
     pub fn prefetches_issued(&self) -> u64 {
-        self.prefetches_issued
+        self.stats.prefetches_issued
+    }
+
+    /// Snapshot of the cumulative controller statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
     }
 
     /// Energy to initially place `payload` bits into DRAM (the paper charges

@@ -140,6 +140,18 @@ impl EnergyLedger {
         Picojoules::new(self.entries.iter().sum())
     }
 
+    /// Exports per-component and total energy as `energy_*_pj` gauges.
+    pub fn export(&self, reg: &mut sachi_obs::MetricsRegistry) {
+        for component in EnergyComponent::ALL {
+            let pj = self.component(component).get();
+            if pj > 0.0 {
+                let name = format!("energy_{}_pj", component.label().replace('-', "_"));
+                reg.gauge_set(&name, pj);
+            }
+        }
+        reg.gauge_set("energy_total_pj", self.total().get());
+    }
+
     /// Adds every entry of `other` into `self` (merging tile ledgers).
     pub fn merge(&mut self, other: &EnergyLedger) {
         for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {

@@ -85,6 +85,19 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Exports the counters into `reg` under the `l1_` prefix, plus the
+    /// derived `l1_hit_rate` gauge.
+    pub fn export(&self, reg: &mut sachi_obs::MetricsRegistry) {
+        reg.counter_add("l1_hits", self.hits);
+        reg.counter_add("l1_misses", self.misses);
+        reg.counter_add("l1_evictions", self.evictions);
+        reg.counter_add("l1_mode_switches", self.mode_switches);
+        reg.counter_add("l1_lines_flushed", self.lines_flushed);
+        reg.counter_add("l1_rejected", self.rejected);
+        reg.counter_add("l1_fault_invalidations", self.fault_invalidations);
+        reg.gauge_set("l1_hit_rate", self.hit_rate());
+    }
+
     /// Hit rate over normal-mode accesses.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -101,6 +101,16 @@ impl TileStats {
         params.rbl_energy_per_bit() * self.redundant_discharges
     }
 
+    /// Exports the counters into `reg` under the `sram_` prefix.
+    pub fn export(&self, reg: &mut sachi_obs::MetricsRegistry) {
+        reg.counter_add("sram_rwl_activations", self.rwl_activations);
+        reg.counter_add("sram_rbl_discharges", self.rbl_discharges);
+        reg.counter_add("sram_redundant_discharges", self.redundant_discharges);
+        reg.counter_add("sram_bits_written", self.bits_written);
+        reg.counter_add("sram_bits_read", self.bits_read);
+        reg.counter_add("sram_compute_accesses", self.compute_accesses);
+    }
+
     /// Adds another tile's counters into this one.
     pub fn merge(&mut self, other: &TileStats) {
         self.rwl_activations += other.rwl_activations;

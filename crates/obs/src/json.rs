@@ -1,0 +1,716 @@
+//! JSON snapshot writer, minimal parser, and schema validator.
+//!
+//! The snapshot document (`schema: "sachi.metrics.v1"`) is:
+//!
+//! ```json
+//! {
+//!   "schema": "sachi.metrics.v1",
+//!   "counters": { "sram_rbl_discharges": 123 },
+//!   "gauges": { "l1_hit_rate": 0.5 },
+//!   "histograms": {
+//!     "replica_total_cycles": {
+//!       "count": 4, "sum": 4096,
+//!       "buckets": [ { "le": "1024", "count": 4 }, { "le": "+Inf", "count": 0 } ]
+//!     }
+//!   },
+//!   "spans": [
+//!     { "phase": "upload", "sweep": 0, "round": 0, "start": 0, "end": 128, "events": 1 }
+//!   ]
+//! }
+//! ```
+//!
+//! Writer guarantees: keys emit in `BTreeMap` (sorted) order, strings
+//! are escaped per RFC 8259, histogram buckets list the non-empty
+//! finite buckets in ascending bound order followed by the `+Inf`
+//! bucket (counts are **non-cumulative**; the Prometheus writer is the
+//! cumulative one). The parser is a strict recursive-descent RFC 8259
+//! subset (no comments, no trailing commas) used by the golden tests
+//! and `xtask validate-metrics` — it exists so validation needs no
+//! external dependency.
+
+use crate::registry::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+use crate::span::PhaseSpan;
+
+/// Escapes a string for embedding in a JSON document (quotes excluded).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way the snapshot stores gauges: shortest
+/// round-trip form, with a trailing `.0` for integral values so the
+/// value reads as a float.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "null".to_string();
+    }
+    if v.is_infinite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_histogram(out: &mut String, h: &Histogram) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"sum\":{},\"buckets\":[",
+        h.count(),
+        h.sum()
+    ));
+    let counts = h.bucket_counts();
+    let mut first = true;
+    for (k, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"le\":\"{}\",\"count\":{}}}",
+            Histogram::bucket_bound(k),
+            c
+        ));
+    }
+    if !first {
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "{{\"le\":\"+Inf\",\"count\":{}}}",
+        counts[HISTOGRAM_BUCKETS]
+    ));
+    out.push_str("]}");
+}
+
+/// Serializes a registry (and optional spans) as a `sachi.metrics.v1`
+/// snapshot. Deterministic: sorted keys, stable number formatting.
+pub fn write_snapshot(reg: &MetricsRegistry, spans: &[PhaseSpan]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"sachi.metrics.v1\",\n  \"counters\": {");
+    let mut first = true;
+    for (name, v) in reg.counters() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {}", escape(name), v));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"gauges\": {");
+    first = true;
+    for (name, v) in reg.gauges() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {}", escape(name), fmt_f64(v)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"histograms\": {");
+    first = true;
+    for (name, h) in reg.histograms() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": ", escape(name)));
+        write_histogram(&mut out, h);
+    }
+    out.push_str(if first { "}" } else { "\n  }" });
+    if !spans.is_empty() {
+        out.push_str(",\n  \"spans\": [");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"phase\":\"{}\",\"sweep\":{},\"round\":{},\"start\":{},\"end\":{},\"events\":{}}}",
+                s.phase.name(),
+                s.sweep,
+                s.round,
+                s.start,
+                s.end,
+                s.events
+            ));
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// A parsed JSON value. Object members keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(m) => Some(m.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected byte '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates unsupported (the writer never emits them).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("unsupported surrogate escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (strict RFC 8259 subset, no trailing input).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+/// Counter-name prefixes a full solve snapshot must cover (one counter
+/// per subsystem at minimum): SRAM tile, L1, DRAM prefetch, design/
+/// machine, solver, and fault-recovery counters.
+pub const REQUIRED_COUNTER_PREFIXES: [&str; 6] =
+    ["sram_", "l1_", "dram_", "machine_", "solver_", "recovery_"];
+
+fn validate_histogram(name: &str, h: &JsonValue) -> Result<(), String> {
+    let count = h
+        .get("count")
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("histogram '{name}': missing numeric 'count'"))?;
+    h.get("sum")
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("histogram '{name}': missing numeric 'sum'"))?;
+    let buckets = h
+        .get("buckets")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("histogram '{name}': missing 'buckets' array"))?;
+    if buckets.is_empty() {
+        return Err(format!("histogram '{name}': empty bucket list"));
+    }
+    let mut prev_bound: Option<u64> = None;
+    let mut total = 0.0;
+    for (i, b) in buckets.iter().enumerate() {
+        let le = b
+            .get("le")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("histogram '{name}': bucket {i} missing 'le'"))?;
+        let c = b
+            .get("count")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("histogram '{name}': bucket {i} missing 'count'"))?;
+        total += c;
+        let last = i == buckets.len() - 1;
+        if last {
+            if le != "+Inf" {
+                return Err(format!(
+                    "histogram '{name}': last bucket must be '+Inf', got '{le}'"
+                ));
+            }
+        } else {
+            let bound: u64 = le
+                .parse()
+                .map_err(|_| format!("histogram '{name}': non-numeric bound '{le}'"))?;
+            if !bound.is_power_of_two() {
+                return Err(format!(
+                    "histogram '{name}': bound {bound} is not a power of two"
+                ));
+            }
+            if let Some(p) = prev_bound {
+                if bound <= p {
+                    return Err(format!(
+                        "histogram '{name}': bounds not increasing at '{le}'"
+                    ));
+                }
+            }
+            prev_bound = Some(bound);
+        }
+    }
+    if (total - count).abs() > 0.5 {
+        return Err(format!(
+            "histogram '{name}': bucket counts sum to {total}, 'count' says {count}"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_structure(root: &JsonValue) -> Result<(), String> {
+    let schema = root
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'schema' string")?;
+    if schema != "sachi.metrics.v1" {
+        return Err(format!("unknown schema '{schema}'"));
+    }
+    let counters = root
+        .get("counters")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing 'counters' object")?;
+    for (name, v) in counters {
+        let n = v
+            .as_num()
+            .ok_or_else(|| format!("counter '{name}' is not a number"))?;
+        if n < 0.0 {
+            return Err(format!("counter '{name}' is negative"));
+        }
+    }
+    let gauges = root
+        .get("gauges")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing 'gauges' object")?;
+    for (name, v) in gauges {
+        if !matches!(v, JsonValue::Num(_) | JsonValue::Null) {
+            return Err(format!("gauge '{name}' is not a number"));
+        }
+    }
+    let histograms = root
+        .get("histograms")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing 'histograms' object")?;
+    for (name, h) in histograms {
+        validate_histogram(name, h)?;
+    }
+    if let Some(spans) = root.get("spans") {
+        let spans = spans.as_arr().ok_or("'spans' is not an array")?;
+        for (i, s) in spans.iter().enumerate() {
+            for field in ["sweep", "round", "start", "end", "events"] {
+                s.get(field)
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| format!("span {i}: missing numeric '{field}'"))?;
+            }
+            let phase = s
+                .get("phase")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("span {i}: missing 'phase'"))?;
+            let known = [
+                "upload",
+                "round",
+                "h_compute",
+                "update",
+                "writeback",
+                "prefetch",
+            ];
+            if !known.contains(&phase) {
+                return Err(format!("span {i}: unknown phase '{phase}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structurally validates a `sachi.metrics.v1` snapshot document.
+pub fn validate_snapshot(text: &str) -> Result<(), String> {
+    let root = parse(text)?;
+    validate_structure(&root)
+}
+
+/// Validates a snapshot from a full `sachi solve` run: structure plus
+/// counter coverage of every subsystem in
+/// [`REQUIRED_COUNTER_PREFIXES`].
+pub fn validate_solve_snapshot(text: &str) -> Result<(), String> {
+    let root = parse(text)?;
+    validate_structure(&root)?;
+    let counters = root
+        .get("counters")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing 'counters' object")?;
+    for prefix in REQUIRED_COUNTER_PREFIXES {
+        if !counters.iter().any(|(name, _)| name.starts_with(prefix)) {
+            return Err(format!("no counter with required prefix '{prefix}'"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SolvePhase;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("sram_rbl_discharges", 42);
+        reg.counter_add("alpha", 1);
+        reg.gauge_set("l1_hit_rate", 0.75);
+        reg.gauge_set("whole", 2.0);
+        reg.observe("replica_total_cycles", 3);
+        reg.observe("replica_total_cycles", 1000);
+        reg
+    }
+
+    #[test]
+    fn writer_emits_sorted_keys_and_round_trips() {
+        let reg = sample_registry();
+        let doc = write_snapshot(&reg, &[]);
+        // Sorted: "alpha" before "sram_".
+        let a = doc.find("\"alpha\"").expect("alpha");
+        let s = doc.find("\"sram_rbl_discharges\"").expect("sram");
+        assert!(a < s);
+        assert!(doc.contains("\"whole\": 2.0"));
+        validate_snapshot(&doc).expect("snapshot validates");
+        let root = parse(&doc).expect("parses");
+        assert_eq!(
+            root.get("counters")
+                .and_then(|c| c.get("sram_rbl_discharges"))
+                .and_then(JsonValue::as_num),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("weird\"name\\with\ncontrol\u{1}", 1);
+        let doc = write_snapshot(&reg, &[]);
+        assert!(doc.contains("weird\\\"name\\\\with\\ncontrol\\u0001"));
+        let root = parse(&doc).expect("escaped doc parses");
+        let counters = root
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .expect("counters");
+        assert_eq!(counters[0].0, "weird\"name\\with\ncontrol\u{1}");
+    }
+
+    #[test]
+    fn histogram_buckets_serialize_bounds() {
+        let reg = sample_registry();
+        let doc = write_snapshot(&reg, &[]);
+        // 3 lands in (2,4] -> le 4; 1000 in (512,1024] -> le 1024.
+        assert!(doc.contains("{\"le\":\"4\",\"count\":1}"));
+        assert!(doc.contains("{\"le\":\"1024\",\"count\":1}"));
+        assert!(doc.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn spans_serialize_and_validate() {
+        let reg = sample_registry();
+        let spans = [PhaseSpan {
+            phase: SolvePhase::HCompute,
+            sweep: 1,
+            round: 2,
+            start: 10,
+            end: 20,
+            events: 5,
+        }];
+        let doc = write_snapshot(&reg, &spans);
+        assert!(doc.contains("\"phase\":\"h_compute\""));
+        validate_snapshot(&doc).expect("validates with spans");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"a\":01x}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v = parse(r#"{"s":"aA\n","n":-1.5e2,"b":true,"x":null}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("aA\n"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_num), Some(-150.0));
+        assert_eq!(v.get("b"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("x"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn validator_rejects_bad_snapshots() {
+        assert!(validate_snapshot("{}").is_err());
+        assert!(validate_snapshot(
+            r#"{"schema":"sachi.metrics.v1","counters":{"a":-1},"gauges":{},"histograms":{}}"#
+        )
+        .is_err());
+        assert!(validate_snapshot(
+            r#"{"schema":"wrong","counters":{},"gauges":{},"histograms":{}}"#
+        )
+        .is_err());
+        // Histogram without +Inf terminal bucket.
+        assert!(validate_snapshot(
+            r#"{"schema":"sachi.metrics.v1","counters":{},"gauges":{},
+                "histograms":{"h":{"count":1,"sum":1,"buckets":[{"le":"1","count":1}]}}}"#
+        )
+        .is_err());
+        // Non-power-of-two bound.
+        assert!(validate_snapshot(
+            r#"{"schema":"sachi.metrics.v1","counters":{},"gauges":{},
+                "histograms":{"h":{"count":1,"sum":3,
+                "buckets":[{"le":"3","count":1},{"le":"+Inf","count":0}]}}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn solve_snapshot_requires_subsystem_coverage() {
+        let reg = sample_registry();
+        let doc = write_snapshot(&reg, &[]);
+        let err = validate_solve_snapshot(&doc).expect_err("missing prefixes");
+        assert!(err.contains("l1_") || err.contains("dram_") || err.contains("machine_"));
+
+        let mut full = MetricsRegistry::new();
+        for p in REQUIRED_COUNTER_PREFIXES {
+            full.counter_add(&format!("{p}x"), 1);
+        }
+        validate_solve_snapshot(&write_snapshot(&full, &[])).expect("full coverage passes");
+    }
+}

@@ -1,0 +1,212 @@
+//! Prometheus text exposition (version 0.0.4) writer and validator.
+//!
+//! The writer emits one `# TYPE` comment per metric followed by its
+//! sample lines, all names prefixed `sachi_` and sanitized to the
+//! Prometheus name grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`. Histograms use
+//! the conventional cumulative `_bucket{le="..."}` samples plus `_sum`
+//! and `_count`. Output order matches the registry's sorted key order,
+//! so the document is deterministic.
+//!
+//! The validator is a line-grammar check (not a full client): enough to
+//! assert "this exposition parses" in golden tests and CI without an
+//! external dependency.
+
+use crate::registry::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+/// Sanitizes a metric name to the Prometheus grammar: every byte
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gets a
+/// `_` prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let counts = h.bucket_counts();
+    let mut cumulative: u64 = 0;
+    for (k, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+        cumulative += c;
+        // Keep the exposition compact: emit a finite bucket only when it
+        // changes the cumulative count (plus bucket 0 as the floor).
+        if c == 0 && k != 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            Histogram::bucket_bound(k)
+        ));
+    }
+    cumulative += counts[HISTOGRAM_BUCKETS];
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Serializes a registry as a Prometheus text exposition document.
+pub fn write_exposition(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let name = format!("sachi_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in reg.gauges() {
+        let name = format!("sachi_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_value(v)));
+    }
+    for (name, h) in reg.histograms() {
+        let name = format!("sachi_{}", sanitize(name));
+        write_histogram(&mut out, &name, h);
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_sample(line: &str) -> bool {
+    // name[{label="value",...}] value
+    let (name_part, value_part) = match line.rsplit_once(' ') {
+        Some(parts) => parts,
+        None => return false,
+    };
+    let name = match name_part.split_once('{') {
+        Some((n, labels)) => {
+            if !labels.ends_with('}') {
+                return false;
+            }
+            let body = &labels[..labels.len() - 1];
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = match pair.split_once('=') {
+                    Some(kv) => kv,
+                    None => return false,
+                };
+                if !valid_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    return false;
+                }
+            }
+            n
+        }
+        None => name_part,
+    };
+    if !valid_name(name) {
+        return false;
+    }
+    value_part == "NaN"
+        || value_part == "+Inf"
+        || value_part == "-Inf"
+        || value_part.parse::<f64>().is_ok()
+}
+
+/// Validates a Prometheus text exposition document line by line:
+/// every line must be blank, a `#` comment (`TYPE`/`HELP` shape
+/// checked), or a well-formed sample. Returns the first offending line.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            // Only `TYPE` comments carry checkable structure; `HELP` and
+            // free-form comments pass through untouched.
+            if words.next() == Some("TYPE") {
+                let name = words
+                    .next()
+                    .ok_or(format!("line {lineno}: TYPE without name"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name '{name}'"));
+                }
+                let kind = words
+                    .next()
+                    .ok_or(format!("line {lineno}: TYPE without kind"))?;
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {lineno}: unknown TYPE kind '{kind}'"));
+                }
+            }
+            continue;
+        }
+        if !valid_sample(line) {
+            return Err(format!("line {lineno}: malformed sample '{line}'"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_to_name_grammar() {
+        assert_eq!(sanitize("sram_rbl"), "sram_rbl");
+        assert_eq!(sanitize("weird-name.x"), "weird_name_x");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("sram_rbl_discharges", 42);
+        reg.gauge_set("l1_hit_rate", 0.75);
+        reg.observe("replica_total_cycles", 3);
+        reg.observe("replica_total_cycles", 1000);
+        let doc = write_exposition(&reg);
+        assert!(doc.contains("# TYPE sachi_sram_rbl_discharges counter"));
+        assert!(doc.contains("sachi_sram_rbl_discharges 42"));
+        assert!(doc.contains("# TYPE sachi_l1_hit_rate gauge"));
+        assert!(doc.contains("sachi_l1_hit_rate 0.75"));
+        assert!(doc.contains("sachi_replica_total_cycles_bucket{le=\"4\"} 1"));
+        // Cumulative: the le=1024 bucket includes the earlier sample.
+        assert!(doc.contains("sachi_replica_total_cycles_bucket{le=\"1024\"} 2"));
+        assert!(doc.contains("sachi_replica_total_cycles_bucket{le=\"+Inf\"} 2"));
+        assert!(doc.contains("sachi_replica_total_cycles_sum 1003"));
+        assert!(doc.contains("sachi_replica_total_cycles_count 2"));
+        validate_exposition(&doc).expect("exposition parses");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("metric with spaces in name 1\n").is_err());
+        assert!(validate_exposition("ok_name notanumber\n").is_err());
+        assert!(validate_exposition("bad{le=1} 2\n").is_err());
+        assert!(validate_exposition("# TYPE name wrongkind\n").is_err());
+        assert!(validate_exposition("# TYPE 1bad counter\n").is_err());
+        validate_exposition("# HELP anything goes here\nok 1\nok{le=\"x\"} 2\n")
+            .expect("valid lines pass");
+    }
+}

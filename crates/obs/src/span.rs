@@ -1,0 +1,208 @@
+//! Hierarchical solve-phase spans in the cycle domain.
+//!
+//! A span is an interval `[start, end)` of machine cycles plus an event
+//! count, tagged with the phase it measures and the sweep/round it
+//! belongs to. Two phases are top-level ([`SolvePhase::Upload`] and
+//! [`SolvePhase::Round`]); the other four are children of the enclosing
+//! round — the hierarchy is implied by the phase kind, so a flat
+//! `Vec<PhaseSpan>` reconstructs the tree without parent pointers.
+//!
+//! Timestamps are **cycles, not wall-clock**: they come straight from
+//! the simulator's `total_cycles` bookkeeping, so a trace is
+//! bit-identical across hosts, replica orders, and thread counts.
+
+use std::fmt;
+
+/// The phases of one solve, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolvePhase {
+    /// Initial DRAM streaming of tuples/ICs into the tile arrays.
+    Upload,
+    /// One round of one sweep (the unit the DRAM overlap reasons about).
+    Round,
+    /// In-SRAM XNOR + popcount local-field computation within a round.
+    HCompute,
+    /// Annealer decisions applied to the spin vector (event count).
+    Update,
+    /// Spin write-back into tile row 0 / spin copies (event count).
+    Writeback,
+    /// DRAM prefetch activity overlapped with compute within a round.
+    Prefetch,
+}
+
+impl SolvePhase {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolvePhase::Upload => "upload",
+            SolvePhase::Round => "round",
+            SolvePhase::HCompute => "h_compute",
+            SolvePhase::Update => "update",
+            SolvePhase::Writeback => "writeback",
+            SolvePhase::Prefetch => "prefetch",
+        }
+    }
+
+    /// Whether this phase nests inside a [`SolvePhase::Round`].
+    pub fn is_round_child(self) -> bool {
+        matches!(
+            self,
+            SolvePhase::HCompute
+                | SolvePhase::Update
+                | SolvePhase::Writeback
+                | SolvePhase::Prefetch
+        )
+    }
+}
+
+impl fmt::Display for SolvePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded span: a cycle interval plus an event count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase this span measures.
+    pub phase: SolvePhase,
+    /// Sweep index (0 for [`SolvePhase::Upload`]).
+    pub sweep: u64,
+    /// Round index within the sweep (0 for [`SolvePhase::Upload`]).
+    pub round: u64,
+    /// Start timestamp, machine cycles.
+    pub start: u64,
+    /// End timestamp, machine cycles (`end >= start`).
+    pub end: u64,
+    /// Events inside the span (tuple computes, spin flips, writebacks,
+    /// prefetches issued — whatever the phase counts).
+    pub events: u64,
+}
+
+impl PhaseSpan {
+    /// Span length in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Renders a span list as an indented tree, one span per line.
+///
+/// Top-level phases sit flush left; round children are indented under
+/// their round. Durations print in cycles; pure event spans (zero
+/// duration) print the event count only.
+pub fn render_span_tree(spans: &[PhaseSpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let indent = if s.phase.is_round_child() { "  " } else { "" };
+        let label = match s.phase {
+            SolvePhase::Upload => s.phase.name().to_string(),
+            _ => format!("{} s{} r{}", s.phase.name(), s.sweep, s.round),
+        };
+        if s.duration() == 0 && s.events > 0 {
+            out.push_str(&format!("{indent}{label:<22} {} events\n", s.events));
+        } else {
+            out.push_str(&format!(
+                "{indent}{label:<22} [{} .. {})  {} cycles  {} events\n",
+                s.start,
+                s.end,
+                s.duration(),
+                s.events
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        let all = [
+            SolvePhase::Upload,
+            SolvePhase::Round,
+            SolvePhase::HCompute,
+            SolvePhase::Update,
+            SolvePhase::Writeback,
+            SolvePhase::Prefetch,
+        ];
+        let names: Vec<_> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "upload",
+                "round",
+                "h_compute",
+                "update",
+                "writeback",
+                "prefetch"
+            ]
+        );
+        assert!(!SolvePhase::Upload.is_round_child());
+        assert!(!SolvePhase::Round.is_round_child());
+        assert!(SolvePhase::HCompute.is_round_child());
+        assert!(SolvePhase::Prefetch.is_round_child());
+    }
+
+    #[test]
+    fn tree_renders_hierarchy_and_durations() {
+        let spans = [
+            PhaseSpan {
+                phase: SolvePhase::Upload,
+                sweep: 0,
+                round: 0,
+                start: 0,
+                end: 128,
+                events: 1,
+            },
+            PhaseSpan {
+                phase: SolvePhase::Round,
+                sweep: 0,
+                round: 0,
+                start: 128,
+                end: 256,
+                events: 16,
+            },
+            PhaseSpan {
+                phase: SolvePhase::HCompute,
+                sweep: 0,
+                round: 0,
+                start: 128,
+                end: 250,
+                events: 16,
+            },
+            PhaseSpan {
+                phase: SolvePhase::Update,
+                sweep: 0,
+                round: 0,
+                start: 256,
+                end: 256,
+                events: 7,
+            },
+        ];
+        let tree = render_span_tree(&spans);
+        let lines: Vec<_> = tree.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("upload"));
+        assert!(lines[1].starts_with("round s0 r0"));
+        assert!(lines[2].starts_with("  h_compute"));
+        assert!(lines[3].starts_with("  update"));
+        assert!(lines[3].contains("7 events"));
+        assert!(lines[1].contains("128 cycles"));
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let s = PhaseSpan {
+            phase: SolvePhase::Round,
+            sweep: 0,
+            round: 0,
+            start: 10,
+            end: 10,
+            events: 0,
+        };
+        assert_eq!(s.duration(), 0);
+    }
+}

@@ -80,7 +80,12 @@ impl AssetAllocation {
         for i in 0..m as u32 {
             for j in (i + 1)..m as u32 {
                 let j_ij = -(quantized[i as usize] as i64 * quantized[j as usize] as i64);
-                builder.push_edge(i, j, j_ij.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+                // Signed 16-bit quantization bounds |q| <= 2^15 - 1, so
+                // |j_ij| <= (2^15 - 1)^2 < 2^30 always fits i32. A failed
+                // conversion is a broken invariant, not data to clamp.
+                let j_ij = i32::try_from(j_ij)
+                    .expect("16-bit-capped quantization keeps pair products within i32");
+                builder.push_edge(i, j, j_ij);
             }
         }
         let graph = builder
@@ -231,5 +236,24 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_single_asset() {
         let _ = AssetAllocation::new(1, 0);
+    }
+
+    #[test]
+    fn max_resolution_pair_products_fit_i32_exactly() {
+        // Regression for the removed clamp: at the 16-bit value cap the
+        // pair products must fit i32 by construction, so the graph must
+        // carry them exactly (no saturation anywhere).
+        for bits in [16, 24, 32] {
+            let w = AssetAllocation::with_resolution(40, 7, bits);
+            let limit = i64::from(i16::MAX) * i64::from(i16::MAX);
+            for i in 0..40usize {
+                for (j, w_ij) in w.graph().neighbors(i) {
+                    let expected = -(i64::from(w.quantized_values()[i])
+                        * i64::from(w.quantized_values()[j as usize]));
+                    assert_eq!(i64::from(w_ij), expected, "edge ({i},{j}) not exact");
+                    assert!(i64::from(w_ij).abs() <= limit);
+                }
+            }
+        }
     }
 }

@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 
 pub mod asset;
+pub mod encode;
 pub mod generic;
 pub mod lucas;
 pub mod maxcut;
@@ -49,9 +50,10 @@ pub mod tsp;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::asset::AssetAllocation;
+    pub use crate::encode::{checked_coefficient, saturation_count, EncodeError};
     pub use crate::generic::GenericMaxCut;
     pub use crate::lucas::{self, InputGraph};
-    pub use crate::maxcut::{best_cut_reference, cut_weight};
+    pub use crate::maxcut::{best_cut_reference, cut_weight, flip_gain};
     pub use crate::molecular::MolecularDynamics;
     pub use crate::quantize::quantize_to_bits;
     pub use crate::qubo::{QuboBuilder, QuboProblem};

@@ -7,8 +7,8 @@
 //! decoder plus a validity/quality check, so any Ising machine in the
 //! workspace can solve it and be scored exactly.
 
+use crate::encode::EncodeError;
 use crate::qubo::{QuboBuilder, QuboProblem};
-use sachi_ising::graph::GraphError;
 use sachi_ising::spin::SpinVector;
 
 /// An undirected input graph for the formulations (edge list over
@@ -76,8 +76,8 @@ impl InputGraph {
 ///
 /// # Errors
 ///
-/// Propagates [`GraphError`].
-pub fn max_cut(input: &InputGraph) -> Result<QuboProblem, GraphError> {
+/// Propagates [`EncodeError`].
+pub fn max_cut(input: &InputGraph) -> Result<QuboProblem, EncodeError> {
     let mut q = QuboBuilder::new(input.num_vertices());
     for &(u, v) in input.edges() {
         q.linear(u, -1).linear(v, -1).quadratic(u, v, 2);
@@ -104,8 +104,8 @@ pub fn cut_size(input: &InputGraph, spins: &SpinVector) -> usize {
 ///
 /// # Errors
 ///
-/// Propagates [`GraphError`].
-pub fn vertex_cover(input: &InputGraph) -> Result<QuboProblem, GraphError> {
+/// Propagates [`EncodeError`].
+pub fn vertex_cover(input: &InputGraph) -> Result<QuboProblem, EncodeError> {
     const P: i64 = 2;
     let mut q = QuboBuilder::new(input.num_vertices());
     for v in 0..input.num_vertices() {
@@ -131,12 +131,12 @@ pub fn is_vertex_cover(input: &InputGraph, selected: &[bool]) -> bool {
 ///
 /// # Errors
 ///
-/// Propagates [`GraphError`].
+/// Propagates [`EncodeError`].
 ///
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn coloring(input: &InputGraph, k: usize) -> Result<QuboProblem, GraphError> {
+pub fn coloring(input: &InputGraph, k: usize) -> Result<QuboProblem, EncodeError> {
     assert!(k > 0, "need at least one color");
     let n = input.num_vertices();
     let idx = |v: usize, c: usize| v * k + c;
@@ -179,8 +179,10 @@ pub fn decode_coloring(input: &InputGraph, k: usize, spins: &SpinVector) -> Opti
 ///
 /// # Errors
 ///
-/// Propagates [`GraphError`].
-pub fn number_partitioning(values: &[i64]) -> Result<QuboProblem, GraphError> {
+/// Propagates [`EncodeError`] — values large enough that the expanded
+/// quadratic coefficients (`8·v_i·v_j`) leave the `i32` range are
+/// rejected, not clamped.
+pub fn number_partitioning(values: &[i64]) -> Result<QuboProblem, EncodeError> {
     // (Σ v_i σ_i)^2 with σ = 2x - 1:
     //   Σ v_i σ_i = 2 Σ v_i x_i - Σ v_i =: 2S_x - T
     //   (2S_x - T)^2 = 4 S_x^2 - 4 T S_x + T^2

@@ -16,6 +16,22 @@ pub fn cut_weight(graph: &IsingGraph, spins: &SpinVector) -> i64 {
         .sum()
 }
 
+/// Change in [`cut_weight`] from flipping spin `i` in isolation.
+///
+/// Each edge incident to `i` that is currently cut leaves the cut after
+/// the flip (`-|J|`), and each uncut incident edge joins it (`+|J|`), so
+/// the incremental gain equals
+/// `cut_weight(flipped) - cut_weight(current)` exactly — the invariant
+/// the differential property test below pins against a full recompute.
+pub fn flip_gain(graph: &IsingGraph, spins: &SpinVector, i: usize) -> i64 {
+    let mut gain = 0i64;
+    for (j, w) in graph.neighbors(i) {
+        let cut_now = spins.get(i) != spins.get(j as usize);
+        gain += (w as i64).abs() * if cut_now { -1 } else { 1 };
+    }
+    gain
+}
+
 /// Multi-start greedy local-search max-cut, used as an accuracy reference.
 /// Bounded effort: restarts shrink as the graph grows.
 pub fn best_cut_reference(graph: &IsingGraph, seed: u64) -> i64 {
@@ -38,12 +54,7 @@ pub fn best_cut_reference(graph: &IsingGraph, seed: u64) -> i64 {
         while improved {
             improved = false;
             for i in 0..n {
-                let mut gain = 0i64;
-                for (j, w) in graph.neighbors(i) {
-                    let cut_now = spins.get(i) != spins.get(j as usize);
-                    gain += (w as i64).abs() * if cut_now { -1 } else { 1 };
-                }
-                if gain > 0 {
+                if flip_gain(graph, &spins, i) > 0 {
                     spins.flip(i);
                     improved = true;
                 }
@@ -102,5 +113,62 @@ mod tests {
     fn empty_graph_reference_is_zero() {
         let g = GraphBuilder::new(0).build().unwrap();
         assert_eq!(best_cut_reference(&g, 3), 0);
+    }
+
+    #[test]
+    fn flip_gain_sign_cases() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, -5)
+            .edge(1, 2, 3)
+            .build()
+            .unwrap();
+        let s = SpinVector::from_spins(&[Spin::Up, Spin::Up, Spin::Up]);
+        // Nothing cut: flipping 1 cuts both incident edges.
+        assert_eq!(flip_gain(&g, &s, 1), 8);
+        let s = SpinVector::from_spins(&[Spin::Up, Spin::Down, Spin::Up]);
+        // Everything incident to 1 is cut: flipping it loses both.
+        assert_eq!(flip_gain(&g, &s, 1), -8);
+        // Isolated-by-weight vertex 0 against mixed neighborhood.
+        assert_eq!(flip_gain(&g, &s, 0), -5);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        // Differential property: the incremental gain the greedy loop
+        // uses must equal a full cut-weight recompute for every vertex,
+        // spin state, sign pattern, and topology — this is the invariant
+        // that makes `best_cut_reference` trustworthy as an accuracy
+        // reference.
+        #[test]
+        fn flip_gain_matches_full_recompute(
+            n in 2usize..=8,
+            weights in prop::collection::vec(-50i32..=50, 28..29),
+            bits in prop::collection::vec(any::<bool>(), 8..9),
+        ) {
+            let mut builder = GraphBuilder::new(n);
+            let mut k = 0usize;
+            for i in 0..8u32 {
+                for j in (i + 1)..8u32 {
+                    let w = weights[k];
+                    k += 1;
+                    if (j as usize) < n && w != 0 {
+                        builder.push_edge(i, j, w);
+                    }
+                }
+            }
+            let graph = builder.build().unwrap();
+            let spins: SpinVector = bits[..n].iter().map(|&b| Spin::from_bit(b)).collect();
+            let base = cut_weight(&graph, &spins);
+            for i in 0..n {
+                let mut flipped = spins.clone();
+                flipped.flip(i);
+                prop_assert_eq!(
+                    flip_gain(&graph, &spins, i),
+                    cut_weight(&graph, &flipped) - base,
+                    "spin {} incremental gain diverges from full recompute", i
+                );
+            }
+        }
     }
 }

@@ -15,7 +15,8 @@
 //! Minimizing `Σ Q σσ + Σ L σ + const` equals minimizing our
 //! `H = −Σ J σσ − Σ h σ` with `J = −Q`, `h = −L`.
 
-use sachi_ising::graph::{GraphBuilder, GraphError, IsingGraph};
+use crate::encode::{checked_coefficient, EncodeError};
+use sachi_ising::graph::{GraphBuilder, IsingGraph};
 use sachi_ising::spin::{Spin, SpinVector};
 use std::collections::BTreeMap;
 
@@ -32,7 +33,7 @@ use std::collections::BTreeMap;
 /// let equal = SpinVector::from_spins(&[Spin::Up, Spin::Up]);
 /// let differ = SpinVector::from_spins(&[Spin::Up, Spin::Down]);
 /// assert!(problem.objective(&equal) < problem.objective(&differ));
-/// # Ok::<(), sachi_ising::graph::GraphError>(())
+/// # Ok::<(), sachi_workloads::encode::EncodeError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuboBuilder {
@@ -111,9 +112,12 @@ impl QuboBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates [`GraphError`] (cannot occur for indices validated by
+    /// Returns [`EncodeError::CoefficientOverflow`] when an accumulated
+    /// coupling or field leaves the `i32` range the graph stores (the
+    /// conversion is exact or it fails — it never clamps), and wraps any
+    /// graph-construction error (cannot occur for indices validated by
     /// the builder).
-    pub fn build(&self) -> Result<QuboProblem, GraphError> {
+    pub fn build(&self) -> Result<QuboProblem, EncodeError> {
         let mut h = vec![0i64; self.n];
         let mut builder = GraphBuilder::new(self.n);
         for (i, &l) in self.linear.iter().enumerate() {
@@ -121,16 +125,13 @@ impl QuboBuilder {
         }
         for (&(i, j), &c) in &self.quadratic {
             if c != 0 {
-                builder.push_edge(i, j, (-c).clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+                builder.push_edge(i, j, checked_coefficient("coupling", -c)?);
             }
             h[i as usize] += c;
             h[j as usize] += c;
         }
         for (i, &hi) in h.iter().enumerate() {
-            builder = builder.field(
-                i as u32,
-                (-hi).clamp(i32::MIN as i64, i32::MAX as i64) as i32,
-            );
+            builder = builder.field(i as u32, checked_coefficient("field", -hi)?);
         }
         let graph = builder.build()?;
         Ok(QuboProblem {
@@ -262,5 +263,58 @@ mod tests {
     fn diagonal_quadratic_rejected() {
         let mut q = QuboBuilder::new(2);
         q.quadratic(1, 1, 3);
+    }
+
+    // Regression: these inputs used to be silently clamped to i32
+    // range, corrupting the encoded Hamiltonian. They must now fail
+    // loudly with a typed overflow error.
+    #[test]
+    fn coupling_overflow_is_rejected_not_clamped() {
+        let mut q = QuboBuilder::new(2);
+        // -c = 2^31 exceeds i32::MAX, so the Ising coupling overflows.
+        q.quadratic(0, 1, i64::from(i32::MIN));
+        let err = q.build().expect_err("overflowing coupling must not clamp");
+        assert_eq!(
+            err,
+            EncodeError::CoefficientOverflow {
+                what: "coupling",
+                value: 1 << 31,
+            }
+        );
+    }
+
+    #[test]
+    fn field_overflow_is_rejected_not_clamped() {
+        let mut q = QuboBuilder::new(1);
+        // h[0] = 2·l overflows i32 even though l itself fits.
+        q.linear(0, i64::from(i32::MAX));
+        let err = q.build().expect_err("overflowing field must not clamp");
+        assert!(matches!(
+            err,
+            EncodeError::CoefficientOverflow { what: "field", .. }
+        ));
+    }
+
+    #[test]
+    fn accumulated_field_overflow_from_quadratics_is_rejected() {
+        // Each individual coupling fits, but the field h[i] accumulates
+        // contributions from every incident quadratic term and spills.
+        let big = i64::from(i32::MAX) / 2 + 1;
+        let mut q = QuboBuilder::new(3);
+        q.quadratic(0, 1, -big).quadratic(0, 2, -big);
+        let err = q.build().expect_err("accumulated field must not clamp");
+        assert!(matches!(
+            err,
+            EncodeError::CoefficientOverflow { what: "field", .. }
+        ));
+    }
+
+    #[test]
+    fn build_failure_increments_saturation_counter() {
+        let before = crate::encode::saturation_count();
+        let mut q = QuboBuilder::new(2);
+        q.quadratic(0, 1, i64::from(i32::MIN));
+        assert!(q.build().is_err());
+        assert!(crate::encode::saturation_count() > before);
     }
 }

@@ -6,7 +6,7 @@
 //! | `panic-freedom` | no `.unwrap()` / `panic!` in library code of `sachi-core`, `sachi-mem`, `sachi-ising` (`.expect("invariant …")` is the sanctioned escape hatch) |
 //! | `fault-strict` | the fault-injection and recovery modules may not even `.expect(…)` — fault handling code must never be a panic source itself |
 //! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` / `perf_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
-//! | `hot-path` | no heap allocation (`vec!`, `.collect(…)`, `.to_vec(…)`, `Vec::…`) inside `compute_*` kernel bodies — the per-sweep hot path runs on caller-provided scratch buffers |
+//! | `hot-path` | no heap allocation (`vec!`, `.collect(…)`, `.to_vec(…)`, `Vec::…`) and no metrics/span instrumentation (`counter_add`, `.observe`, `MetricsRegistry`, …) inside `compute_*` kernel bodies — the per-sweep hot path runs on caller-provided scratch buffers and is metered by post-sweep harvest, never inline |
 //! | `hygiene` | `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` stay present in every crate root |
 //!
 //! Findings are suppressed by matching [`crate::allowlist`] entries; a
@@ -89,6 +89,21 @@ const HOT_PATH_PATTERNS: &[&str] = &[
     ".to_vec(",
     "Vec::with_capacity(",
     "Vec::new(",
+];
+
+/// Observability spellings banned inside hot-path kernel bodies. The
+/// metrics layer is harvest-based: counters are read out of the plain
+/// counter structs *after* a sweep, so instrumentation expands to
+/// nothing inside `compute_*` kernels. These patterns keep it that way —
+/// a registry call per tuple would be an N·R-per-sweep tax and a
+/// BTreeMap lookup on the innermost loop.
+const INSTRUMENTATION_PATTERNS: &[&str] = &[
+    "MetricsRegistry",
+    "counter_add(",
+    "gauge_set(",
+    ".observe(",
+    "PhaseSpan",
+    "sachi_obs::",
 ];
 
 /// Numeric primitive names that make an `as` cast a unit-safety concern.
@@ -383,6 +398,22 @@ fn hot_path(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
                             });
                         }
                     }
+                    for pattern in INSTRUMENTATION_PATTERNS {
+                        if line.code.contains(pattern) {
+                            findings.push(Finding {
+                                lint: "hot-path",
+                                path: rel(root, &file),
+                                line: line.number,
+                                message: format!(
+                                    "instrumentation `{pattern}…` inside hot-path kernel \
+                                     `{kernel}`; the metrics layer is harvest-based — \
+                                     accumulate into the plain counter structs and export \
+                                     to the registry after the sweep"
+                                ),
+                                raw: line.raw.clone(),
+                            });
+                        }
+                    }
                     for b in line.code.bytes() {
                         match b {
                             b'{' => {
@@ -498,12 +529,14 @@ mod tests {
         );
         // hygiene violation: missing deny(missing_docs).
         mk("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n//! d\n");
-        // hot-path violation: allocation inside a compute kernel body;
-        // the allocation in `layout` must NOT fire (not a compute fn),
-        // nor the bodyless trait declaration's surroundings.
+        // hot-path violations: allocation AND inline instrumentation
+        // inside a compute kernel body; the allocation in `layout` must
+        // NOT fire (not a compute fn), nor the bodyless trait
+        // declaration's surroundings, nor the registry export outside
+        // any kernel (`harvest` is the sanctioned pattern).
         mk(
             "crates/core/src/designs.rs",
-            "//! d\ntrait T {\n    fn compute_tuple(&self) -> i64;\n}\npub fn layout() { let _ = vec![1]; }\npub fn compute_h() -> i64 {\n    let v = vec![0u64; 4];\n    i64::from(!v.is_empty())\n}\n",
+            "//! d\ntrait T {\n    fn compute_tuple(&self) -> i64;\n}\npub fn layout() { let _ = vec![1]; }\npub fn harvest(reg: &mut R) { reg.counter_add(\"x\", 1); }\npub fn compute_h(reg: &mut R) -> i64 {\n    let v = vec![0u64; 4];\n    reg.counter_add(\"machine_xnor_ops\", 1);\n    i64::from(!v.is_empty())\n}\n",
         );
         mk("crates/core/Cargo.toml", "[package]\nname = \"c\"\n");
         mk(
@@ -525,11 +558,21 @@ mod tests {
         assert!(lints.contains(&"bench-registration"), "{findings:?}");
         assert!(lints.contains(&"hot-path"), "{findings:?}");
         assert!(lints.contains(&"hygiene"), "{findings:?}");
-        // hot-path scans compute kernels only: the `vec!` in `layout`
-        // and the bodyless trait declaration never fire.
+        // hot-path scans compute kernels only: the `vec!` in `layout`,
+        // the registry export in `harvest`, and the bodyless trait
+        // declaration never fire — but both the allocation and the
+        // inline `counter_add` inside `compute_h` do.
         let hot: Vec<&Finding> = findings.iter().filter(|f| f.lint == "hot-path").collect();
-        assert_eq!(hot.len(), 1, "{hot:?}");
-        assert!(hot[0].message.contains("compute_h"), "{hot:?}");
+        assert_eq!(hot.len(), 2, "{hot:?}");
+        assert!(
+            hot.iter().all(|f| f.message.contains("compute_h")),
+            "{hot:?}"
+        );
+        assert!(
+            hot.iter()
+                .any(|f| f.message.contains("instrumentation `counter_add(")),
+            "{hot:?}"
+        );
         // The `.expect` in the fault module fires fault-strict only — it
         // is sanctioned for ordinary library code.
         assert!(

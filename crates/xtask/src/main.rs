@@ -1,6 +1,6 @@
 //! Workspace automation for the SACHI reproduction.
 //!
-//! Currently one subcommand:
+//! Two subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--root <dir>]
@@ -12,8 +12,20 @@
 //! workspace and exits non-zero if any unsuppressed finding remains.
 //! Exceptions live in `lint.allow.toml` at the workspace root; every
 //! entry needs a one-line `reason` and stale entries are themselves
-//! errors. No external dependencies: plain line/AST-lite scanning, works
-//! in offline builds.
+//! errors.
+//!
+//! ```text
+//! cargo run -p xtask -- validate-metrics [<file>]
+//! ```
+//!
+//! validates a `sachi solve --metrics json` snapshot (from `<file>` or
+//! stdin) against the `sachi.metrics.v1` schema, including the
+//! required-counter-prefix coverage of every subsystem — the CI gate
+//! behind the `--metrics` smoke in `ci.sh`.
+//!
+//! No external dependencies: plain line/AST-lite scanning plus the
+//! workspace's own dependency-free `sachi-obs` validator, works in
+//! offline builds.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -22,11 +34,13 @@ mod allowlist;
 mod lints;
 mod scan;
 
+use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    eprintln!("       cargo run -p xtask -- validate-metrics [<file>]   (stdin when no file)");
     std::process::exit(2);
 }
 
@@ -44,15 +58,7 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
         .expect("CARGO_MANIFEST_DIR is <root>/crates/xtask and has two parents")
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(subcommand) = args.next() else {
-        usage()
-    };
-    if subcommand != "lint" {
-        eprintln!("unknown subcommand `{subcommand}`");
-        usage();
-    }
+fn run_lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut root_override = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -83,6 +89,63 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("xtask lint: error: {message}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a metrics snapshot against the full `sachi solve` schema:
+/// structure plus counter coverage of every subsystem
+/// ([`sachi_obs::json::REQUIRED_COUNTER_PREFIXES`]).
+fn run_validate_metrics(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let source = args.next();
+    if args.next().is_some() {
+        usage();
+    }
+    let text = match &source {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}")),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map(|_| buf)
+                .map_err(|e| format!("read stdin: {e}"))
+        }
+    };
+    let text = match text {
+        Ok(text) => text,
+        Err(message) => {
+            eprintln!("xtask validate-metrics: error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sachi_obs::json::validate_solve_snapshot(&text) {
+        Ok(()) => {
+            println!(
+                "xtask validate-metrics: ok (sachi.metrics.v1, counters cover {})",
+                sachi_obs::json::REQUIRED_COUNTER_PREFIXES
+                    .map(|p| p.trim_end_matches('_'))
+                    .join("/")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask validate-metrics: invalid snapshot: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(subcommand) = args.next() else {
+        usage()
+    };
+    match subcommand.as_str() {
+        "lint" => run_lint(args),
+        "validate-metrics" => run_validate_metrics(args),
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
         }
     }
 }

@@ -14,7 +14,9 @@
 //! * [`workloads`] (`sachi-workloads`) — the four COPs of the paper's
 //!   evaluation;
 //! * [`baselines`] (`sachi-baselines`) — BRIM, Ising-CIM, GA, PSO, and
-//!   the dedicated solvers.
+//!   the dedicated solvers;
+//! * [`obs`] (`sachi-obs`) — metrics registry, cycle-domain solve-phase
+//!   spans, and the JSON / Prometheus exporters.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use sachi_baselines as baselines;
 pub use sachi_core as arch;
 pub use sachi_ising as ising;
 pub use sachi_mem as mem;
+pub use sachi_obs as obs;
 pub use sachi_workloads as workloads;
 
 /// One-stop import of the most-used types from every sub-crate.
@@ -57,5 +60,6 @@ pub mod prelude {
     pub use sachi_core::prelude::*;
     pub use sachi_ising::prelude::*;
     pub use sachi_mem::prelude::*;
+    pub use sachi_obs::prelude::*;
     pub use sachi_workloads::prelude::*;
 }
