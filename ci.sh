@@ -13,6 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p xtask -- lint"
 cargo run -q -p xtask -- lint
 
+# Token-level determinism / panic-reachability / overflow-audit pass.
+# The --budget-ms gate keeps the analyzer honest about its own cost: the
+# whole workspace must lex, parse, and graph-walk in under 5 seconds.
+echo "==> cargo run -p xtask -- analyze (budget 5s)"
+cargo run -q -p xtask -- analyze --budget-ms 5000
+
+# The machine-readable surface: --json must emit a valid
+# sachi.analyze.v1 document even on a clean tree.
+echo "==> cargo run -p xtask -- analyze --json | xtask validate-analysis"
+cargo run -q -p xtask -- analyze --json 2>/dev/null \
+  | cargo run -q -p xtask -- validate-analysis
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 

@@ -1133,7 +1133,7 @@ mod tests {
         let spins = SpinVector::filled(9, Spin::Up);
         let store = TupleStore::new(&g, &spins);
         let enc = MixedEncoding::new(4).unwrap();
-        let mut redundant = std::collections::HashMap::new();
+        let mut redundant = std::collections::BTreeMap::new();
         for kind in DesignKind::ALL {
             let design = stationarity(kind);
             let (rows, cols) = design.tile_requirements(8, 4, 800);

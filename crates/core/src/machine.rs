@@ -831,7 +831,7 @@ mod tests {
     #[test]
     fn designs_rank_by_cycles_and_reuse() {
         let (g, init, opts) = king_setup(7);
-        let mut by_design = std::collections::HashMap::new();
+        let mut by_design = std::collections::BTreeMap::new();
         for design in DesignKind::ALL {
             let mut machine = SachiMachine::new(SachiConfig::new(design));
             let (_, report) = machine.solve_detailed(&g, &init, &opts);

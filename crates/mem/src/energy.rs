@@ -226,8 +226,8 @@ mod tests {
 
     #[test]
     fn all_components_have_distinct_indices_and_labels() {
-        let mut seen = std::collections::HashSet::new();
-        let mut labels = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut labels = std::collections::BTreeSet::new();
         for c in EnergyComponent::ALL {
             assert!(seen.insert(c.index()), "duplicate index for {c:?}");
             assert!(labels.insert(c.label()), "duplicate label for {c:?}");

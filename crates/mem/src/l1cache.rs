@@ -451,14 +451,14 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// Reference LRU model: per-set vectors of tags ordered by recency.
     struct RefCache {
         sets: usize,
         ways: usize,
         line: u64,
-        lru: HashMap<usize, Vec<u64>>, // most-recent last
+        lru: BTreeMap<usize, Vec<u64>>, // most-recent last
     }
 
     impl RefCache {
@@ -489,7 +489,7 @@ mod proptests {
         #[test]
         fn l1_matches_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..300)) {
             let mut cache = L1Cache::new(512, 2, 32); // 8 sets x 2 ways x 32B
-            let mut reference = RefCache { sets: 8, ways: 2, line: 32, lru: HashMap::new() };
+            let mut reference = RefCache { sets: 8, ways: 2, line: 32, lru: BTreeMap::new() };
             for addr in addrs {
                 let got = matches!(cache.read(addr).unwrap(), Access::Hit);
                 let want = reference.access(addr);

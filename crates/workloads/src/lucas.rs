@@ -187,13 +187,18 @@ pub fn number_partitioning(values: &[i64]) -> Result<QuboProblem, EncodeError> {
     //   Σ v_i σ_i = 2 Σ v_i x_i - Σ v_i =: 2S_x - T
     //   (2S_x - T)^2 = 4 S_x^2 - 4 T S_x + T^2
     // S_x^2 = Σ v_i^2 x_i + 2 Σ_{i<j} v_i v_j x_i x_j.
-    let t: i64 = values.iter().sum();
+    // Caller-supplied magnitudes are unbounded, so every product
+    // saturates; a saturated coefficient is rejected by the i32 narrowing
+    // in `QuboBuilder::build`, never silently wrapped.
+    let t: i64 = values.iter().fold(0i64, |acc, &v| acc.saturating_add(v));
     let mut q = QuboBuilder::new(values.len());
-    q.constant(t * t);
+    q.constant(t.saturating_mul(t));
     for (i, &vi) in values.iter().enumerate() {
-        q.linear(i, 4 * vi * vi - 4 * t * vi);
+        let quad_self = vi.saturating_mul(vi).saturating_mul(4);
+        let cross = t.saturating_mul(vi).saturating_mul(4);
+        q.linear(i, quad_self.saturating_sub(cross));
         for (j, &vj) in values.iter().enumerate().skip(i + 1) {
-            q.quadratic(i, j, 8 * vi * vj);
+            q.quadratic(i, j, vi.saturating_mul(vj).saturating_mul(8));
         }
     }
     q.build()

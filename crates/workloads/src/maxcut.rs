@@ -27,7 +27,12 @@ pub fn flip_gain(graph: &IsingGraph, spins: &SpinVector, i: usize) -> i64 {
     let mut gain = 0i64;
     for (j, w) in graph.neighbors(i) {
         let cut_now = spins.get(i) != spins.get(j as usize);
-        gain += (w as i64).abs() * if cut_now { -1 } else { 1 };
+        let delta = i64::from(w).abs();
+        gain = if cut_now {
+            gain.saturating_sub(delta)
+        } else {
+            gain.saturating_add(delta)
+        };
     }
     gain
 }

@@ -65,7 +65,7 @@ impl MolecularDynamics {
         let mut k = 0usize;
         let graph = topology::king(rows, cols, |_, _| {
             let w = quantized[k].max(1);
-            k += 1;
+            k = k.saturating_add(1);
             w
         })
         .expect("king lattice construction cannot fail");

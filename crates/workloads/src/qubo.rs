@@ -65,7 +65,11 @@ impl QuboBuilder {
     ///
     /// Panics if `i >= n`.
     pub fn linear(&mut self, i: usize, c: i64) -> &mut Self {
-        self.linear[i] += c;
+        // Saturating accumulation: a wrapped i64 could sneak back into
+        // the i32 range and encode silently-wrong coefficients; a
+        // saturated one is guaranteed to trip `checked_coefficient`'s
+        // narrowing in `build`.
+        self.linear[i] = self.linear[i].saturating_add(c);
         self
     }
 
@@ -79,13 +83,14 @@ impl QuboBuilder {
         assert!(i != j, "use linear() for diagonal terms (x^2 = x)");
         assert!(i < self.n && j < self.n, "variable out of range");
         let key = ((i.min(j)) as u32, (i.max(j)) as u32);
-        *self.quadratic.entry(key).or_insert(0) += c;
+        let slot = self.quadratic.entry(key).or_insert(0);
+        *slot = slot.saturating_add(c);
         self
     }
 
     /// Adds a constant offset (tracked so objectives stay comparable).
     pub fn constant(&mut self, c: i64) -> &mut Self {
-        self.constant += c;
+        self.constant = self.constant.saturating_add(c);
         self
     }
 
@@ -97,11 +102,14 @@ impl QuboBuilder {
     /// Panics if any variable is out of range.
     pub fn exactly_k_penalty(&mut self, vars: &[usize], k: i64, w: i64) -> &mut Self {
         // (k - Σx)^2 = k^2 - 2kΣx + Σx + 2Σ_{i<j} x_i x_j
-        self.constant(w * k * k);
+        // Saturating products: an overflowed penalty weight saturates,
+        // exceeds the i32 coefficient range, and fails `build` loudly.
+        self.constant(w.saturating_mul(k).saturating_mul(k));
+        let per_var = w.saturating_mul(1i64.saturating_sub(k.saturating_mul(2)));
         for (a, &i) in vars.iter().enumerate() {
-            self.linear(i, w * (1 - 2 * k));
+            self.linear(i, per_var);
             for &j in &vars[a + 1..] {
-                self.quadratic(i, j, 2 * w);
+                self.quadratic(i, j, w.saturating_mul(2));
             }
         }
         self
@@ -121,14 +129,14 @@ impl QuboBuilder {
         let mut h = vec![0i64; self.n];
         let mut builder = GraphBuilder::new(self.n);
         for (i, &l) in self.linear.iter().enumerate() {
-            h[i] += 2 * l;
+            h[i] = l.saturating_mul(2);
         }
         for (&(i, j), &c) in &self.quadratic {
             if c != 0 {
                 builder.push_edge(i, j, checked_coefficient("coupling", -c)?);
             }
-            h[i as usize] += c;
-            h[j as usize] += c;
+            h[i as usize] = h[i as usize].saturating_add(c);
+            h[j as usize] = h[j as usize].saturating_add(c);
         }
         for (i, &hi) in h.iter().enumerate() {
             builder = builder.field(i as u32, checked_coefficient("field", -hi)?);

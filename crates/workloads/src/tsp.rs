@@ -90,7 +90,12 @@ pub fn two_opt_tour(dist: &[Vec<i64>]) -> Vec<usize> {
                 }
                 let (i, j) = (tour[a], tour[a + 1]);
                 let (k, l) = (tour[b], tour[(b + 1) % n]);
-                let delta = dist[i][k] + dist[j][l] - dist[i][j] - dist[k][l];
+                // Saturating: the matrix is caller-supplied, so extreme
+                // entries must not wrap the improvement test's sign.
+                let delta = dist[i][k]
+                    .saturating_add(dist[j][l])
+                    .saturating_sub(dist[i][j])
+                    .saturating_sub(dist[k][l]);
                 if delta < 0 {
                     tour[a + 1..=b].reverse();
                     improved = true;

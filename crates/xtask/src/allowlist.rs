@@ -19,6 +19,9 @@
 //! A finding is suppressed when an entry's `lint` and `path` match
 //! exactly and the finding's source line contains `contains`.
 
+use crate::lints::Finding;
+use std::path::Path;
+
 /// One audited exception.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -32,24 +35,28 @@ pub struct AllowEntry {
     pub reason: String,
     /// Line in `lint.allow.toml` where the entry starts (for diagnostics).
     pub line: usize,
+    /// Line of the entry's last `key = "value"` pair (for pruning).
+    pub end_line: usize,
 }
 
 /// Parses the allowlist. Returns entries or a description of the first
 /// syntax problem.
 pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
     let mut entries: Vec<AllowEntry> = Vec::new();
-    // (lint, path, contains, reason, header line) for the section being built.
+    // (lint, path, contains, reason, header line, last key line) for the
+    // section being built.
     type PartialEntry = (
         Option<String>,
         Option<String>,
         Option<String>,
         Option<String>,
         usize,
+        usize,
     );
     let mut current: Option<PartialEntry> = None;
 
     fn finish(current: Option<PartialEntry>, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
-        let Some((lint, path, contains, reason, line)) = current else {
+        let Some((lint, path, contains, reason, line, end_line)) = current else {
             return Ok(());
         };
         let missing = |k: &str| format!("entry at line {line}: missing key `{k}`");
@@ -59,6 +66,7 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
             contains: contains.ok_or_else(|| missing("contains"))?,
             reason: reason.ok_or_else(|| missing("reason"))?,
             line,
+            end_line,
         };
         if entry.reason.trim().is_empty() {
             return Err(format!("entry at line {line}: `reason` must not be empty"));
@@ -80,7 +88,7 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
         }
         if line == "[[allow]]" {
             finish(current.take(), &mut entries)?;
-            current = Some((None, None, None, None, lineno));
+            current = Some((None, None, None, None, lineno, lineno));
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -118,9 +126,119 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
             return Err(format!("line {lineno}: duplicate key `{key}`"));
         }
         *field = Some(value);
+        slot.5 = lineno;
     }
     finish(current, &mut entries)?;
     Ok(entries)
+}
+
+/// Loads and parses `root/lint.allow.toml`; a missing file is an empty
+/// allowlist.
+pub fn load(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("lint.allow.toml");
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("lint.allow.toml: {e}"))
+}
+
+/// True when `entry` suppresses `finding`.
+fn allows(entry: &AllowEntry, finding: &Finding) -> bool {
+    entry.lint == finding.lint
+        && entry.path == finding.path
+        && finding.raw.contains(&entry.contains)
+}
+
+/// Applies the allowlist to `findings` in place: matched findings are
+/// removed, and every *unused* entry whose `lint` belongs to one of the
+/// `families` being run is reported as a stale-entry finding (with the
+/// nearest surviving line, so the fix is obvious). Returns the indices
+/// (into `entries`) of the stale entries — `lint --fix-allowlist`
+/// prunes exactly those.
+pub fn apply(
+    root: &Path,
+    entries: &[AllowEntry],
+    families: &[&str],
+    findings: &mut Vec<Finding>,
+) -> Vec<usize> {
+    let mut used = vec![false; entries.len()];
+    findings.retain(|f| {
+        let hit = entries.iter().position(|e| allows(e, f));
+        if let Some(i) = hit {
+            used[i] = true;
+        }
+        hit.is_none()
+    });
+    let mut stale = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        if used[i] || !families.contains(&entry.lint.as_str()) {
+            continue;
+        }
+        stale.push(i);
+        let nearest = std::fs::read_to_string(root.join(&entry.path))
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .position(|l| l.contains(&entry.contains))
+                    .map(|idx| idx + 1)
+            });
+        let hint = match nearest {
+            Some(line) => format!(
+                "the pattern still matches {}:{line}, but no `{}` finding fires there — \
+                 the code may have moved out of the lint's scope, or the finding was fixed \
+                 for a different reason",
+                entry.path, entry.lint
+            ),
+            None => format!(
+                "no line in `{}` contains the pattern any more — the excused code is gone",
+                entry.path
+            ),
+        };
+        findings.push(Finding {
+            lint: "allowlist",
+            path: "lint.allow.toml".into(),
+            line: entry.line,
+            message: format!(
+                "stale `{}` entry (contains = \"{}\"): {hint}; delete it or fix the pattern \
+                 (`cargo run -p xtask -- lint --fix-allowlist` prunes dead entries)",
+                entry.lint, entry.contains
+            ),
+            raw: String::new(),
+        });
+    }
+    stale
+}
+
+/// Returns `text` with the given entries (by index into the parse
+/// order) removed — the `[[allow]]` header through the last key line —
+/// and runs of multiple blank lines collapsed. Comments are preserved.
+pub fn remove_entries(text: &str, entries: &[AllowEntry], stale: &[usize]) -> String {
+    let doomed: Vec<(usize, usize)> = stale
+        .iter()
+        .filter_map(|&i| entries.get(i).map(|e| (e.line, e.end_line)))
+        .collect();
+    let mut out: Vec<&str> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if doomed.iter().any(|&(s, e)| lineno >= s && lineno <= e) {
+            continue;
+        }
+        out.push(raw);
+    }
+    let mut collapsed = String::new();
+    let mut prev_blank = false;
+    for line in out {
+        let blank = line.trim().is_empty();
+        if blank && prev_blank {
+            continue;
+        }
+        prev_blank = blank;
+        collapsed.push_str(line);
+        collapsed.push('\n');
+    }
+    collapsed
 }
 
 #[cfg(test)]

@@ -1,0 +1,292 @@
+//! Conservative intra-workspace call graph over parsed files.
+//!
+//! Call sites are recovered from the token stream of each fn body:
+//! `name(…)` free/associated calls, `.name(…)` method calls, and
+//! `name::<T>(…)` turbofish calls. Resolution is **by bare name**: a
+//! call to `new` adds an edge to *every* workspace fn named `new`.
+//! That over-approximates reachability (sound for a panic lint — a
+//! function is never wrongly considered unreachable because of a
+//! merged name) at the cost of precision.
+//!
+//! Known false-**negative** edges, documented in DESIGN.md: calls made
+//! through trait objects or generic bounds resolve by method name only
+//! (covered), but function *values* — closures, `fn` pointers passed
+//! as arguments (`map(solve)`) — produce no edge, and neither does
+//! operator sugar (`a[i]` never links to an `Index` impl; the index
+//! expression itself is what the panic lint flags).
+
+use crate::lints;
+use crate::parser::{is_keyword, parse_source, FnItem, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
+
+/// One parsed workspace file.
+pub struct WsFile {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// File contents.
+    pub src: String,
+    /// Token stream and recovered items.
+    pub parsed: ParsedFile,
+}
+
+/// A set of parsed files — the analysis domain.
+pub struct Workspace {
+    /// Files in deterministic (sorted-path) order.
+    pub files: Vec<WsFile>,
+}
+
+/// Identifies one fn: (index into [`Workspace::files`], index into that
+/// file's [`ParsedFile::fns`]).
+pub type FnKey = (usize, usize);
+
+impl Workspace {
+    /// Loads and parses every `.rs` file under `root/<scope>` for each
+    /// scope, in deterministic order.
+    pub fn load(root: &Path, scopes: &[&str]) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        for scope in scopes {
+            for file in lints::rust_files(&root.join(scope))? {
+                let src = lints::read(&file)?;
+                let parsed = parse_source(&src);
+                files.push(WsFile {
+                    path: lints::rel(root, &file),
+                    src,
+                    parsed,
+                });
+            }
+        }
+        Ok(Workspace { files })
+    }
+
+    /// The fn item for a key.
+    pub fn item(&self, key: FnKey) -> &FnItem {
+        &self.files[key.0].parsed.fns[key.1]
+    }
+}
+
+/// The call graph: per fn, the set of bare names it calls.
+pub struct CallGraph {
+    /// `calls[file][fn]` = sorted, deduplicated called names.
+    pub calls: Vec<Vec<Vec<String>>>,
+    /// Resolution map: bare name → every non-test fn with that name.
+    pub by_name: BTreeMap<String, Vec<FnKey>>,
+}
+
+/// Extracts the bare names called from `fns[idx]`'s body, skipping
+/// token spans belonging to nested fn items.
+fn called_names(file: &WsFile, idx: usize) -> Vec<String> {
+    let parsed = &file.parsed;
+    let Some((b0, b1)) = parsed.fns[idx].body else {
+        return Vec::new();
+    };
+    // Skip nested fn items entirely — from their `fn` keyword through
+    // their closing brace — so a nested definition is neither a call
+    // edge nor a source of misattributed calls.
+    let nested: Vec<(usize, usize)> = parsed
+        .nested_fns(idx)
+        .into_iter()
+        .filter_map(|i| {
+            parsed.fns[i]
+                .body
+                .map(|(_, b1)| (parsed.fns[i].sig_start, b1))
+        })
+        .collect();
+    let code = &parsed.code;
+    let src = file.src.as_str();
+    let mut names = BTreeSet::new();
+    let mut k = b0 + 1;
+    while k < b1 {
+        if let Some(&(n0, n1)) = nested.iter().find(|(n0, n1)| *n0 <= k && k <= *n1) {
+            k = n1.max(n0) + 1;
+            continue;
+        }
+        let tok = code[k];
+        if tok.kind == crate::lexer::TokenKind::Ident {
+            let text = tok.text(src);
+            let after_fn_kw = k > 0 && code[k - 1].text(src) == "fn";
+            if !is_keyword(text) && !after_fn_kw {
+                // Direct call: `name(`.
+                if code.get(k + 1).is_some_and(|t| t.text(src) == "(") {
+                    names.insert(text.trim_start_matches("r#").to_string());
+                }
+                // Turbofish call: `name::<…>(`.
+                else if code.get(k + 1).is_some_and(|t| t.text(src) == ":")
+                    && code.get(k + 2).is_some_and(|t| t.text(src) == ":")
+                    && code.get(k + 3).is_some_and(|t| t.text(src) == "<")
+                {
+                    let mut depth = 0i32;
+                    let mut j = k + 3;
+                    while j < b1 && j < k + 64 {
+                        match code[j].text(src) {
+                            "<" => depth += 1,
+                            ">" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            ";" | "{" => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if depth == 0 && code.get(j + 1).is_some_and(|t| t.text(src) == "(") {
+                        names.insert(text.trim_start_matches("r#").to_string());
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    names.into_iter().collect()
+}
+
+/// Builds the call graph for a workspace.
+pub fn build(ws: &Workspace) -> CallGraph {
+    let mut by_name: BTreeMap<String, Vec<FnKey>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (gi, f) in file.parsed.fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+        }
+    }
+    let calls = ws
+        .files
+        .iter()
+        .map(|file| {
+            (0..file.parsed.fns.len())
+                .map(|gi| called_names(file, gi))
+                .collect()
+        })
+        .collect();
+    CallGraph { calls, by_name }
+}
+
+/// Reachability result: every reachable fn mapped to the call chain
+/// that first reached it (entry-point name first, the fn's own name
+/// last).
+pub type Reachable = BTreeMap<FnKey, Vec<String>>;
+
+/// BFS over name-resolved call edges from every fn accepted by
+/// `entry`. Test fns are neither entry points nor resolution targets.
+pub fn reachable(
+    ws: &Workspace,
+    cg: &CallGraph,
+    entry: impl Fn(&WsFile, &FnItem) -> bool,
+) -> Reachable {
+    let mut reached: Reachable = BTreeMap::new();
+    let mut queue: VecDeque<FnKey> = VecDeque::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (gi, f) in file.parsed.fns.iter().enumerate() {
+            if !f.is_test && entry(file, f) {
+                reached.insert((fi, gi), vec![f.name.clone()]);
+                queue.push_back((fi, gi));
+            }
+        }
+    }
+    while let Some(key) = queue.pop_front() {
+        let chain = reached.get(&key).cloned().unwrap_or_default();
+        for name in &cg.calls[key.0][key.1] {
+            let Some(targets) = cg.by_name.get(name) else {
+                continue;
+            };
+            for &t in targets {
+                if let std::collections::btree_map::Entry::Vacant(e) = reached.entry(t) {
+                    let mut c = chain.clone();
+                    c.push(ws.item(t).name.clone());
+                    e.insert(c);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(path, src)| WsFile {
+                    path: path.to_string(),
+                    src: src.to_string(),
+                    parsed: parse_source(src),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn direct_method_and_turbofish_calls_are_edges() {
+        let ws = ws_of(&[(
+            "a.rs",
+            "fn solve(x: &S) { helper(); x.step(); parse::<u64>(\"1\"); }\nfn helper() {}\nfn step(&self) {}\nfn parse(s: &str) -> u64 { 0 }",
+        )]);
+        let cg = build(&ws);
+        assert_eq!(cg.calls[0][0], ["helper", "parse", "step"]);
+    }
+
+    #[test]
+    fn macros_are_not_call_edges_but_their_args_are() {
+        let ws = ws_of(&[(
+            "a.rs",
+            "fn solve() { assert_eq!(helper(), 1); vec![other()]; }\nfn helper() -> u8 { 1 }\nfn other() -> u8 { 2 }",
+        )]);
+        let cg = build(&ws);
+        assert_eq!(cg.calls[0][0], ["helper", "other"]);
+    }
+
+    #[test]
+    fn reachability_crosses_files_and_records_chains() {
+        let ws = ws_of(&[
+            ("a.rs", "pub fn solve() { middle(); }"),
+            (
+                "b.rs",
+                "pub fn middle() { leaf(); }\npub fn leaf() {}\npub fn unrelated() {}",
+            ),
+        ]);
+        let cg = build(&ws);
+        let reach = reachable(&ws, &cg, |_, f| f.name.starts_with("solve"));
+        let names: Vec<&str> = reach.keys().map(|&k| ws.item(k).name.as_str()).collect();
+        assert!(names.contains(&"solve"));
+        assert!(names.contains(&"middle"));
+        assert!(names.contains(&"leaf"));
+        assert!(!names.contains(&"unrelated"));
+        let leaf_key = *reach
+            .keys()
+            .find(|&&k| ws.item(k).name == "leaf")
+            .expect("leaf reached");
+        assert_eq!(reach[&leaf_key], ["solve", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn test_fns_are_neither_entries_nor_targets() {
+        let ws = ws_of(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests {\n    fn solve_fake() { buried(); }\n}\npub fn buried() {}\npub fn solve_real() {}",
+        )]);
+        let cg = build(&ws);
+        let reach = reachable(&ws, &cg, |_, f| f.name.starts_with("solve"));
+        let names: Vec<&str> = reach.keys().map(|&k| ws.item(k).name.as_str()).collect();
+        assert_eq!(names, ["solve_real"]);
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_nested_fn() {
+        let ws = ws_of(&[(
+            "a.rs",
+            "pub fn outer() {\n    fn inner() { leaf(); }\n    other();\n}\npub fn leaf() {}\npub fn other() {}",
+        )]);
+        let cg = build(&ws);
+        // outer calls other (and nothing from inner's body).
+        assert_eq!(cg.calls[0][0], ["other"]);
+        assert_eq!(cg.calls[0][1], ["leaf"]);
+    }
+}

@@ -17,6 +17,17 @@ use crate::allowlist::{self, AllowEntry};
 use crate::scan::scan_lines;
 use std::path::{Path, PathBuf};
 
+/// The six classic lint families (used with [`crate::analyze::FAMILIES`]
+/// to scope allowlist staleness to the families actually run).
+pub const CLASSIC_FAMILIES: &[&str] = &[
+    "unit-safety",
+    "panic-freedom",
+    "fault-strict",
+    "bench-registration",
+    "hot-path",
+    "hygiene",
+];
+
 /// One lint violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -112,20 +123,9 @@ const NUMERIC_TYPES: &[&str] = &[
     "f64",
 ];
 
-/// Runs every lint from `root` (the workspace root), applying the
-/// allowlist at `root/lint.allow.toml` if present. Returns the surviving
-/// findings, or an error string for infrastructure problems (unreadable
-/// files, malformed allowlist).
-pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
-    let allow_path = root.join("lint.allow.toml");
-    let entries = if allow_path.exists() {
-        let text = std::fs::read_to_string(&allow_path)
-            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
-        allowlist::parse(&text).map_err(|e| format!("lint.allow.toml: {e}"))?
-    } else {
-        Vec::new()
-    };
-
+/// Runs the six classic lints from `root`, pre-allowlist. Callers apply
+/// [`crate::allowlist::apply`].
+pub fn run_classic(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
     unit_safety(root, &mut findings)?;
     panic_freedom(root, &mut findings)?;
@@ -133,44 +133,41 @@ pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
     bench_registration(root, &mut findings)?;
     hot_path(root, &mut findings)?;
     hygiene(root, &mut findings)?;
-
-    let mut used = vec![false; entries.len()];
-    findings.retain(|f| {
-        let hit = entries.iter().position(|e| allows(e, f));
-        if let Some(i) = hit {
-            used[i] = true;
-        }
-        hit.is_none()
-    });
-    for (entry, used) in entries.iter().zip(&used) {
-        if !used {
-            findings.push(Finding {
-                lint: "allowlist",
-                path: "lint.allow.toml".into(),
-                line: entry.line,
-                message: format!(
-                    "stale entry: no `{}` finding in `{}` contains `{}` — delete it or fix the pattern",
-                    entry.lint, entry.path, entry.contains
-                ),
-                raw: String::new(),
-            });
-        }
-    }
-    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
     Ok(findings)
 }
 
-fn allows(entry: &AllowEntry, finding: &Finding) -> bool {
-    entry.lint == finding.lint
-        && entry.path == finding.path
-        && finding.raw.contains(&entry.contains)
+/// Surviving findings, parsed allowlist entries, and the indices of
+/// stale entries (for `lint --fix-allowlist`).
+pub type LintOutcome = (Vec<Finding>, Vec<AllowEntry>, Vec<usize>);
+
+/// Runs every lint family from `root` (the workspace root) — the six
+/// classic families plus the three analyze families — applying the
+/// allowlist at `root/lint.allow.toml` if present. Returns a
+/// [`LintOutcome`], or an error string for infrastructure problems
+/// (unreadable files, malformed allowlist).
+pub fn run_all(root: &Path) -> Result<LintOutcome, String> {
+    let entries = allowlist::load(root)?;
+    let mut findings = run_classic(root)?;
+    findings.extend(crate::analyze::run(root)?.findings);
+    let mut families: Vec<&str> = CLASSIC_FAMILIES.to_vec();
+    families.extend_from_slice(crate::analyze::FAMILIES);
+    let stale = allowlist::apply(root, &entries, &families, &mut findings);
+    findings.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok((findings, entries, stale))
+}
+
+/// [`run_all`] without the allowlist bookkeeping — the surviving
+/// findings only.
+#[cfg(test)]
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    run_all(root).map(|(findings, _, _)| findings)
 }
 
 /// Recursively collects `.rs` files under `dir` (or the file itself),
 /// sorted for deterministic output. A missing path yields no files: lint
 /// scopes name paths that may not exist in every tree (self-test trees,
 /// future crate removals).
-fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+pub(crate) fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut out = Vec::new();
     if dir.is_file() {
         out.push(dir.to_path_buf());
@@ -197,7 +194,7 @@ fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(out)
 }
 
-fn rel(root: &Path, path: &Path) -> String {
+pub(crate) fn rel(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .components()
@@ -206,7 +203,7 @@ fn rel(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-fn read(path: &Path) -> Result<String, String> {
+pub(crate) fn read(path: &Path) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
 }
 
@@ -364,67 +361,63 @@ fn hot_path(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
     for scope in HOT_PATH_SCOPE {
         for file in rust_files(&root.join(scope))? {
             let text = read(&file)?;
-            // `armed` = a `fn compute_*` signature was seen and its body
-            // brace is still ahead; `depth` = brace depth inside the body.
-            // scan_lines blanks strings/comments, so brace counting on
-            // `code` cannot be fooled by literals.
-            let mut armed = false;
-            let mut depth = 0usize;
-            let mut kernel = String::new();
-            for line in scan_lines(&text) {
-                if !armed && depth == 0 {
-                    if let Some(pos) = line.code.find("fn compute_") {
-                        armed = true;
-                        kernel = line.code[pos + 3..]
-                            .chars()
-                            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                            .collect();
-                    }
+            let parsed = crate::parser::parse_source(&text);
+            let lines = scan_lines(&text);
+            let line_of = |byte: usize| -> usize {
+                1 + text.as_bytes()[..byte.min(text.len())]
+                    .iter()
+                    .filter(|&&b| b == b'\n')
+                    .count()
+            };
+            // One finding per (line, pattern): a compute kernel nested
+            // inside another compute kernel is scanned once.
+            let mut seen: std::collections::BTreeSet<(usize, &str)> =
+                std::collections::BTreeSet::new();
+            for f in &parsed.fns {
+                if f.is_test || !f.name.starts_with("compute_") {
+                    continue;
                 }
-                if armed || depth > 0 {
+                // A bodyless trait declaration has nothing to scan.
+                let Some((_, close)) = f.body else {
+                    continue;
+                };
+                let end_line = line_of(parsed.code[close].start);
+                for line in lines
+                    .iter()
+                    .filter(|l| l.number >= f.line as usize && l.number <= end_line)
+                {
                     for pattern in HOT_PATH_PATTERNS {
-                        if line.code.contains(pattern) {
+                        if line.code.contains(pattern) && seen.insert((line.number, pattern)) {
                             findings.push(Finding {
                                 lint: "hot-path",
                                 path: rel(root, &file),
                                 line: line.number,
                                 message: format!(
                                     "heap allocation `{pattern}…` inside hot-path kernel \
-                                     `{kernel}`; use the caller-provided scratch buffers \
+                                     `{}`; use the caller-provided scratch buffers \
                                      (ComputeScratch, compute_xnor_packed/plane) — the \
-                                     scalar reference path is excused via lint.allow.toml"
+                                     scalar reference path is excused via lint.allow.toml",
+                                    f.name
                                 ),
                                 raw: line.raw.clone(),
                             });
                         }
                     }
                     for pattern in INSTRUMENTATION_PATTERNS {
-                        if line.code.contains(pattern) {
+                        if line.code.contains(pattern) && seen.insert((line.number, pattern)) {
                             findings.push(Finding {
                                 lint: "hot-path",
                                 path: rel(root, &file),
                                 line: line.number,
                                 message: format!(
                                     "instrumentation `{pattern}…` inside hot-path kernel \
-                                     `{kernel}`; the metrics layer is harvest-based — \
+                                     `{}`; the metrics layer is harvest-based — \
                                      accumulate into the plain counter structs and export \
-                                     to the registry after the sweep"
+                                     to the registry after the sweep",
+                                    f.name
                                 ),
                                 raw: line.raw.clone(),
                             });
-                        }
-                    }
-                    for b in line.code.bytes() {
-                        match b {
-                            b'{' => {
-                                depth += 1;
-                                armed = false;
-                            }
-                            b'}' => depth = depth.saturating_sub(1),
-                            // A `;` at depth 0 ends a bodyless trait
-                            // declaration — nothing to scan.
-                            b';' if depth == 0 => armed = false,
-                            _ => {}
                         }
                     }
                 }

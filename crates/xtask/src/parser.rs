@@ -1,0 +1,437 @@
+//! Item-level parser over the [`crate::lexer`] token stream.
+//!
+//! Recovers exactly what the static-analysis lints need — no more:
+//!
+//! * every `fn` item with its name, signature extent, and body extent
+//!   as *token-index ranges* (so downstream passes walk tokens, not
+//!   re-scanned text);
+//! * which items are test code (`#[cfg(test)]` / `#[test]`, inherited
+//!   by nesting), as both a per-fn flag and byte spans for the line
+//!   model in [`crate::scan`];
+//! * proper delimiter tracking, so `;` inside `[u8; 4]`, braces inside
+//!   match arms, and fn-pointer types (`fn(` with no name) never
+//!   confuse item recovery.
+//!
+//! Known approximations, accepted deliberately (documented in
+//! DESIGN.md): const-generic default braces in signatures
+//! (`fn f<const N: usize = {16}>`) would be taken for a body start,
+//! and `#[cfg(any(test, feature = "…"))]` counts as test code. Neither
+//! construct appears in this workspace; the golden tests pin the
+//! behaviors that do.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (`solve_detailed`, `compute_tuple`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the `fn` keyword in [`ParsedFile::code`].
+    pub sig_start: usize,
+    /// Indices of the body's `{` and matching `}` in
+    /// [`ParsedFile::code`], inclusive. `None` for bodyless trait/extern
+    /// declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the fn is test code: `#[test]`, `#[cfg(test)]`, or
+    /// nested anywhere under a `#[cfg(test)]` item.
+    pub is_test: bool,
+    /// First line of the signature text, trimmed — diagnostics and
+    /// allowlist `contains` patterns match against this.
+    pub signature: String,
+}
+
+/// A parsed source file: comment-free tokens plus recovered items.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// The code tokens (comments filtered out), in source order.
+    pub code: Vec<Token>,
+    /// Every `fn` item, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// Byte spans (opening `{` to closing `}`, inclusive) of items that
+    /// are test code roots — the extents [`crate::scan`] skips.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+/// One open delimiter on the parse stack.
+struct Scope {
+    delim: u8,
+    /// Test-code flag for everything inside this scope.
+    test: bool,
+    /// True when this scope made `test` newly true (a test *root*).
+    test_root: bool,
+    /// Byte offset of the opening delimiter (for test span recording).
+    open_byte: usize,
+    /// Token index of the opening delimiter in `code`.
+    open_k: usize,
+    /// `Some(fn index)` when this brace is a fn body.
+    open_fn: Option<usize>,
+}
+
+/// True for identifiers that are Rust keywords — excluded when deciding
+/// whether an `ident(` sequence is a call, or whether `ident[` is an
+/// index expression.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Lexes and parses `src`. Never panics; item recovery degrades
+/// gracefully on malformed input (unclosed delimiters simply leave
+/// items bodyless or spans open-ended).
+pub fn parse_source(src: &str) -> ParsedFile {
+    let code: Vec<Token> = lex(src).into_iter().filter(Token::is_code).collect();
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut test_spans: Vec<(usize, usize)> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Attribute state: a `#[…]` group containing `test` (and not `not`)
+    // marks the next item as test code.
+    let mut pending_test_attr = false;
+    // A `fn name` seen whose body `{` (or terminating `;`) is pending.
+    let mut pending_fn: Option<usize> = None;
+
+    let cur_test = |scopes: &[Scope]| scopes.last().is_some_and(|s| s.test);
+
+    let mut k = 0usize;
+    while k < code.len() {
+        let tok = code[k];
+        let text = tok.text(src);
+        match tok.kind {
+            TokenKind::Punct if text == "#" => {
+                // Attribute: `#[…]` (outer) or `#![…]` (inner). Consume
+                // the bracket group; only outer attributes mark items.
+                let mut j = k + 1;
+                let inner = code.get(j).is_some_and(|t| t.text(src) == "!");
+                if inner {
+                    j += 1;
+                }
+                if code.get(j).is_some_and(|t| t.text(src) == "[") {
+                    let mut depth = 0usize;
+                    let mut saw_test = false;
+                    let mut saw_not = false;
+                    while j < code.len() {
+                        let t = code[j].text(src);
+                        match t {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" => saw_test = true,
+                            "not" => saw_not = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if !inner && saw_test && !saw_not {
+                        pending_test_attr = true;
+                    }
+                    k = j + 1;
+                    continue;
+                }
+            }
+            TokenKind::Ident if text == "fn" => {
+                // An item fn has a name; `fn(`/`Fn(` pointer types don't.
+                if let Some(name_tok) = code.get(k + 1) {
+                    if name_tok.kind == TokenKind::Ident && !is_keyword(name_tok.text(src)) {
+                        let is_test = cur_test(&scopes) || pending_test_attr;
+                        pending_test_attr = false;
+                        // Extend the signature back over visibility and
+                        // qualifier tokens: `pub(crate) const unsafe
+                        // extern "C" fn …`.
+                        let mut sig_start = k;
+                        while sig_start > 0 {
+                            let prev = code[sig_start - 1];
+                            let pt = prev.text(src);
+                            let qualifier = matches!(
+                                pt,
+                                "pub"
+                                    | "const"
+                                    | "async"
+                                    | "unsafe"
+                                    | "extern"
+                                    | "default"
+                                    | "crate"
+                                    | "super"
+                                    | "self"
+                                    | "in"
+                                    | "("
+                                    | ")"
+                            ) || prev.kind == TokenKind::StrLit;
+                            if !qualifier {
+                                break;
+                            }
+                            sig_start -= 1;
+                        }
+                        fns.push(FnItem {
+                            name: name_tok.text(src).trim_start_matches("r#").to_string(),
+                            line: code[sig_start].line,
+                            sig_start,
+                            body: None,
+                            is_test,
+                            signature: String::new(),
+                        });
+                        pending_fn = Some(fns.len() - 1);
+                    }
+                }
+            }
+            TokenKind::Punct if text == "{" || text == "(" || text == "[" => {
+                let delim = text.as_bytes()[0];
+                let in_sig_group = matches!(scopes.last(), Some(s) if s.delim != b'{');
+                let mut open_fn = None;
+                let mut test = cur_test(&scopes);
+                let mut test_root = false;
+                if delim == b'{' && !in_sig_group {
+                    if let Some(idx) = pending_fn.take() {
+                        // This brace opens the pending fn's body.
+                        open_fn = Some(idx);
+                        let sig_span = src
+                            .get(code[fns[idx].sig_start].start..tok.start)
+                            .unwrap_or("");
+                        fns[idx].signature =
+                            sig_span.lines().next().unwrap_or("").trim().to_string();
+                        if fns[idx].is_test && !test {
+                            test = true;
+                            test_root = true;
+                        }
+                    } else if pending_test_attr && !test {
+                        // `#[cfg(test)] mod tests {`, test-only impl, …
+                        test = true;
+                        test_root = true;
+                    }
+                    pending_test_attr = false;
+                }
+                scopes.push(Scope {
+                    delim,
+                    test,
+                    test_root,
+                    open_byte: tok.start,
+                    open_k: k,
+                    open_fn,
+                });
+            }
+            TokenKind::Punct if text == "}" || text == ")" || text == "]" => {
+                let want = match text.as_bytes()[0] {
+                    b'}' => b'{',
+                    b')' => b'(',
+                    _ => b'[',
+                };
+                // Pop to the matching opener; tolerate mismatches from
+                // malformed input by popping at most the innermost.
+                if let Some(pos) = scopes.iter().rposition(|s| s.delim == want) {
+                    let closed: Vec<Scope> = scopes.drain(pos..).collect();
+                    for s in closed {
+                        if let Some(idx) = s.open_fn {
+                            fns[idx].body = Some((s.open_k, k));
+                        }
+                        if s.test_root {
+                            test_spans.push((s.open_byte, tok.end));
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct if text == ";" => {
+                let in_sig_group = matches!(scopes.last(), Some(s) if s.delim != b'{');
+                if !in_sig_group {
+                    // Bodyless fn declaration, or an attribute consumed
+                    // by a non-item statement (`#[cfg(test)] use …;`).
+                    if let Some(idx) = pending_fn.take() {
+                        let sig_span = src
+                            .get(code[fns[idx].sig_start].start..tok.start)
+                            .unwrap_or("");
+                        fns[idx].signature =
+                            sig_span.lines().next().unwrap_or("").trim().to_string();
+                    }
+                    pending_test_attr = false;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Unterminated scopes at EOF: close any open test roots and fn
+    // bodies at the end of input so spans stay usable.
+    for s in scopes.drain(..).rev() {
+        if let Some(idx) = s.open_fn {
+            fns[idx].body = Some((s.open_k, code.len().saturating_sub(1).max(s.open_k)));
+        }
+        if s.test_root {
+            test_spans.push((s.open_byte, src.len()));
+        }
+    }
+    ParsedFile {
+        code,
+        fns,
+        test_spans,
+    }
+}
+
+impl ParsedFile {
+    /// Indices (into [`ParsedFile::fns`]) of fns whose body lies
+    /// strictly inside `outer`'s body — used to attribute nested fns'
+    /// tokens to the nested fn, not the parent.
+    pub fn nested_fns(&self, outer: usize) -> Vec<usize> {
+        let Some((o0, o1)) = self.fns[outer].body else {
+            return Vec::new();
+        };
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| *i != outer && f.body.is_some_and(|(b0, b1)| b0 > o0 && b1 < o1))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(p: &ParsedFile) -> Vec<(&str, bool, bool)> {
+        p.fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_test, f.body.is_some()))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_fn_items_and_bodies() {
+        let src = "pub fn a(x: [u8; 4]) -> u8 { x[0] }\nfn b();\nimpl T for S {\n    fn c(&self) { if true { } }\n}";
+        let p = parse_source(src);
+        assert_eq!(
+            names(&p),
+            [("a", false, true), ("b", false, false), ("c", false, true)]
+        );
+        assert_eq!(p.fns[0].signature, "pub fn a(x: [u8; 4]) -> u8");
+        // `;` inside `[u8; 4]` did not end item `a` early.
+        let (b0, b1) = p.fns[0].body.expect("a has a body");
+        assert!(b1 > b0);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn apply(f: fn(u8) -> u8, g: impl Fn() -> u8) -> u8 { f(g()) }";
+        let p = parse_source(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_spans() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { lib(); }\n}\nfn lib2() {}";
+        let p = parse_source(src);
+        assert_eq!(
+            names(&p),
+            [
+                ("lib", false, true),
+                ("t", true, true),
+                ("lib2", false, true)
+            ]
+        );
+        assert_eq!(p.test_spans.len(), 1, "one test root: the mod");
+        let (s, e) = p.test_spans[0];
+        let span = &src[s..e];
+        assert!(span.starts_with('{') && span.ends_with('}'), "{span:?}");
+        assert!(span.contains("fn t"));
+    }
+
+    #[test]
+    fn test_attr_without_cfg_mod_marks_fn() {
+        let src = "#[test]\nfn standalone() { assert!(true); }\nfn lib() {}";
+        let p = parse_source(src);
+        assert_eq!(
+            names(&p),
+            [("standalone", true, true), ("lib", false, true)]
+        );
+        assert_eq!(p.test_spans.len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn shipping() {}\nfn lib() {}";
+        let p = parse_source(src);
+        assert_eq!(names(&p), [("shipping", false, true), ("lib", false, true)]);
+        assert!(p.test_spans.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_are_attributed() {
+        let src = "fn outer() {\n    fn inner(v: &[u8]) -> u8 { v[1] }\n    inner(&[2])\n}";
+        let p = parse_source(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.nested_fns(0), vec![1]);
+        assert!(p.nested_fns(1).is_empty());
+    }
+
+    #[test]
+    fn match_arms_and_struct_literals_do_not_confuse_bodies() {
+        let src = "fn f(x: u8) -> P { match x { 0 => P { a: 1 }, _ => P { a: 2 } } }\nfn g() {}";
+        let p = parse_source(src);
+        assert_eq!(names(&p), [("f", false, true), ("g", false, true)]);
+        let (b0, b1) = p.fns[0].body.expect("f has a body");
+        // The body spans the whole match, not just the first brace pair.
+        assert!(p.code[b1].start > p.code[b0].start + 10);
+    }
+
+    #[test]
+    fn raw_identifier_fns_are_named_without_prefix() {
+        let src = "fn r#loop() {}";
+        let p = parse_source(src);
+        assert_eq!(p.fns[0].name, "loop");
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn f( {",
+            "}}}",
+            "fn",
+            "#[cfg(test)]",
+            "fn f() { let x = \"unterminated",
+            "#[cfg(test)] mod t { fn u() {",
+        ] {
+            let _ = parse_source(src);
+        }
+    }
+}

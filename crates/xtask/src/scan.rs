@@ -1,13 +1,23 @@
-//! AST-lite source model shared by the lints.
+//! Line-model adapter over the token-level lexer and item parser.
 //!
-//! The lints need three things a plain `grep` cannot give: (1) comment
-//! and string-literal contents must not trigger findings, (2) code inside
-//! `#[cfg(test)]` modules is exempt from library-code lints, and (3)
-//! findings must carry the *original* line text for allowlist matching
-//! and diagnostics. [`scan_lines`] provides exactly that: it walks a file
-//! once, strips comments and string literals with a small state machine,
-//! tracks brace depth to skip `#[cfg(test)]` modules, and yields one
-//! [`CodeLine`] per non-test source line.
+//! The six classic lints pattern-match against *lines* of library
+//! code. This module derives that line model from [`crate::lexer`]
+//! tokens and [`crate::parser`] item recovery instead of the per-line
+//! state machine it used before: comment extents, string-literal
+//! contents, and `#[cfg(test)]` item bodies now come from the same
+//! lexer/parser the analyze families use, so the two layers can never
+//! disagree about what is code.
+//!
+//! Scrub rules (unchanged semantics from the original line scanner):
+//! line comments are dropped to end of line; block comments, raw
+//! strings, and char literals are blanked to spaces; ordinary string
+//! literals keep their delimiting quotes with blanked contents;
+//! everything else passes through byte-for-byte. Lines inside
+//! `#[cfg(test)]` item bodies (from the opening `{` line through the
+//! closing `}` line) are omitted entirely.
+
+use crate::lexer::TokenKind;
+use crate::parser::parse_source;
 
 /// One line of library (non-test) code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,179 +31,95 @@ pub struct CodeLine {
     pub raw: String,
 }
 
-/// Lexer state carried across lines.
-#[derive(Debug, Default)]
-struct LexState {
-    in_block_comment: bool,
-    /// `Some(hash_count)` while inside a raw string (`r"…"`, `r#"…"#`).
-    in_raw_string: Option<usize>,
-    in_string: bool,
+/// Per-byte scrub action derived from the token stream.
+#[derive(Clone, Copy, PartialEq)]
+enum Action {
+    Keep,
+    Space,
+    Drop,
 }
 
-/// Blanks comments and string-literal contents from `line`, updating
-/// `state` for constructs that span lines. Returns the scrubbed text.
-fn scrub_line(line: &str, state: &mut LexState) -> String {
-    let bytes = line.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if state.in_block_comment {
-            if bytes[i..].starts_with(b"*/") {
-                state.in_block_comment = false;
-                out.extend_from_slice(b"  ");
-                i += 2;
-            } else {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        if let Some(hashes) = state.in_raw_string {
-            let closer: Vec<u8> = std::iter::once(b'"')
-                .chain(std::iter::repeat_n(b'#', hashes))
-                .collect();
-            if bytes[i..].starts_with(&closer) {
-                state.in_raw_string = None;
-                out.extend(std::iter::repeat_n(b' ', closer.len()));
-                i += closer.len();
-            } else {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        if state.in_string {
-            match bytes[i] {
-                b'\\' if i + 1 < bytes.len() => {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                b'"' => {
-                    state.in_string = false;
-                    out.push(b'"');
-                    i += 1;
-                }
-                _ => {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if bytes[i..].starts_with(b"//") => break, // line comment
-            b'/' if bytes[i..].starts_with(b"/*") => {
-                state.in_block_comment = true;
-                out.extend_from_slice(b"  ");
-                i += 2;
-            }
-            b'r' if is_raw_string_start(bytes, i) => {
-                let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
-                state.in_raw_string = Some(hashes);
-                out.extend(std::iter::repeat_n(b' ', hashes + 2));
-                i += hashes + 2;
-            }
-            b'"' => {
-                state.in_string = true;
-                out.push(b'"');
-                i += 1;
-            }
-            b'\'' if is_char_literal(bytes, i) => {
-                // Blank char literals ('"' would otherwise open a string).
-                let len = char_literal_len(bytes, i);
-                out.extend(std::iter::repeat_n(b' ', len));
-                i += len;
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    // Unterminated ordinary string literals do not span lines in valid
-    // Rust unless continued with a trailing backslash; treat end-of-line
-    // as terminating to stay robust on that rare construct.
-    if state.in_string && !line.trim_end().ends_with('\\') {
-        state.in_string = false;
-    }
-    String::from_utf8(out).unwrap_or_default()
-}
-
-/// True if position `i` starts a raw string literal (`r"`, `r#"`, …) and
-/// is not part of an identifier like `for` or a lifetime.
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    if i > 0 {
-        let prev = bytes[i - 1];
-        if prev.is_ascii_alphanumeric() || prev == b'_' {
-            return false;
-        }
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-/// True if position `i` starts a character literal rather than a lifetime.
-fn is_char_literal(bytes: &[u8], i: usize) -> bool {
-    // 'x' or '\x' — a closing quote within 3 bytes distinguishes a char
-    // literal from a lifetime such as `'static`.
-    let rest = &bytes[i + 1..];
-    match rest {
-        [b'\\', _, b'\'', ..] => true,
-        [c, b'\'', ..] if *c != b'\'' => true,
-        _ => false,
-    }
-}
-
-/// Byte length of the char literal starting at `i` (only called when
-/// [`is_char_literal`] holds).
-fn char_literal_len(bytes: &[u8], i: usize) -> usize {
-    if bytes.get(i + 1) == Some(&b'\\') {
-        4
-    } else {
-        3
-    }
-}
-
-/// Scans `source`, yielding scrubbed library lines. Lines inside
-/// `#[cfg(test)]`-attributed items (test modules, test-only impls) are
-/// skipped: when the attribute is seen, the scanner waits for the item's
-/// opening `{` and swallows everything until its matching `}`.
+/// Scans `source`, yielding scrubbed library lines (test-item bodies
+/// omitted). Built on the real lexer: raw strings, nested block
+/// comments, char-vs-lifetime, and multi-line literals are handled by
+/// construction.
 pub fn scan_lines(source: &str) -> Vec<CodeLine> {
-    let mut state = LexState::default();
-    let mut out = Vec::new();
-    let mut pending_cfg_test = false;
-    // Depth of `{` nesting at which a cfg(test) item began, once entered.
-    let mut skip_from_depth: Option<usize> = None;
-    let mut depth: usize = 0;
-    for (idx, raw) in source.lines().enumerate() {
-        let code = scrub_line(raw, &mut state);
-        let opens = code.bytes().filter(|&b| b == b'{').count();
-        let closes = code.bytes().filter(|&b| b == b'}').count();
-
-        if skip_from_depth.is_none() && code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        let in_skipped = skip_from_depth.is_some();
-        if pending_cfg_test && opens > 0 {
-            skip_from_depth = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        depth = depth + opens - closes.min(depth + opens);
-        if let Some(base) = skip_from_depth {
-            if depth <= base {
-                skip_from_depth = None;
+    let parsed = parse_source(source);
+    let bytes = source.as_bytes();
+    let mut actions = vec![Action::Keep; bytes.len()];
+    for tok in crate::lexer::lex(source) {
+        let span = tok.start..tok.end.min(bytes.len());
+        match tok.kind {
+            TokenKind::LineComment => {
+                for a in &mut actions[span] {
+                    *a = Action::Drop;
+                }
             }
+            TokenKind::BlockComment | TokenKind::RawStrLit | TokenKind::CharLit => {
+                for a in &mut actions[span] {
+                    *a = Action::Space;
+                }
+            }
+            TokenKind::StrLit => {
+                // Keep the opening prefix+quote (`"`, `b"`) and the
+                // closing quote; blank the contents.
+                let text = tok.text(source);
+                let open = text.find('"').map(|q| tok.start + q).unwrap_or(tok.start);
+                let terminated = text.len() >= open - tok.start + 2 && text.ends_with('"');
+                for (i, a) in actions[span].iter_mut().enumerate() {
+                    let pos = tok.start + i;
+                    let is_open = pos <= open;
+                    let is_close = terminated && pos == tok.end - 1;
+                    *a = if is_open || is_close {
+                        Action::Keep
+                    } else {
+                        Action::Space
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    // Newlines always survive so the line structure is preserved.
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'\n' {
+            actions[i] = Action::Keep;
+        }
+    }
+
+    // Line ranges covered by test-item bodies: skip from the opening
+    // `{` line through the closing `}` line.
+    let line_of = |byte: usize| -> usize {
+        1 + bytes[..byte.min(bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    };
+    let skip_ranges: Vec<(usize, usize)> = parsed
+        .test_spans
+        .iter()
+        .map(|&(s, e)| (line_of(s), line_of(e.saturating_sub(1))))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let start = offset;
+        offset += raw.len() + 1; // +1 for the newline (absent on last line is harmless)
+        if skip_ranges.iter().any(|&(s, e)| number >= s && number <= e) {
             continue;
         }
-        if in_skipped {
-            continue;
+        let mut code = String::with_capacity(raw.len());
+        for (i, &b) in raw.as_bytes().iter().enumerate() {
+            match actions.get(start + i).copied().unwrap_or(Action::Keep) {
+                Action::Keep => code.push(b as char),
+                Action::Space => code.push(' '),
+                Action::Drop => {}
+            }
         }
         out.push(CodeLine {
-            number: idx + 1,
+            number,
             code,
             raw: raw.to_string(),
         });
@@ -274,5 +200,27 @@ mod tests {
             .join("\n");
         assert!(!joined.contains("y.unwrap()"));
         assert!(joined.contains("z.unwrap()"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked_across_lines() {
+        // The old per-line scanner reset string state at end of line;
+        // the lexer-backed model tracks the literal's true extent.
+        let src = "let s = \"spans\nlines .unwrap()\";\nlet t = x.unwrap();";
+        let got = codes(src);
+        assert!(!got[1].contains("unwrap"), "{got:?}");
+        assert!(got[2].contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn test_only_impl_blocks_are_skipped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nimpl Helper {\n    fn h(&self) { panic!(\"x\"); }\n}\nfn lib3() {}";
+        let joined: String = scan_lines(src)
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!joined.contains("panic!"));
+        assert!(joined.contains("fn lib3"));
     }
 }
