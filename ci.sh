@@ -62,4 +62,15 @@ cargo run -q -p sachi-cli --bin sachi -- \
   solve --cop md --size 64 --restarts 2 --metrics json --trace-phases \
   | cargo run -q -p xtask -- validate-metrics
 
+# Solution-quality gate: the one-cell-per-family smoke subset of the
+# seeded corpus (3-SAT, coloring, scheduling) must stay within the
+# stated tolerances of the committed BENCH_quality.json, and the
+# committed baseline itself must pass sachi.quality.v1 schema + the
+# three-families x four-designs coverage check.
+echo "==> disc_quality --smoke"
+cargo run -q -p sachi-bench --bin disc_quality -- --smoke
+
+echo "==> xtask validate-quality BENCH_quality.json"
+cargo run -q -p xtask -- validate-quality BENCH_quality.json
+
 echo "ci: all gates passed"

@@ -1,0 +1,115 @@
+//! Solution-quality regression harness over the seeded workload corpus
+//! (3-SAT, graph coloring, job scheduling) × all four stationarity
+//! designs.
+//!
+//! Full run: solve every corpus cell on every design, print the
+//! best-energy-vs-cycles table, compare against the committed
+//! `BENCH_quality.json` (all rows required), and refuse to overwrite
+//! the baseline on regression (exit 1). A clean run rewrites the
+//! baseline. `--force` skips the comparison for intentional
+//! rebaselines (new cells, retuned schedules) — the diff is then the
+//! review surface.
+//!
+//! `--smoke` (CI): solve only the one-cell-per-family smoke subset with
+//! the identical solve parameters and compare; never writes. Exit 1 on
+//! any regression, exit 2 when the committed baseline is missing or
+//! malformed.
+
+use sachi_bench::quality::{compare, parse_report, run_cell, write_report, Tolerance};
+use sachi_bench::{section, Table};
+use sachi_core::prelude::*;
+use sachi_workloads::prelude::*;
+
+const BASELINE: &str = "BENCH_quality.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let force = args.iter().any(|a| a == "--force");
+
+    let cases = if smoke { smoke_corpus() } else { corpus() };
+    section(if smoke {
+        "quality corpus (smoke subset)"
+    } else {
+        "quality corpus (full)"
+    });
+
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "cell", "family", "design", "spins", "energy", "cycles", "accuracy", "metric",
+    ]);
+    for case in &cases {
+        for design in DesignKind::ALL {
+            let row = run_cell(case, design);
+            table.row([
+                row.id.clone(),
+                row.family.clone(),
+                row.design.clone(),
+                row.spins.to_string(),
+                row.best_energy.to_string(),
+                row.total_cycles.to_string(),
+                format!("{:.4}", row.accuracy),
+                format!("{} {}", row.domain_metric, row.domain_unit),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    if smoke {
+        let text = match std::fs::read_to_string(BASELINE) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {BASELINE}: {e} (run the full bench to create it)");
+                std::process::exit(2);
+            }
+        };
+        let baseline = match parse_report(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{BASELINE}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let regressions = compare(&baseline, &rows, Tolerance::default(), false);
+        if !regressions.is_empty() {
+            eprintln!("\nquality regressions against {BASELINE}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "\nsmoke: {} cells x {} designs within tolerance of {BASELINE}",
+            cases.len(),
+            DesignKind::ALL.len()
+        );
+        return;
+    }
+
+    if !force {
+        if let Ok(text) = std::fs::read_to_string(BASELINE) {
+            match parse_report(&text) {
+                Ok(baseline) => {
+                    let regressions = compare(&baseline, &rows, Tolerance::default(), true);
+                    if !regressions.is_empty() {
+                        eprintln!("\nquality regressions against {BASELINE} (not overwritten):");
+                        for r in &regressions {
+                            eprintln!("  {r}");
+                        }
+                        eprintln!("rerun with --force to rebaseline intentionally");
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => eprintln!("ignoring malformed {BASELINE}: {e}"),
+            }
+        }
+    }
+    std::fs::write(BASELINE, write_report(&rows)).expect("write BENCH_quality.json");
+    println!(
+        "\nwrote {BASELINE}: {} rows ({} cells x {} designs)",
+        rows.len(),
+        cases.len(),
+        DesignKind::ALL.len()
+    );
+}

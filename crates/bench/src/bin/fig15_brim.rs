@@ -51,6 +51,9 @@ fn instance_graph(kind: CopKind) -> (IsingGraph, String) {
             let w = MolecularDynamics::with_resolution(32, 32, 4, 4);
             (w.graph().clone(), w.name())
         }
+        // Fig. 15 compares the paper's four COPs only; the extension
+        // families (CopKind::EXTENDED tail) are covered by disc_quality.
+        other => unreachable!("fig15 is driven by CopKind::ALL, got {other}"),
     }
 }
 

@@ -30,12 +30,15 @@
 //! | `abl_prefetch` | ablation — prefetcher on/off |
 //! | `abl_update_policy` | ablation — storage-update vs RMW local update |
 //! | `perf_kernels` | perf — scalar vs bit-plane kernel ns/H-compute and ns/sweep (writes `BENCH_perf.json`) |
+//! | `disc_quality` | quality — seeded corpus (SAT/coloring/scheduling) × designs, regression-gated (writes `BENCH_quality.json`) |
 //!
 //! The crate also ships Criterion micro-benchmarks over the hot kernels
 //! (`cargo bench -p sachi-bench`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod quality;
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -42,6 +42,8 @@ pub struct SolveArgs {
     pub file: Option<String>,
     /// Treat `file` as Gset max-cut format.
     pub gset: bool,
+    /// Treat `file` as DIMACS CNF (3-SAT clause-penalty encoding).
+    pub cnf: bool,
     /// Stationarity design.
     pub design: DesignKind,
     /// IC resolution override.
@@ -74,6 +76,7 @@ impl Default for SolveArgs {
             size: 256,
             file: None,
             gset: false,
+            cnf: false,
             design: DesignKind::N3,
             resolution: None,
             seed: 0,
@@ -141,7 +144,12 @@ fn parse_cop(s: &str) -> Result<CopKind, ArgError> {
         "imgseg" | "segmentation" | "image-segmentation" => Ok(CopKind::ImageSegmentation),
         "tsp" | "traveling-salesman" => Ok(CopKind::TravelingSalesman),
         "md" | "molecular-dynamics" => Ok(CopKind::MolecularDynamics),
-        other => Err(err(format!("unknown COP '{other}' (asset|imgseg|tsp|md)"))),
+        "sat" | "3sat" | "3-sat" => Ok(CopKind::SatThree),
+        "coloring" | "color" | "graph-coloring" => Ok(CopKind::GraphColoring),
+        "sched" | "scheduling" | "job-scheduling" => Ok(CopKind::JobScheduling),
+        other => Err(err(format!(
+            "unknown COP '{other}' (asset|imgseg|tsp|md|sat|coloring|sched)"
+        ))),
     }
 }
 
@@ -192,6 +200,7 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                 args.cop = None;
             }
             "--gset" => args.gset = true,
+            "--cnf" => args.cnf = true,
             "--design" => args.design = parse_design(take_value(flag, &mut it)?)?,
             "--resolution" => {
                 args.resolution = Some(
@@ -254,6 +263,12 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
     if args.cop.is_none() && args.file.is_none() {
         return Err(err("need --cop or --file"));
     }
+    if args.gset && args.cnf {
+        return Err(err("--gset and --cnf are mutually exclusive"));
+    }
+    if args.cnf && args.file.is_none() {
+        return Err(err("--cnf needs --file"));
+    }
     Ok(args)
 }
 
@@ -314,7 +329,8 @@ pub const USAGE: &str = "\
 sachi — stationarity-aware, all-digital, near-memory Ising architecture simulator
 
 USAGE:
-  sachi solve    [--cop asset|imgseg|tsp|md] [--size N] [--file PATH [--gset]]
+  sachi solve    [--cop asset|imgseg|tsp|md|sat|coloring|sched] [--size N]
+                 [--file PATH [--gset|--cnf]]
                  [--design n1a|n1b|n2|n3] [--resolution R] [--seed S]
                  [--restarts K] [--threads T] [--hierarchy default|desktop|server]
                  [--fault-ber P] [--fault-seed S] [--fault-policy failfast|retry|retry:N]
@@ -329,7 +345,13 @@ USAGE:
                   the sachi.metrics.v1 schema, prom is Prometheus text
                   exposition; --trace-phases adds hierarchical
                   upload/round/h_compute/update/writeback/prefetch spans,
-                  metered in solver cycles, to the snapshot)
+                  metered in solver cycles, to the snapshot.
+                  sat/coloring/sched are the seeded Lucas-library
+                  extension families: sat generates a critical-ratio
+                  3-SAT instance over --size variables, coloring a
+                  planted 3-colorable graph on --size vertices, sched a
+                  --size-job schedule on 3 machines; --cnf loads a 3-SAT
+                  instance from a DIMACS CNF file instead)
   sachi compare  <same flags>         run every machine on one problem
   sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
                  [--iterations I] [--hierarchy ...]
@@ -340,6 +362,8 @@ EXAMPLES:
   sachi solve --cop md --size 1024 --design n3 --restarts 4
   sachi solve --cop md --size 1024 --restarts 16 --threads 8
   sachi solve --file g05.gset --gset --design n3
+  sachi solve --cop sat --size 40 --restarts 8
+  sachi solve --file data/example12.cnf --cnf --design n2
   sachi solve --cop md --size 1024 --fault-ber 1e-4 --fault-policy retry:5
   sachi solve --cop md --size 256 --metrics json --trace-phases
   sachi compare --cop imgseg --size 144
@@ -539,8 +563,27 @@ mod tests {
             ("segmentation", CopKind::ImageSegmentation),
             ("traveling-salesman", CopKind::TravelingSalesman),
             ("molecular-dynamics", CopKind::MolecularDynamics),
+            ("sat", CopKind::SatThree),
+            ("3sat", CopKind::SatThree),
+            ("coloring", CopKind::GraphColoring),
+            ("graph-coloring", CopKind::GraphColoring),
+            ("sched", CopKind::JobScheduling),
+            ("job-scheduling", CopKind::JobScheduling),
         ] {
             assert_eq!(parse_cop(alias).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn cnf_flag_rules() {
+        assert!(parse("solve --cnf".split_whitespace()).is_err());
+        assert!(parse("solve --file x.cnf --cnf --gset".split_whitespace()).is_err());
+        match parse("solve --file x.cnf --cnf".split_whitespace()).unwrap() {
+            Command::Solve(a) => {
+                assert!(a.cnf);
+                assert_eq!(a.file.as_deref(), Some("x.cnf"));
+            }
+            other => panic!("wrong command {other:?}"),
         }
     }
 }

@@ -30,6 +30,19 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, SachiError> {
     if let Some(path) = &args.file {
         let text = std::fs::read_to_string(path)
             .map_err(|e| SachiError::Io(format!("cannot read {path}: {e}")))?;
+        if args.cnf {
+            let instance =
+                parse_dimacs_cnf(&text).map_err(|e| SachiError::Parse(format!("{path}: {e}")))?;
+            let w = SatWorkload::new(path.clone(), instance)
+                .map_err(|e| SachiError::Config(format!("{path}: {e}")))?;
+            let name = w.name();
+            let graph = w.graph().clone();
+            return Ok(Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            });
+        }
         let graph = if args.gset {
             parse_gset(&text).map_err(|e| SachiError::Parse(format!("{path}: {e}")))?
         } else {
@@ -92,6 +105,47 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, SachiError> {
         CopKind::MolecularDynamics => {
             let (rows, cols) = near_square(args.size.max(2));
             let w = MolecularDynamics::new(rows, cols, seed);
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
+        }
+        CopKind::SatThree => {
+            // Critical clause ratio m/n ~= 4.3 (the hard regime).
+            let n = args.size.max(5);
+            let m = n.saturating_mul(43) / 10;
+            let instance = SatInstance::random(n, m, seed);
+            let w = SatWorkload::new("generated", instance)
+                .map_err(|e| SachiError::Config(e.to_string()))?;
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
+        }
+        CopKind::GraphColoring => {
+            let n = args.size.max(4);
+            let (instance, _) = ColoringInstance::planted(n, 3, 3_000, seed);
+            let w = ColoringWorkload::new("generated", instance)
+                .map_err(|e| SachiError::Config(e.to_string()))?;
+            let name = w.name();
+            let graph = w.graph().clone();
+            Problem {
+                name,
+                graph,
+                accuracy: Some(Box::new(move |s| w.accuracy(s))),
+            }
+        }
+        CopKind::JobScheduling => {
+            let jobs = args.size.max(4);
+            let instance = SchedulingInstance::random(jobs, 3, 9, seed);
+            let w = SchedulingWorkload::new("generated", instance)
+                .map_err(|e| SachiError::Config(e.to_string()))?;
             let name = w.name();
             let graph = w.graph().clone();
             Problem {

@@ -17,6 +17,16 @@
 //! * [`quantize`] — the shared R-bit IC quantizer (Fig. 19c/d sweeps);
 //! * [`maxcut`] — cut-weight helpers and the greedy reference.
 //!
+//! Beyond the paper's four, the Lucas-library extension families back
+//! the quality-regression corpus:
+//!
+//! * [`sat`] — 3-SAT/max-SAT via clause penalties (one ancilla per
+//!   clause, Boros–Hammer quadratization);
+//! * [`coloring`] — graph k-coloring (one-hot blocks + conflict edges);
+//! * [`scheduling`] — P||Cmax makespan scheduling (one-hot blocks +
+//!   squared machine loads);
+//! * [`corpus`] — the seeded instance corpus behind `disc_quality`.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,6 +46,8 @@
 #![deny(missing_docs)]
 
 pub mod asset;
+pub mod coloring;
+pub mod corpus;
 pub mod encode;
 pub mod generic;
 pub mod lucas;
@@ -43,6 +55,8 @@ pub mod maxcut;
 pub mod molecular;
 pub mod quantize;
 pub mod qubo;
+pub mod sat;
+pub mod scheduling;
 pub mod segmentation;
 pub mod spec;
 pub mod tsp;
@@ -50,6 +64,8 @@ pub mod tsp;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::asset::AssetAllocation;
+    pub use crate::coloring::{ColoringInstance, ColoringWorkload};
+    pub use crate::corpus::{corpus, smoke_corpus, CorpusCase, SplitMix64, CORPUS_MASTER_SEED};
     pub use crate::encode::{checked_coefficient, saturation_count, EncodeError};
     pub use crate::generic::GenericMaxCut;
     pub use crate::lucas::{self, InputGraph};
@@ -57,6 +73,8 @@ pub mod prelude {
     pub use crate::molecular::MolecularDynamics;
     pub use crate::quantize::quantize_to_bits;
     pub use crate::qubo::{QuboBuilder, QuboProblem};
+    pub use crate::sat::{parse_dimacs_cnf, Clause, Lit, SatInstance, SatWorkload};
+    pub use crate::scheduling::{SchedulingInstance, SchedulingWorkload};
     pub use crate::segmentation::{Connectivity, ImageSegmentation};
     pub use crate::spec::{CopKind, Workload, WorkloadShape};
     pub use crate::tsp::{two_opt_tour, TspDecision, TspTour};

@@ -1,0 +1,412 @@
+//! Job scheduling on identical machines (Lucas Sec. 6.3, P||Cmax as a
+//! QUBO; paper Sec. VII workload library extension).
+//!
+//! One-hot encoding: spin `x_{j,α}` means "job `j` runs on machine `α`".
+//! Minimizing the makespan is NP-hard; the standard Ising relaxation
+//! minimizes the *sum of squared machine loads*, whose minimum over
+//! valid assignments is attained by the most balanced schedule:
+//!
+//! ```text
+//! H = A·Σ_j (1 − Σ_α x_{j,α})²  +  Σ_α (Σ_j p_j·x_{j,α})²
+//! ```
+//!
+//! Dropping a job from its one-hot block removes `p_j` from one squared
+//! load, which can lower the balance term by at most
+//! `p_j·(2·L − p_j) ≤ p_max·2·Σp`; the one-hot weight
+//! `A = 1 + 2·p_max·Σp` therefore strictly dominates it and the ground
+//! state always assigns every job exactly once. Decoding is total
+//! (lowest set machine bit, else machine 0) and quality is reported as
+//! `lower_bound / makespan ∈ (0, 1]`, where the bound is
+//! `max(⌈Σp / m⌉, p_max)`.
+
+use crate::corpus::SplitMix64;
+use crate::encode::EncodeError;
+use crate::qubo::{QuboBuilder, QuboProblem};
+use crate::spec::{CopKind, Workload, WorkloadShape};
+use sachi_ising::graph::IsingGraph;
+use sachi_ising::spin::{Spin, SpinVector};
+
+/// A P||Cmax instance: job durations plus an identical-machine count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulingInstance {
+    durations: Vec<i64>,
+    machines: usize,
+}
+
+impl SchedulingInstance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no jobs, fewer than two machines, or a
+    /// non-positive duration.
+    pub fn new(durations: Vec<i64>, machines: usize) -> Self {
+        assert!(!durations.is_empty(), "need at least one job");
+        assert!(machines >= 2, "need at least two machines");
+        assert!(
+            durations.iter().all(|&p| p > 0),
+            "durations must be positive"
+        );
+        SchedulingInstance {
+            durations,
+            machines,
+        }
+    }
+
+    /// A seeded instance with `jobs` durations drawn uniformly from
+    /// `1..=max_duration` off a SplitMix64 stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`, `machines < 2`, or `max_duration == 0`.
+    pub fn random(jobs: usize, machines: usize, max_duration: i64, seed: u64) -> Self {
+        assert!(max_duration > 0, "max duration must be positive");
+        let mut rng = SplitMix64::new(seed);
+        let durations = (0..jobs)
+            .map(|_| (rng.below(max_duration as u64) as i64).saturating_add(1))
+            .collect();
+        SchedulingInstance::new(durations, machines)
+    }
+
+    /// Job durations.
+    pub fn durations(&self) -> &[i64] {
+        &self.durations
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Number of identical machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Total work `Σp` (saturating).
+    pub fn total_duration(&self) -> i64 {
+        self.durations
+            .iter()
+            .fold(0i64, |acc, &p| acc.saturating_add(p))
+    }
+
+    /// Longest single job `p_max`.
+    pub fn max_duration(&self) -> i64 {
+        self.durations.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The classical makespan lower bound `max(⌈Σp / m⌉, p_max)`.
+    pub fn lower_bound(&self) -> i64 {
+        let total = self.total_duration();
+        let m = self.machines as i64;
+        let balanced = total.saturating_add(m - 1) / m;
+        balanced.max(self.max_duration())
+    }
+
+    /// Makespan of an explicit assignment (job -> machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment has the wrong length or names a machine
+    /// out of range.
+    pub fn makespan(&self, assignment: &[usize]) -> i64 {
+        assert_eq!(assignment.len(), self.num_jobs(), "one machine per job");
+        let mut loads = vec![0i64; self.machines];
+        for (j, &m) in assignment.iter().enumerate() {
+            assert!(m < self.machines, "machine out of range");
+            loads[m] = loads[m].saturating_add(self.durations[j]);
+        }
+        loads.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// A scheduling instance encoded as an Ising problem (`jobs · machines`
+/// one-hot spins, job-major).
+#[derive(Debug, Clone)]
+pub struct SchedulingWorkload {
+    name: String,
+    instance: SchedulingInstance,
+    problem: QuboProblem,
+    one_hot_weight: i64,
+}
+
+impl SchedulingWorkload {
+    /// Encodes with the dominance weight `A = 1 + 2·p_max·Σp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::CoefficientOverflow`] when a coupling or
+    /// field leaves the `i32` range (large durations drive the squared
+    /// load term there quickly).
+    pub fn new(name: impl Into<String>, instance: SchedulingInstance) -> Result<Self, EncodeError> {
+        let a = instance
+            .max_duration()
+            .saturating_mul(instance.total_duration())
+            .saturating_mul(2)
+            .saturating_add(1);
+        Self::with_one_hot_weight(name, instance, a)
+    }
+
+    /// Encodes with an explicit one-hot weight (overflow regression
+    /// tests drive this with adversarial values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::CoefficientOverflow`] as for
+    /// [`SchedulingWorkload::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is non-positive.
+    pub fn with_one_hot_weight(
+        name: impl Into<String>,
+        instance: SchedulingInstance,
+        one_hot_weight: i64,
+    ) -> Result<Self, EncodeError> {
+        assert!(one_hot_weight > 0, "penalty weight must be positive");
+        let jobs = instance.num_jobs();
+        let machines = instance.num_machines();
+        let idx = |j: usize, m: usize| j.saturating_mul(machines).saturating_add(m);
+        let mut q = QuboBuilder::new(jobs.saturating_mul(machines));
+        for j in 0..jobs {
+            let block: Vec<usize> = (0..machines).map(|m| idx(j, m)).collect();
+            q.exactly_k_penalty(&block, 1, one_hot_weight);
+        }
+        // Σ_α (Σ_j p_j·x_{j,α})² expands to p_j² on the diagonal (linear,
+        // since x² = x) and 2·p_i·p_j per same-machine job pair.
+        for m in 0..machines {
+            for j in 0..jobs {
+                let pj = instance.durations()[j];
+                q.linear(idx(j, m), pj.saturating_mul(pj));
+                for i in 0..j {
+                    let pi = instance.durations()[i];
+                    q.quadratic(
+                        idx(i, m),
+                        idx(j, m),
+                        pi.saturating_mul(pj).saturating_mul(2),
+                    );
+                }
+            }
+        }
+        let problem = q.build()?;
+        Ok(SchedulingWorkload {
+            name: name.into(),
+            instance,
+            problem,
+            one_hot_weight,
+        })
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &SchedulingInstance {
+        &self.instance
+    }
+
+    /// The encoded QUBO.
+    pub fn problem(&self) -> &QuboProblem {
+        &self.problem
+    }
+
+    /// The one-hot penalty weight `A`.
+    pub fn one_hot_weight(&self) -> i64 {
+        self.one_hot_weight
+    }
+
+    /// Total decoding: each job goes to its lowest set machine bit, or
+    /// machine 0 when its block is empty.
+    pub fn decode_assignment(&self, spins: &SpinVector) -> Vec<usize> {
+        let m = self.instance.num_machines();
+        (0..self.instance.num_jobs())
+            .map(|j| (0..m).find(|&a| spins.get(j * m + a).bit()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Jobs whose one-hot block does not hold exactly one set bit.
+    pub fn one_hot_violations(&self, spins: &SpinVector) -> usize {
+        let m = self.instance.num_machines();
+        (0..self.instance.num_jobs())
+            .filter(|&j| (0..m).filter(|&a| spins.get(j * m + a).bit()).count() != 1)
+            .count()
+    }
+
+    /// Makespan of the repaired decoding.
+    pub fn makespan(&self, spins: &SpinVector) -> i64 {
+        self.instance.makespan(&self.decode_assignment(spins))
+    }
+
+    /// Lifts an explicit assignment to its one-hot spin state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment has the wrong length or names a machine
+    /// out of range.
+    pub fn encode_assignment(&self, assignment: &[usize]) -> SpinVector {
+        let jobs = self.instance.num_jobs();
+        let m = self.instance.num_machines();
+        assert_eq!(assignment.len(), jobs, "one machine per job");
+        let mut spins = SpinVector::filled(jobs.saturating_mul(m), Spin::Down);
+        for (j, &a) in assignment.iter().enumerate() {
+            assert!(a < m, "machine out of range");
+            spins.set(j.saturating_mul(m).saturating_add(a), Spin::Up);
+        }
+        spins
+    }
+}
+
+impl Workload for SchedulingWorkload {
+    fn kind(&self) -> CopKind {
+        CopKind::JobScheduling
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "sched({}, jobs={}, machines={})",
+            self.name,
+            self.instance.num_jobs(),
+            self.instance.num_machines()
+        )
+    }
+
+    fn graph(&self) -> &IsingGraph {
+        self.problem.graph()
+    }
+
+    fn shape(&self) -> WorkloadShape {
+        let graph = self.problem.graph();
+        WorkloadShape::new(
+            graph.num_spins() as u64,
+            (graph.max_degree() as u64).max(1),
+            graph.bits_required().max(2),
+        )
+    }
+
+    /// `lower_bound / makespan` of the repaired decoding — 1.0 means a
+    /// provably optimal schedule.
+    fn accuracy(&self, spins: &SpinVector) -> f64 {
+        let makespan = self.makespan(spins);
+        if makespan <= 0 {
+            return 0.0;
+        }
+        (self.instance.lower_bound() as f64 / makespan as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sachi_ising::prelude::*;
+
+    #[test]
+    fn objective_matches_direct_penalty_evaluation() {
+        let inst = SchedulingInstance::random(6, 3, 9, 11);
+        let w = SchedulingWorkload::new("unit", inst).unwrap();
+        let jobs = w.instance().num_jobs();
+        let machines = w.instance().num_machines();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let spins = SpinVector::random(jobs * machines, &mut rng);
+            let mut expected = 0i64;
+            for j in 0..jobs {
+                let ones = (0..machines)
+                    .filter(|&m| spins.get(j * machines + m).bit())
+                    .count() as i64;
+                expected += w.one_hot_weight() * (1 - ones) * (1 - ones);
+            }
+            for m in 0..machines {
+                let load: i64 = (0..jobs)
+                    .filter(|&j| spins.get(j * machines + m).bit())
+                    .map(|j| w.instance().durations()[j])
+                    .sum();
+                expected += load * load;
+            }
+            assert_eq!(w.problem().objective(&spins), expected);
+        }
+    }
+
+    #[test]
+    fn balanced_assignment_is_the_valid_optimum() {
+        // Durations 3,3,2,2,1,1 on 2 machines: perfect 6/6 split exists.
+        let inst = SchedulingInstance::new(vec![3, 3, 2, 2, 1, 1], 2);
+        let w = SchedulingWorkload::new("balance", inst).unwrap();
+        let balanced = w.encode_assignment(&[0, 1, 0, 1, 0, 1]);
+        let skewed = w.encode_assignment(&[0, 0, 0, 0, 0, 0]);
+        assert!(w.problem().objective(&balanced) < w.problem().objective(&skewed));
+        assert_eq!(w.makespan(&balanced), 6);
+        assert_eq!(w.instance().lower_bound(), 6);
+        assert!((w.accuracy(&balanced) - 1.0).abs() < 1e-12);
+        assert_eq!(w.makespan(&skewed), 12);
+    }
+
+    #[test]
+    fn one_hot_weight_dominates_dropping_a_job() {
+        let inst = SchedulingInstance::random(8, 3, 20, 3);
+        let w = SchedulingWorkload::new("dominance", inst.clone()).unwrap();
+        // Start from every job on machine 0, then clear each job's block
+        // entirely: the one-hot penalty must always exceed the balance
+        // savings.
+        let all_zero = w.encode_assignment(&vec![0; inst.num_jobs()]);
+        let base = w.problem().objective(&all_zero);
+        for j in 0..inst.num_jobs() {
+            let mut spins = all_zero.clone();
+            spins.set(j * inst.num_machines(), Spin::Down);
+            assert!(
+                w.problem().objective(&spins) > base,
+                "dropping job {j} must not pay"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_finds_a_near_balanced_schedule() {
+        let inst = SchedulingInstance::random(8, 2, 6, 7);
+        let w = SchedulingWorkload::new("solve", inst).unwrap();
+        let graph = w.graph();
+        let mut best = i64::MAX;
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = SpinVector::random(graph.num_spins(), &mut rng);
+            let mut solver = CpuReferenceSolver::new();
+            let r = solver.solve(graph, &init, &SolveOptions::for_graph(graph, seed + 60));
+            if w.one_hot_violations(&r.spins) == 0 {
+                best = best.min(w.makespan(&r.spins));
+            }
+        }
+        let lb = w.instance().lower_bound();
+        assert!(
+            best <= lb.saturating_mul(2),
+            "best makespan {best} should be within 2x of bound {lb}"
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_in_range() {
+        let a = SchedulingInstance::random(10, 3, 9, 4);
+        let b = SchedulingInstance::random(10, 3, 9, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, SchedulingInstance::random(10, 3, 9, 5));
+        assert!(a.durations().iter().all(|&p| (1..=9).contains(&p)));
+    }
+
+    #[test]
+    fn oversized_durations_overflow_loudly() {
+        let inst = SchedulingInstance::new(vec![1 << 20, 1 << 20, 1 << 20], 2);
+        let err = SchedulingWorkload::new("overflow", inst).expect_err("must not clamp");
+        assert!(matches!(err, EncodeError::CoefficientOverflow { .. }));
+    }
+
+    #[test]
+    fn lower_bound_covers_both_regimes() {
+        // Balanced regime: ceil(10/3) = 4 dominates p_max = 3.
+        assert_eq!(
+            SchedulingInstance::new(vec![3, 3, 2, 2], 3).lower_bound(),
+            4
+        );
+        // Long-job regime: p_max = 9 dominates ceil(12/3) = 4.
+        assert_eq!(
+            SchedulingInstance::new(vec![9, 1, 1, 1], 3).lower_bound(),
+            9
+        );
+    }
+}

@@ -11,7 +11,10 @@ use sachi_ising::graph::IsingGraph;
 use sachi_ising::spin::SpinVector;
 use std::fmt;
 
-/// The four combinatorial optimization problems of the evaluation.
+/// The combinatorial optimization problems the workspace can build: the
+/// four COPs of the paper's evaluation (Sec. V.2) plus the Lucas-library
+/// extension families (Sec. VII.3 "extending the library to support
+/// Ising formulation of COPs") added by the workload-diversity corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CopKind {
     /// Number partitioning of $80M across `m` assets (Sec. V.2a).
@@ -22,15 +25,38 @@ pub enum CopKind {
     TravelingSalesman,
     /// King's-graph ferromagnetic ground state (Sec. V.2d).
     MolecularDynamics,
+    /// 3-SAT/max-SAT via clause penalties with one ancilla per clause
+    /// (Lucas-library extension, [`crate::sat`]).
+    SatThree,
+    /// Graph k-coloring via one-hot color blocks (Lucas-library
+    /// extension, [`crate::coloring`]).
+    GraphColoring,
+    /// Makespan-style job scheduling on identical machines, Lucas Sec.
+    /// 6.3 "job sequencing with integer lengths"
+    /// ([`crate::scheduling`]).
+    JobScheduling,
 }
 
 impl CopKind {
-    /// All four COPs in the paper's presentation order.
+    /// The four paper COPs in the paper's presentation order (the Fig. 4
+    /// table rows; extension families live in [`CopKind::EXTENDED`]).
     pub const ALL: [CopKind; 4] = [
         CopKind::AssetAllocation,
         CopKind::ImageSegmentation,
         CopKind::TravelingSalesman,
         CopKind::MolecularDynamics,
+    ];
+
+    /// Every buildable family: the paper four plus the Lucas-library
+    /// extensions (SAT, coloring, scheduling).
+    pub const EXTENDED: [CopKind; 7] = [
+        CopKind::AssetAllocation,
+        CopKind::ImageSegmentation,
+        CopKind::TravelingSalesman,
+        CopKind::MolecularDynamics,
+        CopKind::SatThree,
+        CopKind::GraphColoring,
+        CopKind::JobScheduling,
     ];
 
     /// Human-readable name used in harness tables.
@@ -40,37 +66,54 @@ impl CopKind {
             CopKind::ImageSegmentation => "image segmentation",
             CopKind::TravelingSalesman => "traveling salesman",
             CopKind::MolecularDynamics => "molecular dynamics",
+            CopKind::SatThree => "3-sat",
+            CopKind::GraphColoring => "graph coloring",
+            CopKind::JobScheduling => "job scheduling",
         }
     }
 
-    /// Fig. 4's "graph connectivity" column.
+    /// Fig. 4's "graph connectivity" column (qualitative description for
+    /// the extension families).
     pub fn connectivity(self) -> &'static str {
         match self {
             CopKind::AssetAllocation => "sparingly connected",
             CopKind::ImageSegmentation => "densely connected",
             CopKind::TravelingSalesman => "fully connected",
             CopKind::MolecularDynamics => "King's (8-neighbor)",
+            CopKind::SatThree => "clause-local (vars + ancillas)",
+            CopKind::GraphColoring => "one-hot blocks + edge bundles",
+            CopKind::JobScheduling => "one-hot blocks, dense per machine",
         }
     }
 
     /// Fig. 4's "typical problem size" column, as an inclusive range of
-    /// spins.
+    /// spins (corpus-calibrated ranges for the extension families).
     pub fn typical_size_range(self) -> (u64, u64) {
         match self {
             CopKind::AssetAllocation => (100, 1_000),
             CopKind::ImageSegmentation => (1_000, 1_000_000),
             CopKind::TravelingSalesman => (10, 30_000),
             CopKind::MolecularDynamics => (100_000, 1_000_000),
+            CopKind::SatThree => (50, 100_000),
+            CopKind::GraphColoring => (100, 500_000),
+            CopKind::JobScheduling => (50, 50_000),
         }
     }
 
-    /// Fig. 4's minimum IC resolution for 90% accuracy at 1K spins.
+    /// Fig. 4's minimum IC resolution for 90% accuracy at 1K spins. The
+    /// extension families use the smallest resolution that holds their
+    /// typical penalty coefficients: SAT and coloring couplings stay
+    /// tiny multiples of the clause/one-hot weight (4-bit), scheduling
+    /// carries `p_i·p_j` duration products (8-bit).
     pub fn typical_resolution_bits(self) -> u32 {
         match self {
             CopKind::AssetAllocation => 7,
             CopKind::ImageSegmentation => 6,
             CopKind::TravelingSalesman => 5,
             CopKind::MolecularDynamics => 4,
+            CopKind::SatThree => 4,
+            CopKind::GraphColoring => 4,
+            CopKind::JobScheduling => 8,
         }
     }
 
@@ -83,13 +126,23 @@ impl CopKind {
     ///   paper's reuse 200 = ~50 x 4-bit);
     /// * traveling salesman — `spins - 1` (complete graph; reuse ~4000 at
     ///   1K cities x 4-bit);
-    /// * molecular dynamics — 8 (King's graph; reuse 32 = 8 x 4-bit).
+    /// * molecular dynamics — 8 (King's graph; reuse 32 = 8 x 4-bit);
+    /// * 3-SAT — 13 (at the critical clause/variable ratio ~4.3 each
+    ///   variable shares clauses with ~9 other variables plus ~4
+    ///   ancillas);
+    /// * graph coloring — 32 (one-hot block of k-1 siblings plus k-color
+    ///   bundles to ~8 graph neighbors at k = 4);
+    /// * job scheduling — `spins/4 + 2` (one-hot over ~4 machines plus
+    ///   every co-scheduled job on the shared machine layer).
     pub fn neighbors_per_spin(self, spins: u64) -> u64 {
         match self {
             CopKind::AssetAllocation => 1,
             CopKind::ImageSegmentation => 48.min(spins.saturating_sub(1)),
             CopKind::TravelingSalesman => spins.saturating_sub(1),
             CopKind::MolecularDynamics => 8.min(spins.saturating_sub(1)),
+            CopKind::SatThree => 13.min(spins.saturating_sub(1)),
+            CopKind::GraphColoring => 32.min(spins.saturating_sub(1)),
+            CopKind::JobScheduling => (spins / 4).saturating_add(2).min(spins.saturating_sub(1)),
         }
     }
 
@@ -219,6 +272,36 @@ mod tests {
             CopKind::TravelingSalesman.neighbors_per_spin(1_000) * 4,
             3_996
         );
+    }
+
+    #[test]
+    fn extended_families_registered() {
+        assert_eq!(CopKind::EXTENDED.len(), 7);
+        assert_eq!(&CopKind::EXTENDED[..4], &CopKind::ALL[..]);
+        for kind in [
+            CopKind::SatThree,
+            CopKind::GraphColoring,
+            CopKind::JobScheduling,
+        ] {
+            assert!(!CopKind::ALL.contains(&kind), "{kind} is not a paper COP");
+            assert!(!kind.label().is_empty());
+            assert!(!kind.connectivity().is_empty());
+            let (lo, hi) = kind.typical_size_range();
+            assert!(lo < hi);
+            let r = kind.typical_resolution_bits();
+            assert!((2..=32).contains(&r));
+            // The shape machinery accepts the new families end to end.
+            let shape = kind.standard_shape(1_000);
+            assert!(shape.neighbors_per_spin < 1_000);
+            assert!(shape.tuple_bits() > 0);
+        }
+        assert_eq!(CopKind::SatThree.neighbors_per_spin(1_000), 13);
+        assert_eq!(CopKind::GraphColoring.neighbors_per_spin(1_000), 32);
+        assert_eq!(CopKind::JobScheduling.neighbors_per_spin(1_000), 252);
+        // Tiny instances still clamp to spins - 1.
+        assert_eq!(CopKind::SatThree.neighbors_per_spin(4), 3);
+        assert_eq!(CopKind::GraphColoring.neighbors_per_spin(4), 3);
+        assert_eq!(CopKind::JobScheduling.neighbors_per_spin(4), 3);
     }
 
     #[test]

@@ -30,12 +30,15 @@
 //! ```text
 //! cargo run -p xtask -- validate-metrics [<file>]
 //! cargo run -p xtask -- validate-analysis [<file>]
+//! cargo run -p xtask -- validate-quality [<file>]
 //! ```
 //!
 //! validate a `sachi solve --metrics json` snapshot
-//! (`sachi.metrics.v1`) or an `analyze --json` document
-//! (`sachi.analyze.v1`) from `<file>` or stdin — the CI gates behind
-//! the schema smokes in `ci.sh`.
+//! (`sachi.metrics.v1`), an `analyze --json` document
+//! (`sachi.analyze.v1`), or a `disc_quality` report
+//! (`sachi.quality.v1`, including three-families × four-designs
+//! coverage) from `<file>` or stdin — the CI gates behind the schema
+//! smokes in `ci.sh`.
 //!
 //! No external dependencies: a small hand-rolled Rust lexer, item
 //! parser, and call graph plus the workspace's own dependency-free
@@ -50,6 +53,7 @@ mod callgraph;
 mod lexer;
 mod lints;
 mod parser;
+mod quality;
 mod scan;
 
 use std::io::Read;
@@ -61,6 +65,7 @@ fn usage() -> ! {
     eprintln!("       cargo run -p xtask -- analyze [--root <dir>] [--json] [--budget-ms <n>]");
     eprintln!("       cargo run -p xtask -- validate-metrics [<file>]    (stdin when no file)");
     eprintln!("       cargo run -p xtask -- validate-analysis [<file>]   (stdin when no file)");
+    eprintln!("       cargo run -p xtask -- validate-quality [<file>]    (stdin when no file)");
     std::process::exit(2);
 }
 
@@ -264,6 +269,28 @@ fn run_validate_analysis(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// Validates a `disc_quality` report against `sachi.quality.v1`,
+/// including the three-families × four-designs coverage gate.
+fn run_validate_quality(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(text) = read_doc(args.next(), args.next(), "validate-quality") else {
+        return ExitCode::FAILURE;
+    };
+    match quality::validate_quality(&text) {
+        Ok(()) => {
+            println!(
+                "xtask validate-quality: ok (sachi.quality.v1, {} families x {} designs covered)",
+                quality::REQUIRED_FAMILIES.len(),
+                quality::REQUIRED_DESIGNS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask validate-quality: invalid document: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Reads the document for a validate subcommand from `<file>` or stdin.
 /// `extra` must be `None` (one positional argument at most).
 fn read_doc(source: Option<String>, extra: Option<String>, cmd: &str) -> Option<String> {
@@ -299,6 +326,7 @@ fn main() -> ExitCode {
         "analyze" => run_analyze(args),
         "validate-metrics" => run_validate_metrics(args),
         "validate-analysis" => run_validate_analysis(args),
+        "validate-quality" => run_validate_quality(args),
         other => {
             eprintln!("unknown subcommand `{other}`");
             usage();

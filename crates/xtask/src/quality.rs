@@ -1,0 +1,166 @@
+//! Schema validation for `sachi.quality.v1` documents
+//! (`BENCH_quality.json`, written by `disc_quality`).
+//!
+//! Structural checks (schema tag, numeric header fields, per-row field
+//! presence and types) plus the coverage gate the PR acceptance
+//! criteria name: rows must exist for all three extension families ×
+//! all four stationarity designs.
+
+use sachi_obs::json::{self, JsonValue};
+
+/// The families `disc_quality` must cover (the `family` row field).
+pub const REQUIRED_FAMILIES: [&str; 3] = ["3-sat", "graph coloring", "job scheduling"];
+
+/// The design keys `disc_quality` must cover (the `design` row field).
+pub const REQUIRED_DESIGNS: [&str; 4] = ["n1a", "n1b", "n2", "n3"];
+
+fn str_field<'a>(row: &'a JsonValue, key: &str, index: usize) -> Result<&'a str, String> {
+    row.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("rows[{index}]: missing string field '{key}'"))
+}
+
+fn num_field(row: &JsonValue, key: &str, index: usize) -> Result<f64, String> {
+    row.get(key)
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("rows[{index}]: missing numeric field '{key}'"))
+}
+
+/// Validates a `sachi.quality.v1` document.
+///
+/// # Errors
+///
+/// Returns a message naming the first violation: bad JSON, wrong
+/// schema tag, missing/ill-typed fields, accuracy outside `[0, 1]`,
+/// an unknown design key, or a missing (family × design) cell.
+pub fn validate_quality(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != "sachi.quality.v1" {
+        return Err(format!(
+            "unexpected schema '{schema}' (want sachi.quality.v1)"
+        ));
+    }
+    doc.get("master_seed")
+        .and_then(JsonValue::as_num)
+        .ok_or("missing numeric 'master_seed'")?;
+    let restarts = doc
+        .get("restarts")
+        .and_then(JsonValue::as_num)
+        .ok_or("missing numeric 'restarts'")?;
+    if restarts < 1.0 {
+        return Err(format!("restarts must be >= 1, got {restarts}"));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows array is empty".to_string());
+    }
+
+    let mut covered: Vec<(String, String)> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let id = str_field(row, "id", i)?;
+        if id.is_empty() {
+            return Err(format!("rows[{i}]: empty id"));
+        }
+        let family = str_field(row, "family", i)?;
+        let design = str_field(row, "design", i)?;
+        if !REQUIRED_DESIGNS.contains(&design) {
+            return Err(format!("rows[{i}]: unknown design '{design}'"));
+        }
+        for key in ["spins", "best_energy", "total_cycles", "domain_metric"] {
+            num_field(row, key, i)?;
+        }
+        let accuracy = num_field(row, "accuracy", i)?;
+        if !(0.0..=1.0).contains(&accuracy) {
+            return Err(format!("rows[{i}]: accuracy {accuracy} outside [0, 1]"));
+        }
+        let unit = str_field(row, "domain_unit", i)?;
+        if unit.is_empty() {
+            return Err(format!("rows[{i}]: empty domain_unit"));
+        }
+        match row.get("smoke") {
+            Some(JsonValue::Bool(_)) => {}
+            _ => return Err(format!("rows[{i}]: missing boolean field 'smoke'")),
+        }
+        covered.push((family.to_string(), design.to_string()));
+    }
+
+    for family in REQUIRED_FAMILIES {
+        for design in REQUIRED_DESIGNS {
+            if !covered.iter().any(|(f, d)| f == family && d == design) {
+                return Err(format!(
+                    "no row covers family '{family}' on design '{design}'"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_doc() -> String {
+        let mut rows = Vec::new();
+        for family in REQUIRED_FAMILIES {
+            for design in REQUIRED_DESIGNS {
+                rows.push(format!(
+                    "{{\"id\": \"{f}_{design}\", \"family\": \"{family}\", \"design\": \"{design}\", \
+                     \"spins\": 100, \"best_energy\": -5, \"total_cycles\": 999, \
+                     \"accuracy\": 0.95, \"domain_metric\": 7, \"domain_unit\": \"u\", \
+                     \"smoke\": false}}",
+                    f = family.replace(' ', "_"),
+                ));
+            }
+        }
+        format!(
+            "{{\"schema\": \"sachi.quality.v1\", \"master_seed\": 1, \"restarts\": 4, \
+             \"rows\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn full_document_validates() {
+        validate_quality(&full_doc()).expect("full coverage validates");
+    }
+
+    #[test]
+    fn wrong_schema_or_structure_rejected() {
+        assert!(validate_quality("not json").is_err());
+        assert!(validate_quality("{\"schema\": \"sachi.metrics.v1\"}").is_err());
+        let empty =
+            "{\"schema\": \"sachi.quality.v1\", \"master_seed\": 1, \"restarts\": 4, \"rows\": []}";
+        assert!(validate_quality(empty).is_err());
+    }
+
+    #[test]
+    fn missing_family_design_cell_rejected() {
+        // Drop every n3 row: coverage check must name the hole.
+        let doc = full_doc();
+        let thinned = doc.replace("\"design\": \"n3\"", "\"design\": \"n2\"");
+        let err = validate_quality(&thinned).expect_err("missing n3 coverage");
+        assert!(err.contains("n3"), "{err}");
+    }
+
+    #[test]
+    fn field_violations_rejected() {
+        let doc = full_doc();
+        for (from, to, what) in [
+            ("\"accuracy\": 0.95", "\"accuracy\": 1.5", "accuracy range"),
+            ("\"design\": \"n1a\"", "\"design\": \"brim\"", "design key"),
+            ("\"smoke\": false", "\"smoke\": 0", "smoke type"),
+            ("\"total_cycles\": 999, ", "", "missing cycles"),
+        ] {
+            let mutated = doc.replacen(from, to, 1);
+            assert!(validate_quality(&mutated).is_err(), "{what} must fail");
+        }
+    }
+}

@@ -64,3 +64,30 @@ fn sample_files_round_trip_through_the_writer() {
     let reparsed = parse_dimacs(&rewritten).expect("round-trips");
     assert_eq!(reparsed, graph);
 }
+
+#[test]
+fn example12_cnf_loads_and_the_plant_satisfies_everything() {
+    let instance = parse_dimacs_cnf(&data("example12.cnf")).expect("parses");
+    assert_eq!(instance.num_vars(), 12);
+    assert_eq!(instance.clauses().len(), 40);
+    // The fixture is planted: all-true satisfies every clause.
+    let all_true = vec![true; 12];
+    assert_eq!(
+        instance.satisfied_weight(&all_true),
+        instance.total_weight()
+    );
+
+    // Encoded, the completed all-true state sits at zero penalty.
+    let w = SatWorkload::new("example12", instance).expect("encodes");
+    let planted = w.complete_assignment(&all_true);
+    assert_eq!(w.problem().objective(&planted), 0);
+    assert!((w.accuracy(&planted) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn example12_cnf_round_trips_through_the_writer() {
+    let instance = parse_dimacs_cnf(&data("example12.cnf")).expect("parses");
+    let rewritten = instance.to_dimacs_cnf();
+    let reparsed = parse_dimacs_cnf(&rewritten).expect("round-trips");
+    assert_eq!(reparsed, instance);
+}

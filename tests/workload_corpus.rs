@@ -1,0 +1,268 @@
+//! Conformance suite for the corpus workload families (3-SAT, graph
+//! coloring, job scheduling): differential encoder checks (the encoded
+//! Ising objective and the decoded domain metrics must match direct
+//! evaluation of the instance), overflow behavior through
+//! `workloads::encode`, and generator determinism (same seed →
+//! byte-identical across threads and repeats; distinct seeds →
+//! distinct instances).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Differential: decode(solve(encode(instance))) == direct evaluation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SAT: the satisfied weight read off the solver state through the
+    /// workload equals a direct clause-by-clause recount of the decoded
+    /// assignment, and the Ising objective equals the unsatisfied
+    /// weight whenever the ancillas sit at their per-clause optimum.
+    #[test]
+    fn sat_domain_metrics_match_direct_evaluation(
+        n in 8usize..16,
+        ratio_x10 in 20u64..55,
+        seed in 0u64..500,
+    ) {
+        let m = (n as u64 * ratio_x10 / 10).max(1) as usize;
+        let instance = SatInstance::random(n, m, seed);
+        let w = SatWorkload::new("prop", instance).expect("small weights encode");
+        let graph = w.graph();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(graph, seed).with_max_sweeps(150);
+        let result = solver.solve(graph, &init, &opts);
+
+        let assignment = w.decode(&result.spins);
+        let direct: i64 = w
+            .instance()
+            .clauses()
+            .iter()
+            .filter(|c| c.satisfied_by(&assignment))
+            .map(|c| c.weight)
+            .sum();
+        prop_assert_eq!(w.satisfied_weight(&result.spins), direct);
+
+        // Re-completing the decoded assignment with optimal ancillas
+        // makes the QUBO objective exactly the unsatisfied weight.
+        let completed = w.complete_assignment(&assignment);
+        prop_assert_eq!(
+            w.problem().objective(&completed),
+            w.instance().unsatisfied_weight(&assignment)
+        );
+    }
+
+    /// Coloring: conflicts counted through the workload equal a direct
+    /// recount over the instance's edge list on the decoded coloring,
+    /// for solver states and arbitrary states alike.
+    #[test]
+    fn coloring_conflicts_match_direct_evaluation(
+        n in 5usize..12,
+        k in 2usize..5,
+        density_bp in 1_000u32..7_000,
+        seed in 0u64..500,
+    ) {
+        let instance = ColoringInstance::gnp(n, k, density_bp, seed);
+        let w = ColoringWorkload::new("prop", instance).expect("unit weights encode");
+        let graph = w.graph();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc01);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(graph, seed).with_max_sweeps(120);
+        let result = solver.solve(graph, &init, &opts);
+
+        for spins in [&init, &result.spins] {
+            let colors = w.decode_colors(spins);
+            let direct = w
+                .instance()
+                .edges()
+                .iter()
+                .filter(|&&(u, v)| colors[u] == colors[v])
+                .count();
+            prop_assert_eq!(w.conflicts(spins), direct);
+            let edges = w.instance().edges().len();
+            if edges > 0 {
+                let acc = 1.0 - direct as f64 / edges as f64;
+                prop_assert!((w.accuracy(spins) - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Scheduling: the makespan read through the workload equals a
+    /// direct per-machine load recount of the decoded assignment.
+    #[test]
+    fn scheduling_makespan_matches_direct_evaluation(
+        jobs in 4usize..10,
+        machines in 2usize..5,
+        max_p in 3i64..12,
+        seed in 0u64..500,
+    ) {
+        let instance = SchedulingInstance::random(jobs, machines, max_p, seed);
+        let w = SchedulingWorkload::new("prop", instance).expect("small durations encode");
+        let graph = w.graph();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5c4ed);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let opts = SolveOptions::for_graph(graph, seed).with_max_sweeps(120);
+        let result = solver.solve(graph, &init, &opts);
+
+        for spins in [&init, &result.spins] {
+            let assignment = w.decode_assignment(spins);
+            let mut loads = vec![0i64; w.instance().num_machines()];
+            for (j, &m) in assignment.iter().enumerate() {
+                loads[m] += w.instance().durations()[j];
+            }
+            let direct = loads.into_iter().max().expect("machines >= 2");
+            prop_assert_eq!(w.makespan(spins), direct);
+            prop_assert!(w.makespan(spins) >= w.instance().lower_bound());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overflow: adversarial weights must error, never clamp
+// ---------------------------------------------------------------------
+
+#[test]
+fn adversarial_weights_raise_coefficient_overflow() {
+    // SAT: a clause weight near i64::MAX overflows the i32 narrowing.
+    let sat = SatInstance::random(6, 10, 1).with_uniform_weight(i64::MAX / 4);
+    assert!(matches!(
+        SatWorkload::new("overflow", sat),
+        Err(EncodeError::CoefficientOverflow { .. })
+    ));
+
+    // Coloring: a one-hot weight out of i32 range overflows.
+    let col = ColoringInstance::gnp(6, 3, 5_000, 2);
+    assert!(matches!(
+        ColoringWorkload::with_weights("overflow", col, i64::from(i32::MAX) * 8, 1),
+        Err(EncodeError::CoefficientOverflow { .. })
+    ));
+
+    // Scheduling: duration products beyond i32 overflow (durations are
+    // fine individually; p_i * p_j is not).
+    let sched = SchedulingInstance::new(vec![1 << 18, 1 << 18, 7], 2);
+    assert!(matches!(
+        SchedulingWorkload::new("overflow", sched),
+        Err(EncodeError::CoefficientOverflow { .. })
+    ));
+
+    // The same families at sane weights encode fine (the gate is the
+    // magnitude, not the family).
+    assert!(SatWorkload::new("ok", SatInstance::random(6, 10, 1)).is_ok());
+    assert!(ColoringWorkload::new("ok", ColoringInstance::gnp(6, 3, 5_000, 2)).is_ok());
+    assert!(SchedulingWorkload::new("ok", SchedulingInstance::random(6, 2, 9, 3)).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Generator determinism
+// ---------------------------------------------------------------------
+
+/// Same seed → byte-identical instances, regardless of which thread
+/// generates them and how often.
+#[test]
+fn same_seed_is_identical_across_threads_and_repeats() {
+    let seeds = [0u64, 1, 42, u64::MAX];
+    for &seed in &seeds {
+        let sat_ref = SatInstance::random(15, 60, seed);
+        let col_ref = ColoringInstance::gnp(12, 3, 3_500, seed);
+        let sched_ref = SchedulingInstance::random(10, 3, 9, seed);
+        // Repeat runs on this thread.
+        assert_eq!(sat_ref, SatInstance::random(15, 60, seed));
+        assert_eq!(col_ref, ColoringInstance::gnp(12, 3, 3_500, seed));
+        assert_eq!(sched_ref, SchedulingInstance::random(10, 3, 9, seed));
+        // Fresh threads, several at once.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (
+                        SatInstance::random(15, 60, seed),
+                        ColoringInstance::gnp(12, 3, 3_500, seed),
+                        SchedulingInstance::random(10, 3, 9, seed),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (sat, col, sched) = h.join().expect("generator thread");
+            assert_eq!(sat, sat_ref);
+            assert_eq!(col, col_ref);
+            assert_eq!(sched, sched_ref);
+        }
+    }
+}
+
+/// The planted generators are deterministic too, including the hidden
+/// solution, and the plant actually satisfies/colors the instance.
+#[test]
+fn planted_generators_are_deterministic_and_valid() {
+    for seed in [3u64, 99, 12345] {
+        let (sat_a, hidden_a) = SatInstance::planted(14, 56, seed);
+        let (sat_b, hidden_b) = SatInstance::planted(14, 56, seed);
+        assert_eq!(sat_a, sat_b);
+        assert_eq!(hidden_a, hidden_b);
+        assert_eq!(sat_a.satisfied_weight(&hidden_a), sat_a.total_weight());
+
+        let (col_a, classes_a) = ColoringInstance::planted(12, 3, 4_000, seed);
+        let (col_b, classes_b) = ColoringInstance::planted(12, 3, 4_000, seed);
+        assert_eq!(col_a, col_b);
+        assert_eq!(classes_a, classes_b);
+        assert_eq!(col_a.conflicts(&classes_a), 0);
+    }
+}
+
+/// Injectivity smoke (mirrors the 2^16 replica-seed test at corpus
+/// scale): 2^12 distinct seeds produce 2^12 distinct instances in every
+/// family.
+#[test]
+fn distinct_seeds_give_distinct_instances() {
+    const SEEDS: u64 = 1 << 12;
+    let mut sat_keys = BTreeSet::new();
+    let mut col_keys = BTreeSet::new();
+    let mut sched_keys = BTreeSet::new();
+    for seed in 0..SEEDS {
+        // Compact structural fingerprints; a collision would mean two
+        // seeds generated identical instances.
+        let sat = SatInstance::random(12, 40, seed);
+        sat_keys.insert(format!("{:?}", sat.clauses()));
+        let col = ColoringInstance::gnp(12, 3, 4_000, seed);
+        col_keys.insert(format!("{:?}", col.edges()));
+        let sched = SchedulingInstance::random(12, 3, 1 << 30, seed);
+        sched_keys.insert(format!("{:?}", sched.durations()));
+    }
+    assert_eq!(sat_keys.len() as u64, SEEDS, "SAT seed collision");
+    assert_eq!(col_keys.len() as u64, SEEDS, "coloring seed collision");
+    assert_eq!(sched_keys.len() as u64, SEEDS, "scheduling seed collision");
+}
+
+/// The committed corpus itself regenerates identically (cell ids,
+/// graphs, shapes) — the baseline in `BENCH_quality.json` is only
+/// meaningful if the instances behind it never drift.
+#[test]
+fn corpus_cells_regenerate_identically_across_threads() {
+    let reference: Vec<_> = corpus().iter().map(|c| (c.id, c.graph().clone())).collect();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(|| {
+                corpus()
+                    .iter()
+                    .map(|c| (c.id, c.graph().clone()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        let got = h.join().expect("corpus thread");
+        assert_eq!(got.len(), reference.len());
+        for ((id_a, g_a), (id_b, g_b)) in reference.iter().zip(&got) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(g_a, g_b, "corpus cell {id_a} drifted");
+        }
+    }
+}

@@ -97,6 +97,52 @@ fn tsp_tour_quality_close_to_two_opt() {
 }
 
 #[test]
+fn sat_planted_instance_nearly_fully_satisfied() {
+    let (instance, hidden) = SatInstance::planted(20, 86, 7);
+    let w = SatWorkload::new("golden", instance).unwrap();
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(6);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 6, |s| w.accuracy(s));
+    assert!(w.accuracy(&spins) > 0.95, "accuracy {}", w.accuracy(&spins));
+    // The plant proves full satisfiability is attainable.
+    assert_eq!(
+        w.satisfied_weight(&w.complete_assignment(&hidden)),
+        w.instance().total_weight()
+    );
+}
+
+#[test]
+fn coloring_planted_graph_mostly_properly_colored() {
+    let (instance, classes) = ColoringInstance::planted(12, 3, 4_000, 11);
+    let w = ColoringWorkload::new("golden", instance).unwrap();
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(7);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 8, |s| w.accuracy(s));
+    assert!(w.accuracy(&spins) > 0.85, "accuracy {}", w.accuracy(&spins));
+    // The plant is a zero-conflict reference point.
+    assert_eq!(w.conflicts(&w.encode_colors(&classes)), 0);
+}
+
+#[test]
+fn scheduling_makespan_close_to_the_lower_bound() {
+    let instance = SchedulingInstance::random(12, 3, 9, 13);
+    let w = SchedulingWorkload::new("golden", instance).unwrap();
+    let graph = w.graph();
+    let mut rng = StdRng::seed_from_u64(8);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let mut machine = SachiMachine::new(SachiConfig::new(DesignKind::N3));
+    let spins = best_of_restarts(&mut machine, graph, &init, 6, |s| w.accuracy(s));
+    // accuracy = lower_bound / makespan; 0.9 means within 11% of the
+    // provable optimum.
+    assert!(w.accuracy(&spins) > 0.9, "accuracy {}", w.accuracy(&spins));
+    assert_eq!(w.one_hot_violations(&spins), 0, "every job assigned once");
+}
+
+#[test]
 fn fig1_ising_beats_ga_on_segmentation_quality() {
     let w = ImageSegmentation::with_options(10, 10, 13, Connectivity::Grid4, 6);
     let graph = w.graph();
