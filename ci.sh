@@ -73,4 +73,63 @@ cargo run -q -p sachi-bench --bin disc_quality -- --smoke
 echo "==> xtask validate-quality BENCH_quality.json"
 cargo run -q -p xtask -- validate-quality BENCH_quality.json
 
+# Daemon smoke: start `sachi serve`, then assert the protocol contract
+# end to end — a daemon-solved job is byte-identical to the one-shot
+# CLI (multi-tenant determinism), malformed input answers code 2,
+# over-limit jobs answer code 5, /metrics is valid Prometheus text,
+# and shutdown drains cleanly (daemon exits 0).
+echo "==> sachi serve e2e smoke"
+cargo build -q -p sachi-cli
+SACHI=target/debug/sachi
+PORT=17853
+"$SACHI" serve --port "$PORT" --threads 2 --queue-depth 4 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  if "$SACHI" submit --addr "127.0.0.1:$PORT" --ping >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$SACHI" submit --addr "127.0.0.1:$PORT" --ping
+
+JOB=(--cop sat --size 12 --seed 9 --restarts 3 --step-budget 60000)
+REF=$("$SACHI" solve "${JOB[@]}" | grep 'result  : H =')
+# A co-tenant job runs concurrently so the determinism check exercises
+# real replica interleaving on the shared pool, not an idle daemon.
+"$SACHI" submit --addr "127.0.0.1:$PORT" \
+  --cop md --size 24 --seed 4 --restarts 2 --step-budget 200000 \
+  >/dev/null &
+COTENANT_PID=$!
+GOT=$("$SACHI" submit --addr "127.0.0.1:$PORT" "${JOB[@]}" | grep 'result  : H =')
+wait "$COTENANT_PID"
+if [ "$GOT" != "$REF" ]; then
+  echo "serve smoke: daemon result diverged from one-shot CLI" >&2
+  echo "  one-shot: $REF" >&2
+  echo "  daemon:   $GOT" >&2
+  exit 1
+fi
+echo "serve smoke: daemon result matches one-shot CLI"
+
+set +e
+"$SACHI" submit --addr "127.0.0.1:$PORT" --raw 'this is not json' >/dev/null 2>&1
+CODE_PARSE=$?
+"$SACHI" submit --addr "127.0.0.1:$PORT" \
+  --cop md --size 8 --restarts 2 --step-budget 999999999 >/dev/null 2>&1
+CODE_LIMIT=$?
+set -e
+if [ "$CODE_PARSE" -ne 2 ] || [ "$CODE_LIMIT" -ne 5 ]; then
+  echo "serve smoke: wrong protocol codes (parse=$CODE_PARSE want 2, limit=$CODE_LIMIT want 5)" >&2
+  exit 1
+fi
+echo "serve smoke: typed refusals answer codes 2 and 5"
+
+"$SACHI" submit --addr "127.0.0.1:$PORT" --fetch-metrics \
+  | cargo run -q -p xtask -- validate-exposition
+
+"$SACHI" submit --addr "127.0.0.1:$PORT" --shutdown
+wait "$SERVE_PID"
+trap - EXIT
+echo "serve smoke: daemon drained cleanly"
+
 echo "ci: all gates passed"

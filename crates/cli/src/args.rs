@@ -2,6 +2,7 @@
 //! dependency; the grammar is small and fully tested).
 
 use sachi_core::config::DesignKind;
+use sachi_core::serve::JobSpec;
 use sachi_ising::recovery::RecoveryPolicy;
 use sachi_mem::cache::CacheHierarchy;
 use sachi_workloads::spec::CopKind;
@@ -25,10 +26,93 @@ pub enum Command {
     Compare(SolveArgs),
     /// `sachi estimate ...` — analytic model at arbitrary scale.
     Estimate(EstimateArgs),
+    /// `sachi serve ...` — run the multi-tenant solver daemon.
+    Serve(ServeArgs),
+    /// `sachi submit ...` — submit one request to a running daemon.
+    Submit(SubmitArgs),
     /// `sachi info` — print the configured geometry and constants.
     Info,
     /// `sachi help` (or `-h`/`--help`).
     Help,
+}
+
+/// Arguments of `serve`. Every knob that bounds a resource rejects
+/// zero at parse time: a zero-depth queue, zero-port bind, or
+/// zero-millisecond timeout is always a misconfiguration that would
+/// otherwise surface as a daemon that admits nothing (or binds an
+/// ephemeral port nobody can find).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// TCP port to bind on 127.0.0.1.
+    pub port: u16,
+    /// Worker threads for the shared solver pool (0 = all cores).
+    pub threads: usize,
+    /// Bound on jobs admitted but not yet finished (backpressure).
+    pub queue_depth: usize,
+    /// Wall-clock admission deadline: a job still unstarted after this
+    /// many milliseconds is revoked with the deadline-expired code.
+    pub admission_timeout_ms: u64,
+    /// Per-connection socket read timeout in milliseconds.
+    pub io_timeout_ms: u64,
+    /// Bound on concurrently served connections.
+    pub max_conns: usize,
+    /// Admission limit on a job's `step_budget`.
+    pub max_step_budget: u64,
+    /// Admission limit on a job's `size`.
+    pub max_size: usize,
+    /// Admission limit on a job's `restarts`.
+    pub max_restarts: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            port: 7861,
+            threads: 0,
+            queue_depth: 8,
+            admission_timeout_ms: 10_000,
+            io_timeout_ms: 10_000,
+            max_conns: 64,
+            max_step_budget: 100_000_000,
+            max_size: 65_536,
+            max_restarts: 256,
+        }
+    }
+}
+
+/// What a `submit` invocation asks the daemon to do. The op flags are
+/// mutually exclusive with each other and with job flags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOp {
+    /// Submit a solve job (the default; built from the job flags).
+    Solve(JobSpec),
+    /// Liveness probe (`--ping`).
+    Ping,
+    /// Graceful drain (`--shutdown`).
+    Shutdown,
+    /// Fetch the Prometheus exposition over HTTP (`--fetch-metrics`).
+    FetchMetrics,
+    /// Send an arbitrary string as the frame body (`--raw`), for
+    /// protocol testing: the daemon must answer with a typed error.
+    Raw(String),
+}
+
+/// Arguments of `submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// The request to send.
+    pub op: SubmitOp,
+}
+
+impl Default for SubmitArgs {
+    fn default() -> Self {
+        SubmitArgs {
+            addr: "127.0.0.1:7861".to_string(),
+            op: SubmitOp::Solve(JobSpec::default()),
+        }
+    }
 }
 
 /// Arguments of `solve`/`compare`.
@@ -63,6 +147,10 @@ pub struct SolveArgs {
     pub fault_seed: u64,
     /// Recovery policy applied when parity detects a fault.
     pub fault_policy: RecoveryPolicy,
+    /// Deterministic work-domain deadline: total spin updates across
+    /// the whole solve (divided among sweeps; see
+    /// `SolveOptions::step_budget`). Zero is rejected at parse time.
+    pub step_budget: Option<u64>,
     /// Machine-readable metrics output (replaces the human report).
     pub metrics: Option<MetricsFormat>,
     /// Record solve-phase spans and include them in the metrics output.
@@ -86,6 +174,7 @@ impl Default for SolveArgs {
             fault_ber: None,
             fault_seed: 0,
             fault_policy: RecoveryPolicy::default(),
+            step_budget: None,
             metrics: None,
             trace_phases: false,
         }
@@ -138,7 +227,22 @@ fn err(msg: impl Into<String>) -> ArgError {
     ArgError(msg.into())
 }
 
-fn parse_cop(s: &str) -> Result<CopKind, ArgError> {
+/// The canonical short label for a COP — the first alias
+/// [`parse_cop`] accepts, so `cop_label` and `parse_cop` round-trip.
+/// The wire protocol uses these labels in both directions.
+pub(crate) fn cop_label(kind: CopKind) -> &'static str {
+    match kind {
+        CopKind::AssetAllocation => "asset",
+        CopKind::ImageSegmentation => "imgseg",
+        CopKind::TravelingSalesman => "tsp",
+        CopKind::MolecularDynamics => "md",
+        CopKind::SatThree => "sat",
+        CopKind::GraphColoring => "coloring",
+        CopKind::JobScheduling => "sched",
+    }
+}
+
+pub(crate) fn parse_cop(s: &str) -> Result<CopKind, ArgError> {
     match s {
         "asset" | "asset-allocation" => Ok(CopKind::AssetAllocation),
         "imgseg" | "segmentation" | "image-segmentation" => Ok(CopKind::ImageSegmentation),
@@ -153,7 +257,19 @@ fn parse_cop(s: &str) -> Result<CopKind, ArgError> {
     }
 }
 
-fn parse_design(s: &str) -> Result<DesignKind, ArgError> {
+/// The canonical short label for a design — exactly what
+/// [`parse_design`] accepts, so the pair round-trips on the wire
+/// (`DesignKind::label()` is the long display form, `"SACHI(n3)"`).
+pub(crate) fn design_label(kind: DesignKind) -> &'static str {
+    match kind {
+        DesignKind::N1a => "n1a",
+        DesignKind::N1b => "n1b",
+        DesignKind::N2 => "n2",
+        DesignKind::N3 => "n3",
+    }
+}
+
+pub(crate) fn parse_design(s: &str) -> Result<DesignKind, ArgError> {
     match s {
         "n1a" => Ok(DesignKind::N1a),
         "n1b" => Ok(DesignKind::N1b),
@@ -253,12 +369,24 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                     }
                 })
             }
+            "--step-budget" => {
+                args.step_budget = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--step-budget needs an integer"))?,
+                )
+            }
             "--trace-phases" => args.trace_phases = true,
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
         }
     }
     if args.restarts == 0 {
         return Err(err("--restarts must be at least 1"));
+    }
+    if args.step_budget == Some(0) {
+        return Err(err(
+            "--step-budget 0 would run zero sweeps; omit the flag for unbounded",
+        ));
     }
     if args.cop.is_none() && args.file.is_none() {
         return Err(err("need --cop or --file"));
@@ -304,6 +432,176 @@ fn parse_estimate_args<'a>(
     Ok(args)
 }
 
+fn nonzero<T: PartialEq + From<u8>>(value: T, flag: &str) -> Result<T, ArgError> {
+    if value == T::from(0u8) {
+        return Err(err(format!("{flag} must be at least 1")));
+    }
+    Ok(value)
+}
+
+fn parse_serve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<ServeArgs, ArgError> {
+    let mut args = ServeArgs::default();
+    while let Some(flag) = it.next() {
+        let value = take_value(flag, &mut it)?;
+        let bad = |what: &str| err(format!("{flag} needs {what}"));
+        match flag {
+            "--port" => {
+                args.port = nonzero(value.parse().map_err(|_| bad("a port in 1..=65535"))?, flag)?
+            }
+            "--threads" => {
+                args.threads = value
+                    .parse()
+                    .map_err(|_| bad("an integer (0 = all cores)"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = nonzero(value.parse().map_err(|_| bad("an integer"))?, flag)?
+            }
+            "--admission-timeout-ms" => {
+                args.admission_timeout_ms =
+                    nonzero(value.parse().map_err(|_| bad("milliseconds"))?, flag)?
+            }
+            "--io-timeout-ms" => {
+                args.io_timeout_ms = nonzero(value.parse().map_err(|_| bad("milliseconds"))?, flag)?
+            }
+            "--max-conns" => {
+                args.max_conns = nonzero(value.parse().map_err(|_| bad("an integer"))?, flag)?
+            }
+            "--max-step-budget" => {
+                args.max_step_budget = nonzero(value.parse().map_err(|_| bad("an integer"))?, flag)?
+            }
+            "--max-size" => {
+                args.max_size = nonzero(value.parse().map_err(|_| bad("an integer"))?, flag)?
+            }
+            "--max-restarts" => {
+                args.max_restarts = nonzero(value.parse().map_err(|_| bad("an integer"))?, flag)?
+            }
+            other => return Err(err(format!("unknown flag '{other}' for serve"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_submit_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SubmitArgs, ArgError> {
+    let mut args = SubmitArgs::default();
+    let mut spec = JobSpec::default();
+    let mut op_flag: Option<&str> = None;
+    let mut job_flag: Option<&str> = None;
+    fn set_op<'f>(current: &mut Option<&'f str>, flag: &'f str) -> Result<(), ArgError> {
+        if let Some(prev) = current {
+            return Err(err(format!("{prev} and {flag} are mutually exclusive")));
+        }
+        *current = Some(flag);
+        Ok(())
+    }
+    while let Some(flag) = it.next() {
+        match flag {
+            "--addr" => args.addr = take_value(flag, &mut it)?.to_string(),
+            "--ping" | "--shutdown" | "--fetch-metrics" => set_op(&mut op_flag, flag)?,
+            "--raw" => {
+                set_op(&mut op_flag, flag)?;
+                args.op = SubmitOp::Raw(take_value(flag, &mut it)?.to_string());
+            }
+            "--cop" => {
+                job_flag = Some(flag);
+                spec.cop = parse_cop(take_value(flag, &mut it)?)?;
+            }
+            "--size" => {
+                job_flag = Some(flag);
+                spec.size = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--size needs an integer"))?;
+            }
+            "--seed" => {
+                job_flag = Some(flag);
+                spec.seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--seed needs an integer"))?;
+            }
+            "--design" => {
+                job_flag = Some(flag);
+                spec.design = parse_design(take_value(flag, &mut it)?)?;
+            }
+            "--restarts" => {
+                job_flag = Some(flag);
+                spec.restarts = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--restarts needs an integer"))?;
+            }
+            "--resolution" => {
+                job_flag = Some(flag);
+                spec.resolution = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--resolution needs an integer"))?,
+                );
+            }
+            "--step-budget" => {
+                job_flag = Some(flag);
+                spec.step_budget = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--step-budget needs an integer"))?,
+                );
+            }
+            "--fault-ber" => {
+                job_flag = Some(flag);
+                spec.fault_ber = Some(
+                    take_value(flag, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--fault-ber needs a number in [0, 1]"))?,
+                );
+            }
+            "--fault-seed" => {
+                job_flag = Some(flag);
+                spec.fault_seed = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--fault-seed needs an integer"))?;
+            }
+            "--fault-policy" => {
+                job_flag = Some(flag);
+                spec.fault_policy = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|e: String| err(format!("--fault-policy: {e}")))?;
+            }
+            other => return Err(err(format!("unknown flag '{other}' for submit"))),
+        }
+    }
+    match (op_flag, job_flag) {
+        (Some(op), Some(job)) => Err(err(format!(
+            "{op} and job flag {job} are mutually exclusive"
+        ))),
+        (Some("--ping"), None) => {
+            args.op = SubmitOp::Ping;
+            Ok(args)
+        }
+        (Some("--shutdown"), None) => {
+            args.op = SubmitOp::Shutdown;
+            Ok(args)
+        }
+        (Some("--fetch-metrics"), None) => {
+            args.op = SubmitOp::FetchMetrics;
+            Ok(args)
+        }
+        (Some(_), None) => Ok(args), // --raw already stored its payload
+        (None, _) => {
+            // Job validation is deliberately deferred to the daemon
+            // (same admission path as every other client), but the
+            // local zero checks mirror `solve` for parity of error
+            // messages.
+            if spec.restarts == 0 {
+                return Err(err("--restarts must be at least 1"));
+            }
+            if spec.step_budget == Some(0) {
+                return Err(err(
+                    "--step-budget 0 would run zero sweeps; omit the flag for unbounded",
+                ));
+            }
+            args.op = SubmitOp::Solve(spec);
+            Ok(args)
+        }
+    }
+}
+
 /// Parses a full command line (without the program name).
 ///
 /// # Errors
@@ -318,8 +616,10 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         Some("solve") => Ok(Command::Solve(parse_solve_args(it)?)),
         Some("compare") => Ok(Command::Compare(parse_solve_args(it)?)),
         Some("estimate") => Ok(Command::Estimate(parse_estimate_args(it)?)),
+        Some("serve") => Ok(Command::Serve(parse_serve_args(it)?)),
+        Some("submit") => Ok(Command::Submit(parse_submit_args(it)?)),
         Some(other) => Err(err(format!(
-            "unknown command '{other}' (solve|compare|estimate|info|help)"
+            "unknown command '{other}' (solve|compare|estimate|serve|submit|info|help)"
         ))),
     }
 }
@@ -355,6 +655,29 @@ USAGE:
   sachi compare  <same flags>         run every machine on one problem
   sachi estimate [--cop ...] [--spins N] [--design ...] [--resolution R]
                  [--iterations I] [--hierarchy ...]
+  sachi serve    [--port P] [--threads T] [--queue-depth Q]
+                 [--admission-timeout-ms MS] [--io-timeout-ms MS]
+                 [--max-conns C] [--max-step-budget B] [--max-size N]
+                 [--max-restarts K]
+                 (multi-tenant solver daemon on 127.0.0.1:P speaking
+                  length-prefixed JSON frames; replica ensembles from
+                  different jobs share one deterministic worker pool, so
+                  a job's result is byte-identical to the one-shot CLI
+                  at any thread count and under any co-tenants. Jobs
+                  over the admission limits, past the queue depth, or
+                  past the admission deadline are rejected with typed
+                  code-5 responses; GET /metrics on the same port serves
+                  Prometheus text exposition. All bounds reject 0.)
+  sachi submit   [--addr HOST:PORT] [job flags: --cop --size --seed
+                 --design --restarts --resolution --step-budget
+                 --fault-ber --fault-seed --fault-policy]
+                 | --ping | --shutdown | --fetch-metrics | --raw BODY
+                 (one request to a running daemon; exits with the
+                  daemon's response code — 0 ok, 2 usage/parse, 3 solve,
+                  4 fault, 5 server rejection. Op flags are mutually
+                  exclusive with each other and with job flags.
+                  --step-budget also works on solve: it caps total spin
+                  updates deterministically, in the work domain.)
   sachi info                          print geometry and technology constants
   sachi help
 
@@ -368,6 +691,11 @@ EXAMPLES:
   sachi solve --cop md --size 256 --metrics json --trace-phases
   sachi compare --cop imgseg --size 144
   sachi estimate --cop tsp --spins 1000000 --hierarchy server
+  sachi serve --port 7861 --queue-depth 8 --max-step-budget 1000000
+  sachi submit --cop sat --size 40 --restarts 8 --step-budget 60000
+  sachi submit --ping
+  sachi submit --fetch-metrics
+  sachi submit --shutdown
 ";
 
 #[cfg(test)]
@@ -585,5 +913,147 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn cop_labels_round_trip_through_parse_cop() {
+        for kind in CopKind::EXTENDED {
+            assert_eq!(parse_cop(cop_label(kind)).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn step_budget_parses_and_rejects_zero() {
+        match parse("solve --step-budget 60000".split_whitespace()).unwrap() {
+            Command::Solve(a) => assert_eq!(a.step_budget, Some(60_000)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["solve", "--step-budget", "0"])
+            .unwrap_err()
+            .0
+            .contains("zero sweeps"));
+        assert!(parse(["submit", "--step-budget", "0"])
+            .unwrap_err()
+            .0
+            .contains("zero sweeps"));
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(["serve"]).unwrap(),
+            Command::Serve(ServeArgs::default())
+        );
+        match parse(
+            "serve --port 9000 --threads 2 --queue-depth 3 --admission-timeout-ms 500 \
+             --io-timeout-ms 700 --max-conns 5 --max-step-budget 1000 --max-size 64 \
+             --max-restarts 4"
+                .split_whitespace(),
+        )
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.port, 9000);
+                assert_eq!(a.threads, 2);
+                assert_eq!(a.queue_depth, 3);
+                assert_eq!(a.admission_timeout_ms, 500);
+                assert_eq!(a.io_timeout_ms, 700);
+                assert_eq!(a.max_conns, 5);
+                assert_eq!(a.max_step_budget, 1_000);
+                assert_eq!(a.max_size, 64);
+                assert_eq!(a.max_restarts, 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["serve", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_every_zero_bound() {
+        // Satellite: a zero queue depth, port, timeout, or limit is a
+        // usage error at parse time, never a daemon that silently
+        // admits nothing.
+        for flag in [
+            "--port",
+            "--queue-depth",
+            "--admission-timeout-ms",
+            "--io-timeout-ms",
+            "--max-conns",
+            "--max-step-budget",
+            "--max-size",
+            "--max-restarts",
+        ] {
+            let e = parse(["serve", flag, "0"]).unwrap_err();
+            assert!(e.0.contains("at least 1"), "{flag}: {e}");
+        }
+        // --threads 0 stays legal: it means "all cores".
+        assert!(parse(["serve", "--threads", "0"]).is_ok());
+    }
+
+    #[test]
+    fn submit_builds_job_specs_and_ops() {
+        match parse(
+            "submit --addr 127.0.0.1:9000 --cop sat --size 40 --seed 9 --restarts 8 \
+             --step-budget 60000 --fault-ber 1e-4 --fault-policy failfast"
+                .split_whitespace(),
+        )
+        .unwrap()
+        {
+            Command::Submit(a) => {
+                assert_eq!(a.addr, "127.0.0.1:9000");
+                match a.op {
+                    SubmitOp::Solve(spec) => {
+                        assert_eq!(spec.cop, CopKind::SatThree);
+                        assert_eq!(spec.size, 40);
+                        assert_eq!(spec.seed, 9);
+                        assert_eq!(spec.restarts, 8);
+                        assert_eq!(spec.step_budget, Some(60_000));
+                        assert_eq!(spec.fault_ber, Some(1e-4));
+                        assert_eq!(spec.fault_policy, RecoveryPolicy::FailFast);
+                    }
+                    other => panic!("wrong op {other:?}"),
+                }
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(["submit", "--ping"]).unwrap(),
+            Command::Submit(SubmitArgs {
+                op: SubmitOp::Ping,
+                ..SubmitArgs::default()
+            })
+        );
+        match parse(["submit", "--raw", "not json"]).unwrap() {
+            Command::Submit(a) => assert_eq!(a.op, SubmitOp::Raw("not json".to_string())),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(["submit"]).unwrap() {
+            Command::Submit(a) => assert_eq!(a.op, SubmitOp::Solve(JobSpec::default())),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_op_flags_are_mutually_exclusive() {
+        assert!(parse(["submit", "--ping", "--shutdown"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+        assert!(parse(["submit", "--fetch-metrics", "--raw", "x"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+        assert!(parse(["submit", "--ping", "--cop", "md"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+        assert!(parse(["submit", "--size", "8", "--shutdown"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
+        assert!(parse(["submit", "--restarts", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
     }
 }

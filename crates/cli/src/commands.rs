@@ -13,17 +13,14 @@ use sachi_obs::prelude::*;
 use sachi_workloads::prelude::*;
 
 /// A built problem: graph plus an optional domain accuracy scorer.
-type AccuracyFn = Box<dyn Fn(&SpinVector) -> f64>;
+/// (The scorer type is shared with the `serve` session layer so the
+/// daemon and the one-shot CLI construct byte-identical problems.)
+type AccuracyFn = sachi_core::serve::AccuracyFn;
 
 struct Problem {
     name: String,
     graph: IsingGraph,
     accuracy: Option<AccuracyFn>,
-}
-
-fn near_square(size: usize) -> (usize, usize) {
-    let side = (size as f64).sqrt().round().max(1.0) as usize;
-    (side, size.div_ceil(side))
 }
 
 fn build_problem(args: &SolveArgs) -> Result<Problem, SachiError> {
@@ -69,91 +66,14 @@ fn build_problem(args: &SolveArgs) -> Result<Problem, SachiError> {
     let kind = args
         .cop
         .ok_or_else(|| SachiError::Usage("need --cop or --file".to_string()))?;
-    let seed = args.seed;
-    Ok(match kind {
-        CopKind::AssetAllocation => {
-            let w = AssetAllocation::new(args.size.max(2), seed);
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::ImageSegmentation => {
-            let (rows, cols) = near_square(args.size.max(4));
-            let w = ImageSegmentation::with_options(cols, rows, seed, Connectivity::Grid4, 6);
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::TravelingSalesman => {
-            let w = TspDecision::new(args.size.max(3), seed);
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::MolecularDynamics => {
-            let (rows, cols) = near_square(args.size.max(2));
-            let w = MolecularDynamics::new(rows, cols, seed);
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::SatThree => {
-            // Critical clause ratio m/n ~= 4.3 (the hard regime).
-            let n = args.size.max(5);
-            let m = n.saturating_mul(43) / 10;
-            let instance = SatInstance::random(n, m, seed);
-            let w = SatWorkload::new("generated", instance)
-                .map_err(|e| SachiError::Config(e.to_string()))?;
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::GraphColoring => {
-            let n = args.size.max(4);
-            let (instance, _) = ColoringInstance::planted(n, 3, 3_000, seed);
-            let w = ColoringWorkload::new("generated", instance)
-                .map_err(|e| SachiError::Config(e.to_string()))?;
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
-        CopKind::JobScheduling => {
-            let jobs = args.size.max(4);
-            let instance = SchedulingInstance::random(jobs, 3, 9, seed);
-            let w = SchedulingWorkload::new("generated", instance)
-                .map_err(|e| SachiError::Config(e.to_string()))?;
-            let name = w.name();
-            let graph = w.graph().clone();
-            Problem {
-                name,
-                graph,
-                accuracy: Some(Box::new(move |s| w.accuracy(s))),
-            }
-        }
+    // Generated COPs come from the shared session layer, so `sachi
+    // solve` and a `sachi serve` job with the same spec build the
+    // exact same instance (the determinism contract's first half).
+    let built = sachi_core::serve::build_cop_problem(kind, args.size, args.seed)?;
+    Ok(Problem {
+        name: built.name,
+        graph: built.graph,
+        accuracy: Some(built.accuracy),
     })
 }
 
@@ -204,9 +124,12 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
         );
     }
 
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ INIT_SEED_SALT);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
-    let opts = SolveOptions::for_graph(graph, args.seed + 1);
+    let mut opts = SolveOptions::for_graph(graph, args.seed.wrapping_add(1));
+    if let Some(budget) = args.step_budget {
+        opts = opts.with_step_budget(budget);
+    }
     let config = config_for(args);
 
     let replicas = usize::try_from(args.restarts.max(1))
@@ -334,9 +257,12 @@ pub fn compare(args: &SolveArgs) -> Result<(), SachiError> {
     let graph = &problem.graph;
     check_resolution(args, graph)?;
     println!("problem: {} ({} spins)", problem.name, graph.num_spins());
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0051_ac41);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ INIT_SEED_SALT);
     let init = SpinVector::random(graph.num_spins(), &mut rng);
-    let opts = SolveOptions::for_graph(graph, args.seed + 1);
+    let mut opts = SolveOptions::for_graph(graph, args.seed.wrapping_add(1));
+    if let Some(budget) = args.step_budget {
+        opts = opts.with_step_budget(budget);
+    }
 
     let golden = CpuReferenceSolver::new().solve(graph, &init, &opts);
     let mut table = Table::new(["machine", "H", "iters", "cycles", "energy", "reuse"]);

@@ -5,7 +5,10 @@
 #![deny(missing_docs)]
 
 mod args;
+mod clock;
 mod commands;
+mod protocol;
+mod serve;
 
 use args::Command;
 use sachi_core::error::SachiError;
@@ -37,6 +40,19 @@ fn main() -> ExitCode {
         Command::Solve(a) => commands::solve(&a),
         Command::Compare(a) => commands::compare(&a),
         Command::Estimate(a) => commands::estimate(&a),
+        Command::Serve(a) => serve::run(&a),
+        Command::Submit(a) => {
+            // The submit client exits with the daemon's response code:
+            // the wire protocol and the one-shot CLI share one error
+            // table, so scripts treat both front ends identically.
+            return match serve::submit(&a) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(e.exit_code())
+                }
+            };
+        }
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -140,7 +140,13 @@ pub struct EnsembleReport {
 }
 
 impl EnsembleReport {
-    fn fold(reports: Vec<RunReport>) -> Self {
+    /// Folds per-replica reports (in replica order) into the ensemble
+    /// report. Public so external schedulers — the `sachi serve` job
+    /// pool packs replicas from different jobs onto one worker pool —
+    /// apply the exact fold [`ReplicaLedger::finish`] applies, keeping
+    /// reports byte-identical regardless of which host ran the
+    /// replicas.
+    pub fn fold(reports: Vec<RunReport>) -> Self {
         let mut serial = Cycles::ZERO;
         let mut longest = Cycles::ZERO;
         let mut energy = EnergyLedger::new();

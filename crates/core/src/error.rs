@@ -12,12 +12,47 @@
 //! | 2    | usage / parse / I/O / configuration error           |
 //! | 3    | solve failure                                       |
 //! | 4    | fault outcome (fail-fast detection, budget spent)   |
+//! | 5    | server-side rejection (queue full, deadline, drain) |
 //!
 //! Exit code 1 is deliberately unused: it is what a panic-turned-abort
 //! produces, so scripts can distinguish "SACHI reported an error" from
 //! "SACHI crashed".
+//!
+//! The same numbers double as the `sachi serve` wire-protocol error
+//! codes (a `submit` client exits with the code it received), so one
+//! table covers both the one-shot CLI and the daemon.
 
 use std::fmt;
+
+/// Why the `sachi serve` daemon rejected a request server-side. These
+/// are *service* conditions — the job itself may be perfectly valid —
+/// so they get their own class (code 5) distinct from usage errors
+/// (code 2, the job can never work) and solve failures (code 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerReason {
+    /// The admission queue is at capacity; retry later (backpressure).
+    QueueFull,
+    /// The wall-clock admission deadline expired before a worker
+    /// started the job.
+    DeadlineExpired,
+    /// The daemon is draining; no new admissions.
+    ShuttingDown,
+    /// The job exceeds a server-side admission limit (size, restarts,
+    /// step budget).
+    OverLimit,
+}
+
+impl ServerReason {
+    /// Stable machine-readable label used in wire responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerReason::QueueFull => "queue-full",
+            ServerReason::DeadlineExpired => "deadline-expired",
+            ServerReason::ShuttingDown => "shutting-down",
+            ServerReason::OverLimit => "over-limit",
+        }
+    }
+}
 
 /// Classified failure of a SACHI pipeline entry point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,10 +79,18 @@ pub enum SachiError {
         /// Replicas run.
         replicas: u64,
     },
+    /// The `sachi serve` daemon rejected the request server-side.
+    Server {
+        /// Machine-readable rejection reason.
+        reason: ServerReason,
+        /// Human-readable detail for the response body.
+        message: String,
+    },
 }
 
 impl SachiError {
-    /// The process exit code for this error class.
+    /// The process exit code for this error class. Doubles as the
+    /// `sachi serve` wire-protocol error code.
     pub fn exit_code(&self) -> u8 {
         match self {
             SachiError::Usage(_)
@@ -56,6 +99,29 @@ impl SachiError {
             | SachiError::Config(_) => 2,
             SachiError::Solve(_) => 3,
             SachiError::FaultDetected { .. } | SachiError::FaultBudgetExhausted { .. } => 4,
+            SachiError::Server { .. } => 5,
+        }
+    }
+
+    /// Stable class label used in wire responses (`"usage"`, `"parse"`,
+    /// `"io"`, `"config"`, `"solve"`, `"fault"`, `"server"`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            SachiError::Usage(_) => "usage",
+            SachiError::Parse(_) => "parse",
+            SachiError::Io(_) => "io",
+            SachiError::Config(_) => "config",
+            SachiError::Solve(_) => "solve",
+            SachiError::FaultDetected { .. } | SachiError::FaultBudgetExhausted { .. } => "fault",
+            SachiError::Server { .. } => "server",
+        }
+    }
+
+    /// Convenience constructor for the server-side class.
+    pub fn server(reason: ServerReason, message: impl Into<String>) -> Self {
+        SachiError::Server {
+            reason,
+            message: message.into(),
         }
     }
 }
@@ -76,6 +142,9 @@ impl fmt::Display for SachiError {
                 f,
                 "fault-recovery budget exhausted: all {degraded}/{replicas} replicas degraded"
             ),
+            SachiError::Server { reason, message } => {
+                write!(f, "server rejected ({}): {message}", reason.label())
+            }
         }
     }
 }
@@ -110,6 +179,37 @@ mod tests {
             }
             .exit_code(),
             4
+        );
+        assert_eq!(
+            SachiError::server(ServerReason::QueueFull, "x").exit_code(),
+            5
+        );
+    }
+
+    #[test]
+    fn class_labels_match_the_wire_protocol_table() {
+        assert_eq!(SachiError::Usage("x".into()).class(), "usage");
+        assert_eq!(SachiError::Parse("x".into()).class(), "parse");
+        assert_eq!(SachiError::Io("x".into()).class(), "io");
+        assert_eq!(SachiError::Config("x".into()).class(), "config");
+        assert_eq!(SachiError::Solve("x".into()).class(), "solve");
+        assert_eq!(SachiError::FaultDetected { detected: 1 }.class(), "fault");
+        assert_eq!(
+            SachiError::server(ServerReason::ShuttingDown, "x").class(),
+            "server"
+        );
+    }
+
+    #[test]
+    fn server_reason_labels_are_stable() {
+        assert_eq!(ServerReason::QueueFull.label(), "queue-full");
+        assert_eq!(ServerReason::DeadlineExpired.label(), "deadline-expired");
+        assert_eq!(ServerReason::ShuttingDown.label(), "shutting-down");
+        assert_eq!(ServerReason::OverLimit.label(), "over-limit");
+        let e = SachiError::server(ServerReason::DeadlineExpired, "10000 ms admission window");
+        assert_eq!(
+            e.to_string(),
+            "server rejected (deadline-expired): 10000 ms admission window"
         );
     }
 

@@ -56,6 +56,7 @@ pub mod multicore;
 pub mod perf;
 pub mod phases;
 pub mod runtime;
+pub mod serve;
 pub mod tiled;
 pub mod tuple;
 
@@ -65,13 +66,17 @@ pub mod prelude {
     pub use crate::designs::{stationarity, ComputeContext, ComputeScratch, Stationarity};
     pub use crate::encoding::MixedEncoding;
     pub use crate::ensemble::{DetailedSolver, EnsembleReport, ReplicaLedger, ReportingMachine};
-    pub use crate::error::SachiError;
+    pub use crate::error::{SachiError, ServerReason};
     pub use crate::isa::{FistSubop, Instruction, MicroExecutor};
     pub use crate::machine::{FaultReport, RunReport, SachiMachine};
     pub use crate::multicore::{MulticoreEstimate, MulticoreModel, Partition};
     pub use crate::perf::{IterationEstimate, PerfModel, SolveEstimate};
     pub use crate::phases::PhaseSchedule;
     pub use crate::runtime::{Launch, ProblemHandle, SachiContext};
+    pub use crate::serve::{
+        build_cop_problem, CopProblem, JobHandle, JobLimits, JobOutcome, JobPlan, JobResult,
+        JobSpec, SolverPool, INIT_SEED_SALT,
+    };
     pub use crate::tiled::{Placement, PlacementError, ResidentN3Machine, TiledComputeArray};
     pub use crate::tuple::{SpinTuple, TupleStore};
 }

@@ -417,6 +417,11 @@ impl SachiMachine {
 
         let max_sweeps = options.effective_max_sweeps(n);
         while sweeps < max_sweeps {
+            // Job-level cancellation (the serve daemon's drain path):
+            // stop at a sweep boundary, return the partial state.
+            if options.is_cancelled() {
+                break;
+            }
             let mut flips_this_sweep = 0u64;
             for (round, chunk) in chunks.iter().enumerate() {
                 let round_start = total_cycles;

@@ -394,6 +394,11 @@ impl ResidentN3Machine {
 
         let max_sweeps = options.effective_max_sweeps(graph.num_spins());
         while sweeps < max_sweeps {
+            // Job-level cancellation (the serve daemon's drain path):
+            // stop at a sweep boundary, return the partial state.
+            if options.is_cancelled() {
+                break;
+            }
             let mut flips_this_sweep = 0u64;
             for (round, chunk) in chunks.iter().enumerate() {
                 // --- (re)load the round if it is not resident ---

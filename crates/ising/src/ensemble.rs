@@ -104,7 +104,13 @@ pub struct BestOf {
 }
 
 impl BestOf {
-    fn reduce(replicas: Vec<SolveResult>) -> Self {
+    /// Reduces per-replica results (in replica order) to the ensemble
+    /// verdict. Public so external schedulers — the `sachi serve` job
+    /// pool packs replicas from different jobs onto one worker pool —
+    /// can reuse the exact reduction the in-process runner applies;
+    /// byte-identical inputs therefore produce byte-identical verdicts
+    /// regardless of which host ran the replicas.
+    pub fn reduce(replicas: Vec<SolveResult>) -> Self {
         debug_assert!(!replicas.is_empty(), "ensembles have >= 1 replica");
         let mut best_index = 0;
         let mut stats = EnsembleStats {
@@ -140,7 +146,9 @@ impl BestOf {
 
     /// The best (lowest-energy) replica's result.
     pub fn best(&self) -> &SolveResult {
-        &self.replicas[self.best_index]
+        self.replicas
+            .get(self.best_index)
+            .expect("reduce picks best_index from the replica vec it stores")
     }
 
     /// Consumes the ensemble, returning the best replica's result.

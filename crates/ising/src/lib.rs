@@ -61,8 +61,8 @@ pub mod prelude {
     pub use crate::io::{parse_dimacs, parse_gset, to_dimacs, ParseError};
     pub use crate::recovery::RecoveryPolicy;
     pub use crate::solver::{
-        decide_update, solve_multi_start, CpuReferenceSolver, IterativeSolver, SolveOptions,
-        SolveResult,
+        decide_update, solve_multi_start, CancelToken, CpuReferenceSolver, IterativeSolver,
+        SolveOptions, SolveResult,
     };
     pub use crate::spin::{Spin, SpinVector};
 }

@@ -21,6 +21,41 @@ use crate::graph::IsingGraph;
 use crate::hamiltonian::{energy, local_field, update_rule};
 use crate::spin::{Spin, SpinVector};
 use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared job-level cancellation flag, checked by every solver at
+/// sweep boundaries.
+///
+/// Cancellation is a *control-plane* mechanism for long-lived hosts
+/// (the `sachi serve` daemon): when the flag is raised mid-solve the
+/// solver stops after the sweep it is on and returns the partial state
+/// with `converged = false`. A cancelled result therefore depends on
+/// *when* the flag was raised — it is advisory, and hosts that promise
+/// deterministic output must discard it (the daemon responds with a
+/// typed error instead). A token that is never cancelled is provably
+/// inert: the solvers read it once per sweep and never write it, so
+/// installing a token changes nothing about an uncancelled run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Every solver sharing this token stops at its
+    /// next sweep boundary. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Options controlling an iterative solve.
 #[derive(Debug, Clone)]
@@ -37,6 +72,10 @@ pub struct SolveOptions {
     /// expressed in work, not wall-clock, so it stays deterministic).
     /// `None` leaves `max_sweeps` as the only cap.
     pub step_budget: Option<u64>,
+    /// Optional job-level cancellation hook, shared across the replicas
+    /// of one job. `None` (the default) is equivalent to a token that
+    /// is never cancelled.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveOptions {
@@ -48,6 +87,7 @@ impl SolveOptions {
             seed,
             record_trace: false,
             step_budget: None,
+            cancel: None,
         }
     }
 
@@ -70,6 +110,20 @@ impl SolveOptions {
     pub fn with_step_budget(mut self, steps: u64) -> Self {
         self.step_budget = Some(steps);
         self
+    }
+
+    /// Installs a job-level cancellation token (see [`CancelToken`]).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when a token is installed and has been cancelled. Solvers
+    /// check this once per sweep and stop early with `converged =
+    /// false`; with no token installed it is always false.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The sweep cap after applying the step budget for a problem of
@@ -96,6 +150,7 @@ impl Default for SolveOptions {
             seed: 0,
             record_trace: false,
             step_budget: None,
+            cancel: None,
         }
     }
 }
@@ -224,6 +279,9 @@ impl IterativeSolver for CpuReferenceSolver {
 
         let max_sweeps = options.effective_max_sweeps(graph.num_spins());
         while sweeps < max_sweeps {
+            if options.is_cancelled() {
+                break;
+            }
             let mut flips_this_sweep = 0u64;
             for i in 0..graph.num_spins() {
                 let h_sigma = local_field(graph, &spins, i);
@@ -392,6 +450,41 @@ mod tests {
         );
         // Degenerate zero-spin problems never divide by zero.
         assert_eq!(tight.effective_max_sweeps(0), 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_sweep() {
+        let g = topology::complete(20, |i, j| if (i + j) % 2 == 0 { 3 } else { -3 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let init = SpinVector::random(20, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        let opts = SolveOptions::for_graph(&g, 1).with_cancel(token);
+        assert!(opts.is_cancelled());
+        let result = solver.solve(&g, &init, &opts);
+        assert_eq!(result.sweeps, 0);
+        assert!(!result.converged);
+        // The partial state is still a coherent result: the energy
+        // matches the untouched initial spins.
+        assert_eq!(result.spins, init);
+        assert_eq!(result.energy, energy(&g, &init));
+    }
+
+    #[test]
+    fn uncancelled_token_is_unobservable() {
+        let g = topology::complete(16, |i, j| if (i * j) % 3 == 0 { 2 } else { -1 }).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let init = SpinVector::random(16, &mut rng);
+        let mut solver = CpuReferenceSolver::new();
+        let bare = solver.solve(&g, &init, &SolveOptions::for_graph(&g, 7));
+        let tokened = solver.solve(
+            &g,
+            &init,
+            &SolveOptions::for_graph(&g, 7).with_cancel(CancelToken::new()),
+        );
+        assert_eq!(bare, tokened);
     }
 
     #[test]

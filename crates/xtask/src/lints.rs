@@ -75,12 +75,27 @@ const UNIT_SAFETY_SCOPE: &[&str] = &[
     "crates/core/src/ensemble.rs",
 ];
 
-/// Library crates that must not panic on library paths.
-const PANIC_FREEDOM_SCOPE: &[&str] = &["crates/core/src", "crates/mem/src", "crates/ising/src"];
+/// Library crates that must not panic on library paths, plus the
+/// `sachi serve` daemon modules: a panic there takes down every
+/// co-tenant, so the daemon side is held to library standards.
+const PANIC_FREEDOM_SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/mem/src",
+    "crates/ising/src",
+    "crates/cli/src/serve.rs",
+    "crates/cli/src/clock.rs",
+];
 
 /// Fault-handling modules held to the stricter no-`expect` standard:
 /// code that models failures must not introduce its own abort paths.
-const FAULT_STRICT_SCOPE: &[&str] = &["crates/mem/src/fault.rs", "crates/ising/src/recovery.rs"];
+/// The serve wire-protocol decoder joins them — every byte it touches
+/// arrives from an untrusted client, so even an "impossible" `expect`
+/// is a remotely reachable abort.
+const FAULT_STRICT_SCOPE: &[&str] = &[
+    "crates/mem/src/fault.rs",
+    "crates/ising/src/recovery.rs",
+    "crates/cli/src/protocol.rs",
+];
 
 /// Files whose `compute_*` function bodies are the per-sweep hot path:
 /// the designs' tuple kernels, the resident array's H-compute, and the

@@ -31,14 +31,17 @@
 //! cargo run -p xtask -- validate-metrics [<file>]
 //! cargo run -p xtask -- validate-analysis [<file>]
 //! cargo run -p xtask -- validate-quality [<file>]
+//! cargo run -p xtask -- validate-exposition [<file>]
 //! ```
 //!
 //! validate a `sachi solve --metrics json` snapshot
 //! (`sachi.metrics.v1`), an `analyze --json` document
-//! (`sachi.analyze.v1`), or a `disc_quality` report
+//! (`sachi.analyze.v1`), a `disc_quality` report
 //! (`sachi.quality.v1`, including three-families × four-designs
-//! coverage) from `<file>` or stdin — the CI gates behind the schema
-//! smokes in `ci.sh`.
+//! coverage), or a Prometheus text exposition (as served by
+//! `sachi serve`'s `/metrics` endpoint and fetched by
+//! `sachi submit --fetch-metrics`) from `<file>` or stdin — the CI
+//! gates behind the schema smokes in `ci.sh`.
 //!
 //! No external dependencies: a small hand-rolled Rust lexer, item
 //! parser, and call graph plus the workspace's own dependency-free
@@ -66,6 +69,7 @@ fn usage() -> ! {
     eprintln!("       cargo run -p xtask -- validate-metrics [<file>]    (stdin when no file)");
     eprintln!("       cargo run -p xtask -- validate-analysis [<file>]   (stdin when no file)");
     eprintln!("       cargo run -p xtask -- validate-quality [<file>]    (stdin when no file)");
+    eprintln!("       cargo run -p xtask -- validate-exposition [<file>] (stdin when no file)");
     std::process::exit(2);
 }
 
@@ -291,6 +295,28 @@ fn run_validate_quality(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// Validates a Prometheus text exposition (the `sachi serve` `/metrics`
+/// output): HELP/TYPE preambles, name/label syntax, numeric samples.
+fn run_validate_exposition(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(text) = read_doc(args.next(), args.next(), "validate-exposition") else {
+        return ExitCode::FAILURE;
+    };
+    match sachi_obs::prom::validate_exposition(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+                .count();
+            println!("xtask validate-exposition: ok (prometheus text format, {samples} sample(s))");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask validate-exposition: invalid exposition: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Reads the document for a validate subcommand from `<file>` or stdin.
 /// `extra` must be `None` (one positional argument at most).
 fn read_doc(source: Option<String>, extra: Option<String>, cmd: &str) -> Option<String> {
@@ -327,6 +353,7 @@ fn main() -> ExitCode {
         "validate-metrics" => run_validate_metrics(args),
         "validate-analysis" => run_validate_analysis(args),
         "validate-quality" => run_validate_quality(args),
+        "validate-exposition" => run_validate_exposition(args),
         other => {
             eprintln!("unknown subcommand `{other}`");
             usage();

@@ -185,6 +185,60 @@ proptest! {
     }
 }
 
+/// Strategy for one daemon job in a mixed-workload batch: family, size,
+/// restarts, and seed all vary, so co-tenant jobs on the shared pool are
+/// genuinely heterogeneous (different graphs, replica counts, budgets).
+fn job_spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (0usize..3, 8usize..17, 0u64..1000, 2u64..4).prop_map(|(family, size, seed, restarts)| {
+        let cop = match family {
+            0 => CopKind::MolecularDynamics,
+            1 => CopKind::SatThree,
+            _ => CopKind::GraphColoring,
+        };
+        JobSpec {
+            cop,
+            size,
+            seed,
+            restarts,
+            step_budget: Some(3000),
+            ..JobSpec::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The `sachi serve` multi-tenancy contract: a batch of jobs from
+    /// *different* workload families, interleaved on one shared
+    /// [`SolverPool`], each produce outcomes byte-identical to their
+    /// own [`JobPlan::run_solo`] reference — at every thread count, so
+    /// neither co-tenants nor worker scheduling are observable.
+    #[test]
+    fn mixed_workload_batches_are_tenant_isolated(
+        specs in proptest::collection::vec(job_spec_strategy(), 3..6),
+        threads in 1usize..5,
+    ) {
+        let solo: Vec<JobOutcome> = specs
+            .iter()
+            .map(|s| JobPlan::from_spec(s).expect("spec strategy yields valid jobs").run_solo())
+            .collect();
+        let pool = SolverPool::with_workers(threads);
+        let handles: Vec<JobHandle> = specs
+            .iter()
+            .map(|s| pool.submit(JobPlan::from_spec(s).expect("validated above")))
+            .collect();
+        for ((handle, want), spec) in handles.iter().zip(&solo).zip(&specs) {
+            let got = handle.wait().expect("pooled job completes");
+            prop_assert_eq!(&got.best, &want.best, "spec = {:?}, threads = {}", spec, threads);
+            prop_assert_eq!(got.report.serial_cycles, want.report.serial_cycles);
+            prop_assert_eq!(got.report.max_replica_cycles, want.report.max_replica_cycles);
+            prop_assert!((got.accuracy - want.accuracy).abs() < 1e-12);
+        }
+        pool.join();
+    }
+}
+
 /// Sequential (borrowed-solver) ensembles and threaded ensembles are the
 /// same function — the bridge that lets `solve_multi_start` share the
 /// determinism contract.
