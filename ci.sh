@@ -42,9 +42,11 @@ cargo test -q --test ensemble_determinism -- --test-threads=8
 echo "==> disc_faults --smoke"
 cargo run -q -p sachi-bench --bin disc_faults -- --smoke
 
-# Scalar vs bit-plane kernel tripwire: asserts H equality between the
-# two compute paths on the dense acceptance tuple and a full sweep
-# (timing ratios are only gated in the full, non-smoke run).
+# Kernel/sweep equality tripwire: asserts H equality between scalar,
+# bit-plane fast, and SoA tuple-plane paths on the dense acceptance
+# tuple, a King's-graph sweep, and a dense SoA sweep — and that banked
+# multi-round sweeps keep the H trajectory and compute cycles
+# bit-identical (timing ratios are only gated in the full run).
 echo "==> perf_kernels --smoke"
 cargo run -q -p sachi-bench --bin perf_kernels -- --smoke
 

@@ -97,6 +97,11 @@ pub struct SachiConfig {
     pub resolution: Option<u32>,
     /// DRAM prefetcher enabled (Sec. IV.A). Disable for `abl_prefetch`.
     pub prefetch: bool,
+    /// Storage-array write-port banks (sram22-style banking): a `B`-bank
+    /// array accepts `B` row uploads per cycle, dividing the per-round
+    /// upload term of the sweep schedule by `B`. `1` (the default) is
+    /// exactly the unbanked machine — cycle-identical by construction.
+    pub bank_count: usize,
     /// Tuple-rep enabled (Sec. IV.B.1). Disable for `abl_tuple_rep`.
     pub tuple_rep: bool,
     /// Optional fault-injection profile. `None` (the default) is a
@@ -121,6 +126,7 @@ impl SachiConfig {
             tech: TechnologyParams::freepdk45(),
             resolution: None,
             prefetch: true,
+            bank_count: 1,
             tuple_rep: true,
             fault: None,
             trace_phases: false,
@@ -160,6 +166,18 @@ impl SachiConfig {
     #[must_use]
     pub fn without_prefetch(mut self) -> Self {
         self.prefetch = false;
+        self
+    }
+
+    /// Sets the storage-array bank count (upload parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    #[must_use]
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        assert!(banks >= 1, "bank count must be >= 1, got {banks}");
+        self.bank_count = banks;
         self
     }
 
@@ -209,6 +227,7 @@ mod tests {
         assert_eq!(c.design, DesignKind::N3);
         assert_eq!(c.hierarchy, CacheHierarchy::hpca_default());
         assert!(c.prefetch);
+        assert_eq!(c.bank_count, 1);
         assert!(c.tuple_rep);
         assert_eq!(c.resolution, None);
         assert_eq!(c.fault, None);
@@ -237,12 +256,20 @@ mod tests {
             .with_hierarchy(CacheHierarchy::server())
             .with_resolution(16)
             .without_prefetch()
-            .without_tuple_rep();
+            .without_tuple_rep()
+            .with_banks(4);
         assert_eq!(c.design, DesignKind::N1a);
         assert_eq!(c.hierarchy, CacheHierarchy::server());
         assert_eq!(c.resolution, Some(16));
         assert!(!c.prefetch);
         assert!(!c.tuple_rep);
+        assert_eq!(c.bank_count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank count must be")]
+    fn bank_validation() {
+        let _ = SachiConfig::default().with_banks(0);
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use crate::config::DesignKind;
 use crate::encoding::MixedEncoding;
-use crate::tuple::SpinTuple;
+use crate::tuple::{SpinTuple, TuplePlaneView};
 use sachi_ising::spin::Spin;
+use sachi_mem::lanes;
 use sachi_mem::sram::{gather_bits, SramTile};
 use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 
@@ -94,7 +95,9 @@ pub struct ComputeScratch {
     packed_row: Vec<u64>,
     /// `(target, degree)` of the tuple whose spin row is resident.
     resident: Option<(u32, usize)>,
-    /// Redundant spin-row rewrites elided by the residency check.
+    /// Redundant spin-row *words* elided by the residency check (word-
+    /// granular: a partially changed row rewrites only its dirty words and
+    /// counts each clean word here).
     pub skipped_spin_writes: u64,
 }
 
@@ -142,21 +145,21 @@ impl ComputeScratch {
         }
     }
 
-    /// Packs the tuple's neighbor spins and writes them to the tile's
-    /// row 0 — unless that identical row is already resident, in which
-    /// case the write (and its `bits_written` accounting) is elided:
-    /// re-driving write word-lines with unchanged data is work the
-    /// silicon never does, and the spin-stationary designs keep resident
-    /// spins precisely so they need not be rewritten per compute.
-    fn layout_spin_row(&mut self, tile: &mut SramTile, tuple: &SpinTuple) {
-        let n = tuple.degree();
-        let words = MixedEncoding::plane_words(n);
+    fn ensure_spin_row(&mut self, words: usize) {
         if self.packed_row.len() < words {
             self.packed_row.resize(words, 0);
         }
         if self.resident_row.len() < words {
             self.resident_row.resize(words, 0);
         }
+    }
+
+    /// Packs the tuple's neighbor spins from the AoS tuple and writes them
+    /// to the tile's row 0 through [`ComputeScratch::writeback_spin_row`].
+    fn upload_spin_row(&mut self, tile: &mut SramTile, tuple: &SpinTuple) {
+        let n = tuple.degree();
+        let words = MixedEncoding::plane_words(n);
+        self.ensure_spin_row(words);
         for w in &mut self.packed_row[..words] {
             *w = 0;
         }
@@ -165,16 +168,50 @@ impl ComputeScratch {
                 self.packed_row[k / 64] |= 1u64 << (k % 64);
             }
         }
-        if self.resident == Some((tuple.target, n))
-            && self.resident_row[..words] == self.packed_row[..words]
-        {
-            self.skipped_spin_writes += 1;
+        self.writeback_spin_row(tile, tuple.target, n);
+    }
+
+    /// Uploads a pre-packed spin row (the SoA `spin_words` arena) to the
+    /// tile's row 0 through [`ComputeScratch::writeback_spin_row`] — the
+    /// zero-repack path of [`Stationarity::compute_tuple_soa`].
+    fn upload_spin_row_words(
+        &mut self,
+        tile: &mut SramTile,
+        target: u32,
+        n: usize,
+        spin_words: &[u64],
+    ) {
+        let words = MixedEncoding::plane_words(n);
+        self.ensure_spin_row(words);
+        self.packed_row[..words].copy_from_slice(&spin_words[..words]);
+        self.writeback_spin_row(tile, target, n);
+    }
+
+    /// Writes the packed spin row to the tile's row 0 with word-granular
+    /// rewrite elision: a word whose resident copy already equals the new
+    /// value is skipped (the write and its `bits_written` accounting are
+    /// elided — re-driving write word-lines with unchanged data is work
+    /// the silicon never does), and a partially changed row rewrites only
+    /// its dirty words. A tuple change re-arms the full-row write.
+    fn writeback_spin_row(&mut self, tile: &mut SramTile, target: u32, n: usize) {
+        let words = MixedEncoding::plane_words(n);
+        if self.resident == Some((target, n)) {
+            for wi in 0..words {
+                if self.resident_row[wi] == self.packed_row[wi] {
+                    self.skipped_spin_writes += 1;
+                    continue;
+                }
+                let width = (n - wi * 64).min(64);
+                tile.write_bits_from_word(0, wi * 64, width, self.packed_row[wi])
+                    .expect("tile sized by tile_requirements");
+                self.resident_row[wi] = self.packed_row[wi];
+            }
             return;
         }
         tile.write_row_words(0, &self.packed_row[..words], n)
             .expect("tile sized by tile_requirements");
         self.resident_row[..words].copy_from_slice(&self.packed_row[..words]);
-        self.resident = Some((tuple.target, n));
+        self.resident = Some((target, n));
     }
 }
 
@@ -238,6 +275,38 @@ pub trait Stationarity {
     ) -> i64 {
         let _ = scratch;
         self.compute_tuple(tile, enc, tuple, target, ctx)
+    }
+
+    /// Structure-of-arrays fast path: identical contract to
+    /// [`Stationarity::compute_tuple_fast`] (same `H_σ`, same
+    /// [`ComputeContext`] and [`sachi_mem::sram::TileStats`] deltas, same
+    /// sanctioned `bits_written` elision), but every encoded operand comes
+    /// pre-computed from `view` — no per-compute `MixedEncoding` encode,
+    /// no spin re-pack. `view` must be the [`crate::tuple::TuplePlanes`]
+    /// view of `tuple` at `enc`'s resolution, kept current under spin
+    /// updates via [`crate::tuple::TuplePlanes::writeback_spin`].
+    ///
+    /// The default implementation ignores `view` and falls back to the
+    /// AoS fast path; all four designs override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`Stationarity::compute_tuple`], or if `view` does not match
+    /// `tuple`.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_tuple_soa(
+        &self,
+        tile: &mut SramTile,
+        enc: &MixedEncoding,
+        tuple: &SpinTuple,
+        view: TuplePlaneView<'_>,
+        target: Spin,
+        ctx: &mut ComputeContext,
+        scratch: &mut ComputeScratch,
+    ) -> i64 {
+        let _ = view;
+        self.compute_tuple_fast(tile, enc, tuple, target, ctx, scratch)
     }
 
     /// Phase-1 (in-memory compute) cycles for a tuple of `n` neighbors.
@@ -316,7 +385,7 @@ fn n1_plane_phase1(
 ) -> usize {
     let n = tuple.degree();
     let r = enc.bits();
-    scratch.layout_spin_row(tile, tuple);
+    scratch.upload_spin_row(tile, tuple);
     let words = MixedEncoding::plane_words(n);
     scratch.ensure_planes(r, words);
     enc.encode_into(&tuple.couplings, &mut scratch.planes)
@@ -331,6 +400,61 @@ fn n1_plane_phase1(
         ctx.xnor_ops += count_u64(n);
     }
     words
+}
+
+/// Shared phase-1 of the n1 SoA paths: upload the pre-packed spin row and
+/// drive the pre-encoded coupling planes straight out of the SoA arena —
+/// the same access multiset as [`n1_plane_phase1`] with the per-compute
+/// encode and spin re-pack gone. Returns the words per plane.
+fn n1_plane_phase1_soa(
+    tile: &mut SramTile,
+    enc: &MixedEncoding,
+    tuple: &SpinTuple,
+    view: TuplePlaneView<'_>,
+    ctx: &mut ComputeContext,
+    scratch: &mut ComputeScratch,
+) -> usize {
+    let n = tuple.degree();
+    let r = enc.bits();
+    scratch.upload_spin_row_words(tile, tuple.target, n, view.spin_words);
+    let words = MixedEncoding::plane_words(n);
+    scratch.ensure_planes(r, words);
+    for b in 0..to_index(r) {
+        let plane = &view.coupling_planes[b * words..(b + 1) * words];
+        let out = &mut scratch.xnor[b * words..(b + 1) * words];
+        tile.compute_xnor_plane(0, plane, 0..n, out)
+            .expect("in-bounds by layout");
+        ctx.cycles += count_u64(n);
+        ctx.rwl_bits_fetched += count_u64(n);
+        ctx.xnor_ops += count_u64(n);
+    }
+    words
+}
+
+/// Shared finale for the n1 SoA paths: fold the whole XNOR plane set in
+/// one popcount-weighted pass. Per lane `k`, the product is
+/// `decode(xnor lane k) + [σ_k == Down]`; summed over lanes that is
+/// `Σ_b ±2^b·popcount(plane_b)` ([`MixedEncoding::decode_plane_sum`])
+/// plus the Down-spin count (`n − popcount(spin row)`) — the same integer
+/// sum the per-lane loop computes, in O(R·words) popcounts instead of
+/// O(N·R) shift/adds. Counter totals are the per-lane ones, batched.
+fn n1_finish_soa(
+    enc: &MixedEncoding,
+    tuple: &SpinTuple,
+    view: TuplePlaneView<'_>,
+    words: usize,
+    ctx: &mut ComputeContext,
+    scratch: &ComputeScratch,
+) -> i64 {
+    let n = tuple.degree();
+    let r = enc.bits();
+    let nn = count_u64(n);
+    let downs = nn - lanes::popcount(&view.spin_words[..words]);
+    let downs = i64::try_from(downs).expect("spin-down count bounded by degree");
+    let sum = enc.decode_plane_sum(&scratch.xnor[..to_index(r) * words], words);
+    ctx.adder_bit_ops += nn * (u64::from(r) + 2);
+    ctx.decisions += nn;
+    -(i64::from(tuple.field) + sum + downs)
 }
 
 /// SACHI(n1a): spin stationary, bit-major XNOR order (Fig. 11a.1).
@@ -426,6 +550,26 @@ impl Stationarity for SpinStationaryBitMajor {
             v
         });
         finish_from_products(products, tuple.field, r, ctx)
+    }
+
+    fn compute_tuple_soa(
+        &self,
+        tile: &mut SramTile,
+        enc: &MixedEncoding,
+        tuple: &SpinTuple,
+        view: TuplePlaneView<'_>,
+        _target: Spin,
+        ctx: &mut ComputeContext,
+        scratch: &mut ComputeScratch,
+    ) -> i64 {
+        let n = tuple.degree();
+        let r = enc.bits();
+        if n == 0 {
+            return -(i64::from(tuple.field));
+        }
+        let words = n1_plane_phase1_soa(tile, enc, tuple, view, ctx, scratch);
+        ctx.note_queue(count_u64(n) * (u64::from(r) + 1));
+        n1_finish_soa(enc, tuple, view, words, ctx, scratch)
     }
 
     fn phase1_cycles(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
@@ -543,6 +687,26 @@ impl Stationarity for SpinStationaryIcMajor {
             ctx.decisions += 1;
         }
         -acc
+    }
+
+    fn compute_tuple_soa(
+        &self,
+        tile: &mut SramTile,
+        enc: &MixedEncoding,
+        tuple: &SpinTuple,
+        view: TuplePlaneView<'_>,
+        _target: Spin,
+        ctx: &mut ComputeContext,
+        scratch: &mut ComputeScratch,
+    ) -> i64 {
+        let n = tuple.degree();
+        let r = enc.bits();
+        if n == 0 {
+            return -(i64::from(tuple.field));
+        }
+        let words = n1_plane_phase1_soa(tile, enc, tuple, view, ctx, scratch);
+        ctx.note_queue(u64::from(r) + 1);
+        n1_finish_soa(enc, tuple, view, words, ctx, scratch)
     }
 
     fn phase1_cycles(&self, n: u64, r: u32, _row_bits: u64) -> u64 {
@@ -694,6 +858,54 @@ impl Stationarity for IcStationary {
             acc += v;
         }
         -acc
+    }
+
+    fn compute_tuple_soa(
+        &self,
+        tile: &mut SramTile,
+        enc: &MixedEncoding,
+        tuple: &SpinTuple,
+        view: TuplePlaneView<'_>,
+        _target: Spin,
+        ctx: &mut ComputeContext,
+        scratch: &mut ComputeScratch,
+    ) -> i64 {
+        let n = tuple.degree();
+        let r = enc.bits();
+        if n == 0 {
+            return -(i64::from(tuple.field));
+        }
+        // The coupling rows overwrite whatever the tile held; any spin-row
+        // residency another design recorded is void.
+        scratch.invalidate();
+        let cols = tile.cols();
+        let rbits = to_index(r);
+        let drive_words = MixedEncoding::plane_words(n);
+        scratch.ensure_row_out(n);
+        // Layout and drive both come straight out of the SoA arenas: the
+        // encoded coupling rows upload as one batched write, the packed
+        // spin row drives the batch — no per-compute encode or re-pack.
+        tile.write_rows_from_words(0, 0, rbits, &view.coupling_words[..n])
+            .expect("tile sized by tile_requirements");
+        tile.compute_xnor_row_batch(
+            0,
+            n,
+            &view.spin_words[..drive_words],
+            0..cols,
+            0..rbits,
+            &mut scratch.row_out[..n],
+        )
+        .expect("in-bounds by layout");
+        let nn = count_u64(n);
+        ctx.cycles += nn;
+        ctx.rwl_bits_fetched += nn;
+        ctx.xnor_ops += nn * u64::from(r);
+        ctx.adder_bit_ops += nn * (u64::from(r) + 2);
+        ctx.decisions += nn;
+        // Σ_k (decode(out_k) + [σ_k == Down]) in one bulk pass.
+        let downs = nn - lanes::popcount(&view.spin_words[..drive_words]);
+        let downs = i64::try_from(downs).expect("spin-down count bounded by degree");
+        -(i64::from(tuple.field) + enc.decode_word_sum(&scratch.row_out[..n]) + downs)
     }
 
     fn phase1_cycles(&self, n: u64, _r: u32, _row_bits: u64) -> u64 {
@@ -879,6 +1091,80 @@ impl Stationarity for MixedStationary {
         -acc
     }
 
+    fn compute_tuple_soa(
+        &self,
+        tile: &mut SramTile,
+        enc: &MixedEncoding,
+        tuple: &SpinTuple,
+        view: TuplePlaneView<'_>,
+        target: Spin,
+        ctx: &mut ComputeContext,
+        scratch: &mut ComputeScratch,
+    ) -> i64 {
+        let n = tuple.degree();
+        let r = enc.bits();
+        if n == 0 {
+            return -(i64::from(tuple.field));
+        }
+        scratch.invalidate();
+        let rbits = to_index(r);
+        let group = rbits + 1;
+        let per_row = (tile.cols() / group).max(1);
+        let row_words = tile.cols().div_ceil(64);
+        scratch.ensure_row_out(row_words);
+        scratch.ensure_spin_row(row_words);
+        // Layout: the pre-maintained (R+1)-bit group words pack into whole
+        // row images — one row-wide write per occupied row instead of one
+        // sub-word write per neighbor. Same cells, same bits_written total
+        // (groups fill contiguously from column 0).
+        let rows = n.div_ceil(per_row);
+        let mut acc = i64::from(tuple.field);
+        for row in 0..rows {
+            let in_row = per_row.min(n - row * per_row);
+            let width = in_row * group;
+            let wwords = width.div_ceil(64);
+            for w in &mut scratch.packed_row[..wwords] {
+                *w = 0;
+            }
+            for (g, &gw) in view.group_words[row * per_row..row * per_row + in_row]
+                .iter()
+                .enumerate()
+            {
+                let pos = g * group;
+                let (wi, off) = (pos / 64, pos % 64);
+                scratch.packed_row[wi] |= gw << off;
+                if off + group > 64 {
+                    // off > 0 here, so the shift below stays < 64.
+                    scratch.packed_row[wi + 1] |= gw >> (64 - off);
+                }
+            }
+            tile.write_row_words(row, &scratch.packed_row[..wwords], width)
+                .expect("tile sized by tile_requirements");
+            // Phase 1: σ_i on the RWL, the whole used width sensed, each
+            // group's product decoded by shift/add (eqn. 5 select on the
+            // word) — identical to the AoS fast path from here on.
+            tile.compute_xnor_packed(row, target.bit(), 0..width, 0..width, &mut scratch.row_out)
+                .expect("in-bounds by layout");
+            ctx.cycles += 1;
+            ctx.rwl_bits_fetched += 1;
+            ctx.xnor_ops += count_u64(width);
+            for g in 0..in_row {
+                let x = gather_bits(&scratch.row_out, g * group, rbits);
+                let equal = gather_bits(&scratch.row_out, g * group + rbits, 1) == 1;
+                let sigma_j = if equal { target } else { target.flipped() };
+                let selected = if equal { x } else { !x };
+                let mut v = enc.decode_word(selected);
+                if sigma_j == Spin::Down {
+                    v += 1;
+                }
+                acc += v;
+                ctx.adder_bit_ops += u64::from(r) + 2;
+                ctx.decisions += 1;
+            }
+        }
+        -acc
+    }
+
     fn phase1_cycles(&self, n: u64, r: u32, row_bits: u64) -> u64 {
         n.max(1).div_ceil(n3_groups_per_row(r, row_bits))
     }
@@ -907,7 +1193,7 @@ impl Stationarity for MixedStationary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::TupleStore;
+    use crate::tuple::{TuplePlanes, TupleStore};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -953,11 +1239,15 @@ mod tests {
                 let enc = MixedEncoding::new(g.bits_required()).unwrap();
                 let design = stationarity(kind);
                 let (rows, cols) = design.tile_requirements(g.max_degree(), enc.bits(), 800);
+                let planes = TuplePlanes::new(&store, &enc).unwrap();
                 let mut tile_s = SramTile::new(rows, cols);
                 let mut tile_f = SramTile::new(rows, cols);
+                let mut tile_o = SramTile::new(rows, cols);
                 let mut ctx_s = ComputeContext::new();
                 let mut ctx_f = ComputeContext::new();
+                let mut ctx_o = ComputeContext::new();
                 let mut scratch = ComputeScratch::new();
+                let mut scratch_o = ComputeScratch::new();
                 for i in 0..16 {
                     let hs = design.compute_tuple(
                         &mut tile_s,
@@ -974,12 +1264,31 @@ mod tests {
                         &mut ctx_f,
                         &mut scratch,
                     );
+                    let ho = design.compute_tuple_soa(
+                        &mut tile_o,
+                        &enc,
+                        store.tuple(i),
+                        planes.view(i),
+                        spins.get(i),
+                        &mut ctx_o,
+                        &mut scratch_o,
+                    );
                     assert_eq!(hs, hf, "{kind} H mismatch at spin {i}");
+                    assert_eq!(hs, ho, "{kind} SoA H mismatch at spin {i}");
                     assert_eq!(ctx_s, ctx_f, "{kind} ComputeContext mismatch at spin {i}");
+                    assert_eq!(
+                        ctx_s, ctx_o,
+                        "{kind} SoA ComputeContext mismatch at spin {i}"
+                    );
                     assert_eq!(
                         tile_s.stats(),
                         tile_f.stats(),
                         "{kind} TileStats mismatch at spin {i}"
+                    );
+                    assert_eq!(
+                        tile_f.stats(),
+                        tile_o.stats(),
+                        "{kind} SoA TileStats mismatch at spin {i}"
                     );
                 }
             }

@@ -215,6 +215,47 @@ impl MixedEncoding {
         self.decode_word(word)
     }
 
+    /// Sums the decoded value of **every** lane of a bit-plane block in
+    /// one pass of word-parallel popcounts — the bulk equivalent of
+    /// calling [`MixedEncoding::decode_plane`] per lane and adding the
+    /// results. A lane's two's-complement value is
+    /// `Σ_{b<R-1} bit_b·2^b − bit_{R-1}·2^{R-1}`, so the sum over lanes
+    /// factors into one weighted popcount per plane: `R·w` popcounts
+    /// replace `lanes·R` bit gathers. Lanes beyond the valid data must be
+    /// zero (they then contribute exactly 0, as `decode_plane` would),
+    /// which is what [`MixedEncoding::encode_into`] and the plane XNOR
+    /// kernels guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` holds fewer than `bits() * words_per_plane`
+    /// words.
+    pub fn decode_plane_sum(&self, planes: &[u64], words_per_plane: usize) -> i64 {
+        let w = words_per_plane;
+        let r = self.bits as usize;
+        assert!(
+            planes.len() >= r * w,
+            "plane buffer of {} words < {r} planes x {w} words",
+            planes.len()
+        );
+        let mut sum = 0i64;
+        for b in 0..r {
+            let ones = sachi_mem::lanes::popcount(&planes[b * w..(b + 1) * w]) as i64;
+            if b == r - 1 {
+                sum -= ones << b; // MSB plane carries the sign weight
+            } else {
+                sum += ones << b;
+            }
+        }
+        sum
+    }
+
+    /// Sums [`MixedEncoding::decode_word`] over a slice of LSB-aligned
+    /// words — the bulk finale of the row-batch kernels.
+    pub fn decode_word_sum(&self, words: &[u64]) -> i64 {
+        words.iter().map(|&word| self.decode_word(word)).sum()
+    }
+
     /// Decodes LSB-first two's-complement bits (sign-extending the MSB).
     ///
     /// # Panics
@@ -527,6 +568,40 @@ mod tests {
             let enc = MixedEncoding::new(bits).unwrap();
             let lanes: Vec<bool> = (0..bits).map(|b| (word >> b) & 1 == 1).collect();
             prop_assert_eq!(enc.decode(&lanes), enc.decode_word(word));
+        }
+
+        #[test]
+        fn plane_sum_matches_per_lane_decode(
+            bits in 2u32..=32,
+            raw in prop::collection::vec(any::<i64>(), 0..150),
+        ) {
+            let enc = MixedEncoding::new(bits).unwrap();
+            let span = enc.max_value() - enc.min_value() + 1;
+            let values: Vec<i32> = raw
+                .iter()
+                .map(|&v| {
+                    i32::try_from(v.rem_euclid(span) + enc.min_value())
+                        .expect("R <= 32 keeps coefficients in i32")
+                })
+                .collect();
+            let w = MixedEncoding::plane_words(values.len());
+            let mut planes = vec![0u64; bits as usize * w];
+            enc.encode_into(&values, &mut planes).unwrap();
+            let per_lane: i64 = (0..values.len())
+                .map(|lane| enc.decode_plane(&planes, w, lane))
+                .sum();
+            prop_assert_eq!(enc.decode_plane_sum(&planes, w), per_lane);
+            prop_assert_eq!(per_lane, values.iter().map(|&v| i64::from(v)).sum::<i64>());
+        }
+
+        #[test]
+        fn word_sum_matches_per_word_decode(
+            bits in 2u32..=32,
+            words in prop::collection::vec(any::<u64>(), 0..80),
+        ) {
+            let enc = MixedEncoding::new(bits).unwrap();
+            let per_word: i64 = words.iter().map(|&wd| enc.decode_word(wd)).sum();
+            prop_assert_eq!(enc.decode_word_sum(&words), per_word);
         }
     }
 }

@@ -78,5 +78,5 @@ pub mod prelude {
         JobSpec, SolverPool, INIT_SEED_SALT,
     };
     pub use crate::tiled::{Placement, PlacementError, ResidentN3Machine, TiledComputeArray};
-    pub use crate::tuple::{SpinTuple, TupleStore};
+    pub use crate::tuple::{SpinTuple, TuplePlaneView, TuplePlanes, TupleStore};
 }

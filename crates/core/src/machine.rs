@@ -24,7 +24,7 @@
 use crate::config::{DesignKind, SachiConfig};
 use crate::designs::{stationarity, ComputeContext, ComputeScratch};
 use crate::encoding::MixedEncoding;
-use crate::tuple::TupleStore;
+use crate::tuple::{TuplePlanes, TupleStore};
 use sachi_ising::anneal::Annealer;
 use sachi_ising::graph::IsingGraph;
 use sachi_ising::hamiltonian::energy;
@@ -34,7 +34,7 @@ use sachi_ising::spin::SpinVector;
 use sachi_mem::dram::{DramController, DramStats};
 use sachi_mem::energy::{EnergyComponent, EnergyLedger};
 use sachi_mem::fault::FaultInjector;
-use sachi_mem::sram::{SramTile, TileStats};
+use sachi_mem::sram::{SramTile, TileParams, TileStats};
 use sachi_mem::units::convert::{count_u64, ratio_u64, to_index};
 use sachi_mem::units::{Bits, Cycles, Nanoseconds};
 use sachi_obs::{MetricsRegistry, PhaseSpan, SolvePhase};
@@ -328,7 +328,8 @@ impl SachiMachine {
         let max_degree = graph.max_degree().max(1);
         let (tile_rows, tile_cols) =
             design.tile_requirements(max_degree, enc.bits(), geometry.row_bits());
-        let mut tile = SramTile::new(tile_rows, tile_cols);
+        let tile_params = TileParams::new(tile_rows, tile_cols).with_banks(self.config.bank_count);
+        let mut tile = SramTile::with_params(tile_params);
         // Per-machine scratch for the bit-plane fast path, hoisted out of
         // the sweep loop so the hot path never allocates. A non-inert
         // fault profile pins the scalar path: the injector's positional
@@ -341,6 +342,16 @@ impl SachiMachine {
             .fault
             .as_ref()
             .is_none_or(|profile| profile.model.is_inert());
+        // SoA mirror of the tuple store: every encoded operand the fast
+        // paths need, computed once here instead of per compute. The
+        // scalar path (pinned by a non-inert fault profile) keeps reading
+        // the AoS tuples, so the positional fault-RNG contract is
+        // untouched.
+        let mut soa = if use_fast {
+            Some(TuplePlanes::new(&tuples, &enc).expect("encoding sized from graph coefficients"))
+        } else {
+            None
+        };
 
         // Partition spins into compute-array rounds by resident footprint.
         let capacity_bits = geometry.total_bits().get();
@@ -402,6 +413,10 @@ impl SachiMachine {
         let mut converged = false;
         let mut trace = Vec::new();
         let schedule_fill = design.idle_cycles(count_u64(max_degree), enc.bits()) + 3;
+        // Per-tile cycle sums, hoisted out of the sweep loop (zeroed per
+        // round) so the hot path never allocates.
+        let num_tiles = geometry.tiles();
+        let mut tile_sums = vec![0u64; num_tiles];
 
         // Fault layer: the injector's stream is salted with the solve
         // seed (the per-replica derived seed in an ensemble), so fault
@@ -436,9 +451,12 @@ impl SachiMachine {
                 let mut round_load = Cycles::ZERO;
                 if reload && chunk_resident > 0 {
                     // Storage -> compute: fixed movement latency plus one
-                    // row per cycle.
+                    // row per cycle per bank — a B-bank array accepts B
+                    // row uploads per cycle, so the upload of round k+1
+                    // overlaps the H-compute of round k that much sooner.
                     let rows = chunk_resident.div_ceil(count_u64(geometry.row_bits()));
-                    round_load = tech.storage_to_compute_cycles() + Cycles::new(rows);
+                    round_load = tech.storage_to_compute_cycles()
+                        + Cycles::new(tile_params.upload_cycles(rows));
                     ledger.record(
                         EnergyComponent::DataMovement,
                         tech.movement_energy_per_bit() * chunk_resident,
@@ -478,9 +496,8 @@ impl SachiMachine {
                 // tiles blockwise ("successive spins in the same tile"),
                 // which is the load imbalance Fig. 17(iii) calls out;
                 // n1b/n2/n3 interleave.
-                let num_tiles = geometry.tiles();
                 let chunk_len = chunk.len().max(1);
-                let mut tile_sums = vec![0u64; num_tiles];
+                tile_sums.fill(0);
                 for (pos, i) in chunk.clone().enumerate() {
                     let cycles_before_tuple = ctx.cycles;
                     let h_sigma = {
@@ -493,11 +510,12 @@ impl SachiMachine {
                                 .all(|(&j, &s)| s == spins.get(to_index(j))),
                             "tuple-rep copies stale at spin {i}: the Fig. 8b update path missed a refresh"
                         );
-                        if use_fast {
-                            design.compute_tuple_fast(
+                        if let Some(planes) = soa.as_ref() {
+                            design.compute_tuple_soa(
                                 &mut tile,
                                 &enc,
                                 tuple,
+                                planes.view(i),
                                 spins.get(i),
                                 &mut ctx,
                                 &mut scratch,
@@ -595,6 +613,9 @@ impl SachiMachine {
                         // Fig. 8b update path: adjacency read + relevant
                         // tuple copy writes in the storage array.
                         let copies = tuples.update_spin(i, new);
+                        if let Some(planes) = soa.as_mut() {
+                            planes.writeback_spin(&tuples, i, new);
+                        }
                         ledger.record(
                             EnergyComponent::SramRead,
                             tech.rbl_energy_per_bit() * copies,

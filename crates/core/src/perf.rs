@@ -108,6 +108,7 @@ impl PerfModel {
         let spins = shape.spins;
         let row_bits = count_u64(geometry.row_bits());
         let tiles = count_u64(geometry.tiles());
+        let banks = count_u64(self.config.bank_count);
 
         let per_tuple = design.phase1_cycles(n, r, row_bits).max(1);
         let resident = design.resident_bits_per_tuple(n, r).max(1);
@@ -143,7 +144,9 @@ impl PerfModel {
             }
             let resident_bits = len * resident;
             let rows = resident_bits.div_ceil(row_bits);
-            let l2 = tech.storage_to_compute_cycles().get() + rows;
+            // A B-bank array uploads B rows per cycle — mirrors
+            // `TileParams::upload_cycles` in the functional machine.
+            let l2 = tech.storage_to_compute_cycles().get() + rows.div_ceil(banks);
             if uses_dram && !self.config.prefetch {
                 let dram = tech.dram_stream_cycles(
                     Bits::new(len * Self::tuple_storage_bits(shape)).to_bytes_ceil(),
@@ -274,8 +277,10 @@ impl PerfModel {
             .max(1);
         let first_fill_bits =
             (shape.spins * resident).min(self.config.hierarchy.compute.total_bits().get());
+        let first_fill_rows =
+            first_fill_bits.div_ceil(count_u64(self.config.hierarchy.compute.row_bits()));
         let first_fill = tech.storage_to_compute_cycles().get()
-            + first_fill_bits.div_ceil(count_u64(self.config.hierarchy.compute.row_bits()));
+            + first_fill_rows.div_ceil(count_u64(self.config.bank_count));
 
         let total = initial_store
             + Cycles::new(first_fill)
@@ -391,6 +396,64 @@ mod tests {
                 expected_load,
                 "{design} load cycles"
             );
+        }
+    }
+
+    #[test]
+    fn model_matches_banked_machine_with_rounds() {
+        // Banking divides the per-round upload term; the analytic model
+        // must track the metered machine exactly (the disc_drift 0.00%
+        // contract) for any bank count, including non-divisors.
+        let n_spins = 12usize;
+        let g = topology::complete(n_spins, |i, j| ((i + j) % 5) as i32 + 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let init = SpinVector::random(n_spins, &mut rng);
+        let opts = SolveOptions::for_graph(&g, 4);
+        let small = CacheHierarchy {
+            compute: CacheGeometry::new(2, 4, 64, 1),
+            storage: CacheGeometry::sachi_storage_default(),
+        };
+        for banks in [2usize, 4, 7] {
+            for design in DesignKind::ALL {
+                let config = SachiConfig::new(design)
+                    .with_hierarchy(small)
+                    .with_banks(banks);
+                let config_tech_storage_cycles = config.tech.storage_to_compute_cycles().get();
+                let mut machine = SachiMachine::new(config.clone());
+                let (_, report) = machine.solve_detailed(&g, &init, &opts);
+                let shape = WorkloadShape::new(
+                    n_spins as u64,
+                    (n_spins - 1) as u64,
+                    report.resolution_bits,
+                );
+                let est = PerfModel::new(config).iteration(&shape);
+                assert_eq!(
+                    est.rounds, report.rounds_per_sweep,
+                    "{design} x{banks} rounds"
+                );
+                assert_eq!(
+                    report.compute_cycles.get(),
+                    est.compute_cycles.get() * report.sweeps,
+                    "{design} x{banks} compute cycles"
+                );
+                // With rounds > 1 every sweep reloads; a single resident
+                // round only pays the sweep-0 fill, which banking divides
+                // the same way.
+                let expected_load = if est.rounds > 1 {
+                    est.load_cycles.get() * report.sweeps
+                } else {
+                    let resident = stationarity(design)
+                        .resident_bits_per_tuple(shape.neighbors_per_spin, shape.resolution_bits)
+                        .max(1);
+                    let rows = (shape.spins * resident).div_ceil(small.compute.row_bits() as u64);
+                    config_tech_storage_cycles + rows.div_ceil(banks as u64)
+                };
+                assert_eq!(
+                    report.load_cycles.get(),
+                    expected_load,
+                    "{design} x{banks} load cycles"
+                );
+            }
         }
     }
 

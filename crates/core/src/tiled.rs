@@ -391,6 +391,10 @@ impl ResidentN3Machine {
         let mut placements: Vec<Option<Placement>> = vec![None; n];
         let mut resident_chunk: Option<usize> = None;
         let schedule_fill = 2 + 3; // n3 pipeline fill + tail
+                                   // Per-tile cycle sums, hoisted out of the sweep loop (zeroed per
+                                   // round) so the hot path never allocates.
+        let num_tiles = geometry.tiles();
+        let mut tile_sums = vec![0u64; num_tiles];
 
         let max_sweeps = options.effective_max_sweeps(graph.num_spins());
         while sweeps < max_sweeps {
@@ -418,8 +422,11 @@ impl ResidentN3Machine {
                             count_u64(tuples.tuple(i).degree()) * (u64::from(enc.bits()) + 1);
                     }
                     resident_chunk = Some(round);
+                    // One row per cycle per bank (bank_count == 1 is the
+                    // unbanked schedule, cycle-identical by div_ceil(1)).
                     let rows = layout_bits.div_ceil(count_u64(geometry.row_bits()));
-                    round_load = tech.storage_to_compute_cycles() + Cycles::new(rows);
+                    round_load = tech.storage_to_compute_cycles()
+                        + Cycles::new(rows.div_ceil(count_u64(self.config.bank_count)));
                     ledger.record(
                         EnergyComponent::DataMovement,
                         tech.movement_energy_per_bit() * layout_bits,
@@ -437,8 +444,7 @@ impl ResidentN3Machine {
                 }
 
                 // --- compute the round ---
-                let num_tiles = geometry.tiles();
-                let mut tile_sums = vec![0u64; num_tiles];
+                tile_sums.fill(0);
                 for i in chunk.clone() {
                     let placement = placements[i].expect("resident");
                     let before = ctx.cycles;
@@ -470,10 +476,12 @@ impl ResidentN3Machine {
                         );
                         // Compute-array side: refresh the *resident*
                         // copies so later tuples in this round see the
-                        // new value (real bit writes).
-                        for (t_idx, slot) in adjacency_of(graph, i) {
-                            if let Some(p) = placements[t_idx] {
-                                array.update_spin_copy(p, slot, new);
+                        // new value (real bit writes). The store's
+                        // adjacency index gives the (owner, slot) pairs
+                        // without re-deriving them from the graph.
+                        for &(t_idx, slot) in tuples.adjacency_of(i) {
+                            if let Some(p) = placements[to_index(t_idx)] {
+                                array.update_spin_copy(p, to_index(slot), new);
                             }
                         }
                     }
@@ -583,23 +591,6 @@ impl ResidentN3Machine {
         };
         (result, report)
     }
-}
-
-/// Iterates `(tuple_owner, slot)` pairs holding a copy of spin `j` —
-/// derived from the graph (the same information the storage array's
-/// adjacency-matrix region holds).
-fn adjacency_of(graph: &IsingGraph, j: usize) -> Vec<(usize, usize)> {
-    graph
-        .neighbors(j)
-        .map(|(owner, _)| {
-            let owner = to_index(owner);
-            let slot = graph
-                .neighbors(owner)
-                .position(|(nb, _)| to_index(nb) == j)
-                .expect("symmetric adjacency");
-            (owner, slot)
-        })
-        .collect()
 }
 
 impl IterativeSolver for ResidentN3Machine {

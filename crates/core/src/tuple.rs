@@ -13,6 +13,7 @@
 //! pair of structures, and its counters feed the machine's cycle/energy
 //! accounting.
 
+use crate::encoding::{EncodingError, MixedEncoding};
 use sachi_ising::graph::IsingGraph;
 use sachi_ising::spin::{Spin, SpinVector};
 
@@ -181,6 +182,18 @@ impl TupleStore {
         self.tuples[i].local_field()
     }
 
+    /// The adjacency entries of spin `j`: every `(tuple_index, slot)` pair
+    /// holding a copy of `σ_j`. This is the read the Fig. 8b update path
+    /// performs; exposing it lets mirrored stores ([`TuplePlanes`]) follow
+    /// the same walk without duplicating the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn adjacency_of(&self, j: usize) -> &[(u32, u32)] {
+        &self.adjacency[j]
+    }
+
     /// Applies a spin update through the Fig. 8b path: reads the adjacency
     /// matrix, then refreshes `σ_j`'s copy in every relevant tuple.
     /// Returns the number of tuple entries written.
@@ -230,6 +243,191 @@ impl TupleStore {
     /// membership.
     pub fn adjacency_bits(&self) -> u64 {
         self.adjacency.iter().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// Per-tuple offsets into the [`TuplePlanes`] arenas.
+#[derive(Debug, Clone, Copy)]
+struct PlaneSlot {
+    /// Word offset into `coupling_planes` (the tuple owns `r * words`
+    /// words starting here, `words = plane_words(degree)`).
+    planes: usize,
+    /// Word offset into `coupling_words` / `group_words` (the tuple owns
+    /// `degree` words starting here).
+    words: usize,
+    /// Word offset into `spin_words` (the tuple owns
+    /// `plane_words(degree)` words starting here).
+    spins: usize,
+    /// Neighbor count of the tuple.
+    degree: usize,
+}
+
+/// Structure-of-arrays mirror of a [`TupleStore`]: every encoding the four
+/// design kernels consume, pre-computed once and stored as contiguous u64
+/// word arenas.
+///
+/// The AoS tuples keep one `Vec<i32>`/`Vec<Spin>` pair per tuple, so every
+/// fast-path compute re-runs `MixedEncoding` encode over the couplings and
+/// re-packs the spin bits — a per-tuple gather that BENCH_perf.json shows
+/// dominating the sweep once the XNOR kernels are fast. The SoA mirror
+/// hoists all of that out of the sweep loop:
+///
+/// * `coupling_planes` — bit-transposed coupling planes (`r` planes of
+///   `plane_words(N)` words per tuple): the n1a/n1b drive operand,
+///   consumed plane-at-a-time by `compute_xnor_plane`.
+/// * `coupling_words` — one sign-magnitude-encoded word per coupling: the
+///   n2 row image, uploaded whole with `write_rows_from_words`.
+/// * `group_words` — `encode(J) | σ_j << r` per coupling: the n3 packed
+///   group image, maintained under spin updates.
+/// * `spin_words` — the packed neighbor-spin row (`plane_words(N)` words
+///   per tuple): the spin-stationary upload operand and the n2 drive row.
+///
+/// Couplings and fields are stationary for a whole solve, so only the
+/// spin-dependent arenas (`spin_words`, `group_words`) ever change after
+/// construction; [`TuplePlanes::writeback_spin`] applies a spin flip by
+/// walking the same adjacency entries as [`TupleStore::update_spin`].
+#[derive(Debug, Clone)]
+pub struct TuplePlanes {
+    bits: u32,
+    slots: Vec<PlaneSlot>,
+    coupling_planes: Vec<u64>,
+    coupling_words: Vec<u64>,
+    group_words: Vec<u64>,
+    spin_words: Vec<u64>,
+}
+
+/// Borrowed view of one tuple's SoA data — what a design kernel receives.
+#[derive(Debug, Clone, Copy)]
+pub struct TuplePlaneView<'a> {
+    /// `r` bit-planes of `plane_words(degree)` words each.
+    pub coupling_planes: &'a [u64],
+    /// One encoded word per coupling (`degree` words).
+    pub coupling_words: &'a [u64],
+    /// One `encode(J) | σ_j << r` group word per coupling (`degree` words).
+    pub group_words: &'a [u64],
+    /// Packed neighbor-spin bits (`plane_words(degree)` words).
+    pub spin_words: &'a [u64],
+}
+
+impl TuplePlanes {
+    /// Builds the SoA mirror of `store` at the encoding's resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coupling is out of range for `enc`.
+    pub fn new(store: &TupleStore, enc: &MixedEncoding) -> Result<Self, EncodingError> {
+        Self::from_tuples(store.iter(), enc)
+    }
+
+    /// Builds the mirror from an explicit tuple sequence (tests and
+    /// single-tuple differential harnesses).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coupling is out of range for `enc`.
+    pub fn from_tuples<'a, I>(tuples: I, enc: &MixedEncoding) -> Result<Self, EncodingError>
+    where
+        I: IntoIterator<Item = &'a SpinTuple>,
+    {
+        let r = enc.bits() as usize;
+        let mut planes = Self {
+            bits: enc.bits(),
+            slots: Vec::new(),
+            coupling_planes: Vec::new(),
+            coupling_words: Vec::new(),
+            group_words: Vec::new(),
+            spin_words: Vec::new(),
+        };
+        for tuple in tuples {
+            let n = tuple.degree();
+            let words = MixedEncoding::plane_words(n);
+            let slot = PlaneSlot {
+                planes: planes.coupling_planes.len(),
+                words: planes.coupling_words.len(),
+                spins: planes.spin_words.len(),
+                degree: n,
+            };
+            planes.coupling_planes.resize(slot.planes + r * words, 0);
+            enc.encode_into(&tuple.couplings, &mut planes.coupling_planes[slot.planes..])?;
+            planes.spin_words.resize(slot.spins + words, 0);
+            for (k, (&j, &s)) in tuple
+                .couplings
+                .iter()
+                .zip(tuple.neighbor_spins.iter())
+                .enumerate()
+            {
+                let word = enc.encode_word(i64::from(j))?;
+                planes.coupling_words.push(word);
+                planes
+                    .group_words
+                    .push(word | (s.bit() as u64) << enc.bits());
+                if s.bit() {
+                    planes.spin_words[slot.spins + k / 64] |= 1u64 << (k % 64);
+                }
+            }
+            planes.slots.push(slot);
+        }
+        Ok(planes)
+    }
+
+    /// Encoding resolution the mirror was built at.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of mirrored tuples.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no tuples are mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The SoA view of tuple `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view(&self, i: usize) -> TuplePlaneView<'_> {
+        let slot = self.slots[i];
+        let r = self.bits as usize;
+        let words = MixedEncoding::plane_words(slot.degree);
+        TuplePlaneView {
+            coupling_planes: &self.coupling_planes[slot.planes..slot.planes + r * words],
+            coupling_words: &self.coupling_words[slot.words..slot.words + slot.degree],
+            group_words: &self.group_words[slot.words..slot.words + slot.degree],
+            spin_words: &self.spin_words[slot.spins..slot.spins + words],
+        }
+    }
+
+    /// Mirrors a spin flip: refreshes `σ_j`'s bit in the spin row and group
+    /// word of every tuple that holds a copy, walking the same adjacency
+    /// entries as [`TupleStore::update_spin`]. Call with the *store that
+    /// built this mirror* (before or after its own update — the adjacency
+    /// index is immutable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range for `store`, or if `store` does not
+    /// match the tuples this mirror was built from.
+    pub fn writeback_spin(&mut self, store: &TupleStore, j: usize, new: Spin) {
+        for &(t, slot) in store.adjacency_of(j) {
+            let ps = self.slots[t as usize];
+            let (k, bit) = (slot as usize / 64, slot as usize % 64);
+            assert!(
+                (slot as usize) < ps.degree,
+                "adjacency slot out of range for mirrored tuple {t}"
+            );
+            if new.bit() {
+                self.spin_words[ps.spins + k] |= 1u64 << bit;
+                self.group_words[ps.words + slot as usize] |= 1u64 << self.bits;
+            } else {
+                self.spin_words[ps.spins + k] &= !(1u64 << bit);
+                self.group_words[ps.words + slot as usize] &= !(1u64 << self.bits);
+            }
+        }
     }
 }
 
@@ -343,5 +541,120 @@ mod tests {
         let mut store = TupleStore::new(&g, &s);
         assert_eq!(store.update_spin(0, Spin::Down), 0);
         assert_eq!(store.spin_copy_updates(), 0);
+    }
+
+    fn assert_planes_mirror_store(planes: &TuplePlanes, store: &TupleStore, enc: &MixedEncoding) {
+        assert_eq!(planes.len(), store.len());
+        for (i, tuple) in store.iter().enumerate() {
+            let v = planes.view(i);
+            let n = tuple.degree();
+            let w = MixedEncoding::plane_words(n);
+            assert_eq!(v.coupling_planes.len(), enc.bits() as usize * w);
+            assert_eq!(v.coupling_words.len(), n);
+            assert_eq!(v.group_words.len(), n);
+            assert_eq!(v.spin_words.len(), w);
+            for (k, (&j, &s)) in tuple
+                .couplings
+                .iter()
+                .zip(tuple.neighbor_spins.iter())
+                .enumerate()
+            {
+                assert_eq!(enc.decode_plane(v.coupling_planes, w, k), i64::from(j));
+                assert_eq!(enc.decode_word(v.coupling_words[k]), i64::from(j));
+                assert_eq!(
+                    v.group_words[k],
+                    v.coupling_words[k] | (s.bit() as u64) << enc.bits()
+                );
+                assert_eq!((v.spin_words[k / 64] >> (k % 64)) & 1 == 1, s.bit());
+            }
+            // Padding bits beyond the degree stay zero (the popcount-based
+            // Down-spin count depends on this).
+            for k in n..w * 64 {
+                assert_eq!((v.spin_words[k / 64] >> (k % 64)) & 1, 0, "lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_mirror_matches_aos_store() {
+        let (g, s) = sample();
+        let store = TupleStore::new(&g, &s);
+        let enc = MixedEncoding::new(4).unwrap();
+        let planes = TuplePlanes::new(&store, &enc).unwrap();
+        assert_eq!(planes.bits(), 4);
+        assert!(!planes.is_empty());
+        assert_planes_mirror_store(&planes, &store, &enc);
+    }
+
+    #[test]
+    fn soa_writeback_tracks_spin_updates() {
+        // King graph: degree 8 exercises multi-neighbor rows; then a wide
+        // complete-ish update sequence to cross word boundaries elsewhere.
+        let g = topology::king(4, 4, |a, b| ((a + 2 * b) % 7) as i32 - 3).unwrap();
+        let mut s = SpinVector::filled(16, Spin::Up);
+        let mut store = TupleStore::new(&g, &s);
+        let enc = MixedEncoding::new(4).unwrap();
+        let mut planes = TuplePlanes::new(&store, &enc).unwrap();
+        for (j, flip) in [
+            (5usize, Spin::Down),
+            (0, Spin::Down),
+            (5, Spin::Up),
+            (10, Spin::Down),
+        ] {
+            s.set(j, flip);
+            store.update_spin(j, flip);
+            planes.writeback_spin(&store, j, flip);
+            assert_planes_mirror_store(&planes, &store, &enc);
+            // The incremental mirror equals a from-scratch rebuild.
+            let fresh = TuplePlanes::new(&store, &enc).unwrap();
+            for i in 0..store.len() {
+                assert_eq!(planes.view(i).spin_words, fresh.view(i).spin_words);
+                assert_eq!(planes.view(i).group_words, fresh.view(i).group_words);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_mirror_spans_word_boundaries() {
+        // A 100-neighbor tuple needs two spin words; every encoding arena
+        // must stay aligned across the boundary.
+        let n = 100u32;
+        let tuple = SpinTuple {
+            target: 0,
+            neighbors: (1..=n).collect(),
+            couplings: (0..n as i32).map(|k| (k % 15) - 7).collect(),
+            neighbor_spins: (0..n)
+                .map(|k| if k % 3 == 0 { Spin::Down } else { Spin::Up })
+                .collect(),
+            field: 2,
+        };
+        let enc = MixedEncoding::new(4).unwrap();
+        let planes = TuplePlanes::from_tuples([&tuple], &enc).unwrap();
+        let v = planes.view(0);
+        assert_eq!(v.spin_words.len(), 2);
+        let w = MixedEncoding::plane_words(n as usize);
+        for k in 0..n as usize {
+            assert_eq!(
+                enc.decode_plane(v.coupling_planes, w, k),
+                i64::from(tuple.couplings[k])
+            );
+            assert_eq!(
+                (v.spin_words[k / 64] >> (k % 64)) & 1 == 1,
+                tuple.neighbor_spins[k].bit()
+            );
+        }
+    }
+
+    #[test]
+    fn soa_rejects_out_of_range_couplings() {
+        let tuple = SpinTuple {
+            target: 0,
+            neighbors: vec![1],
+            couplings: vec![1000],
+            neighbor_spins: vec![Spin::Up],
+            field: 0,
+        };
+        let enc = MixedEncoding::new(4).unwrap();
+        assert!(TuplePlanes::from_tuples([&tuple], &enc).is_err());
     }
 }

@@ -23,11 +23,67 @@
 
 use crate::energy::{EnergyComponent, EnergyLedger};
 use crate::fault::FaultInjector;
+use crate::lanes;
 use crate::params::TechnologyParams;
 use crate::units::convert::count_u64;
 use crate::units::Picojoules;
 use std::fmt;
 use std::ops::Range;
+
+/// Generator-style tile parameters, the way sram22 exposes its bitcell
+/// arrays: rows, columns, and the bank count as first-class knobs rather
+/// than hard-coded geometry.
+///
+/// Banks partition the write port: a `B`-bank tile accepts `B` row
+/// uploads per cycle (one per bank write port), so a chunk of `rows`
+/// tuple rows streams in over `ceil(rows / B)` cycles instead of `rows`.
+/// The compute side is unaffected — banking widens the *upload* path the
+/// sweep pipeline overlaps against the prefetcher, not the XNOR arrays.
+/// `banks == 1` is, by construction, exactly the unbanked tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileParams {
+    /// Number of rows.
+    pub rows: usize,
+    /// Bits per row.
+    pub cols: usize,
+    /// Write-port banks (`>= 1`).
+    pub banks: usize,
+}
+
+impl TileParams {
+    /// Single-bank parameters for a `rows x cols` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tile must have non-zero dimensions");
+        TileParams {
+            rows,
+            cols,
+            banks: 1,
+        }
+    }
+
+    /// Sets the bank count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        assert!(banks >= 1, "tile needs at least one bank");
+        self.banks = banks;
+        self
+    }
+
+    /// Cycles to upload `rows` tuple rows through the banked write port:
+    /// `ceil(rows / banks)`. With one bank this is the identity, which is
+    /// what keeps `banks == 1` cycle-identical to the unbanked machine.
+    #[must_use]
+    pub fn upload_cycles(&self, rows: u64) -> u64 {
+        rows.div_ceil(count_u64(self.banks))
+    }
+}
 
 /// Error returned by [`SramTile`] operations on out-of-bounds accesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,25 +198,34 @@ impl TileStats {
 pub struct SramTile {
     rows: usize,
     cols: usize,
+    banks: usize,
     words_per_row: usize,
     bits: Vec<u64>,
     stats: TileStats,
 }
 
 impl SramTile {
-    /// Creates a zero-initialized tile.
+    /// Creates a zero-initialized single-bank tile.
     ///
     /// # Panics
     ///
     /// Panics if `rows` or `cols` is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "tile must have non-zero dimensions");
-        let words_per_row = cols.div_ceil(64);
+        Self::with_params(TileParams::new(rows, cols))
+    }
+
+    /// Creates a zero-initialized tile from generator parameters. The bank
+    /// count only widens the upload path's cycle accounting (see
+    /// [`TileParams::upload_cycles`]); stored bits, compute kernels, and
+    /// every [`TileStats`] counter are identical across bank counts.
+    pub fn with_params(params: TileParams) -> Self {
+        let words_per_row = params.cols.div_ceil(64);
         SramTile {
-            rows,
-            cols,
+            rows: params.rows,
+            cols: params.cols,
+            banks: params.banks,
             words_per_row,
-            bits: vec![0; rows * words_per_row],
+            bits: vec![0; params.rows * words_per_row],
             stats: TileStats::default(),
         }
     }
@@ -173,6 +238,20 @@ impl SramTile {
     /// Number of columns (bits per row).
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Number of write-port banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// The tile's generator parameters.
+    pub fn params(&self) -> TileParams {
+        TileParams {
+            rows: self.rows,
+            cols: self.cols,
+            banks: self.banks,
+        }
     }
 
     /// The accumulated event counters.
@@ -460,7 +539,24 @@ impl SramTile {
         let broadcast = if input { u64::MAX } else { 0 };
         let mut discharges = 0u64;
         let mut useful = 0u64;
+        // Words fully inside both the active and sense windows need no
+        // masking: their discharge count and sensed count are the same
+        // popcount, so the chunked-lane kernel handles the whole inner run
+        // and only the (at most four) window-edge words stay scalar.
+        let full0 = active.start.max(sense.start).div_ceil(64);
+        let full1 = (active.end / 64).min(sense.end / 64);
+        let chunked = !sense.is_empty() && full0 < full1;
+        if chunked {
+            let stored = &self.bits[base + full0..base + full1];
+            lanes::xnor_broadcast_into(stored, broadcast, &mut out[full0..full1]);
+            let sensed_ones = lanes::popcount(&out[full0..full1]);
+            discharges += sensed_ones;
+            useful += sensed_ones;
+        }
         for (w, slot) in out.iter_mut().enumerate().take(out_words) {
+            if chunked && (full0..full1).contains(&w) {
+                continue;
+            }
             let word_start = w * 64;
             let valid_bits = (self.cols - word_start).min(64);
             let alo = active.start.max(word_start);
@@ -555,7 +651,27 @@ impl SramTile {
         let mut stored_ones = 0u64; // P: stored 1s inside the active window
         let mut input_ones = 0u64; // c1: plane 1s inside the active window
         let mut useful = 0u64;
+        // Words fully covered by the active window (active.end <= cols
+        // guarantees they also hold 64 valid bits) take the chunked-lane
+        // kernel with no masking; at most two edge words stay scalar. The
+        // chunked run computes the same words and popcounts as the masked
+        // loop with a full-word mask — only the counter association
+        // changes, and addition is associative.
+        let full0 = active.start.div_ceil(64);
+        let full1 = active.end / 64;
+        let chunked = full0 < full1;
+        if chunked {
+            let stored = &self.bits[base + full0..base + full1];
+            let drive = &plane[full0..full1];
+            lanes::xnor_into(stored, drive, &mut out[full0..full1]);
+            stored_ones += lanes::popcount(stored);
+            input_ones += lanes::popcount(drive);
+            useful += lanes::popcount(&out[full0..full1]);
+        }
         for (w, slot) in out.iter_mut().enumerate().take(span_words) {
+            if chunked && (full0..full1).contains(&w) {
+                continue;
+            }
             let word_start = w * 64;
             let valid_bits = (self.cols - word_start).min(64);
             let alo = active.start.max(word_start);

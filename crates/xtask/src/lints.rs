@@ -6,7 +6,7 @@
 //! | `panic-freedom` | no `.unwrap()` / `panic!` in library code of `sachi-core`, `sachi-mem`, `sachi-ising` (`.expect("invariant …")` is the sanctioned escape hatch) |
 //! | `fault-strict` | the fault-injection and recovery modules may not even `.expect(…)` — fault handling code must never be a panic source itself |
 //! | `bench-registration` | every `fig*` / `abl_*` / `disc_*` / `perf_*` bench binary has a `fn main`, is declared in `crates/bench/src/lib.rs`, and is referenced in `EXPERIMENTS.md` |
-//! | `hot-path` | no heap allocation (`vec!`, `.collect(…)`, `.to_vec(…)`, `Vec::…`) and no metrics/span instrumentation (`counter_add`, `.observe`, `MetricsRegistry`, …) inside `compute_*` kernel bodies — the per-sweep hot path runs on caller-provided scratch buffers and is metered by post-sweep harvest, never inline |
+//! | `hot-path` | no heap allocation (`vec!`, `.collect(…)`, `.to_vec(…)`, `Vec::…`) and no metrics/span instrumentation (`counter_add`, `.observe`, `MetricsRegistry`, …) inside `compute_*` / `upload_*` / `writeback_*` kernel bodies — the per-sweep hot path runs on caller-provided scratch buffers and is metered by post-sweep harvest, never inline |
 //! | `hygiene` | `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` stay present in every crate root |
 //!
 //! Findings are suppressed by matching [`crate::allowlist`] entries; a
@@ -97,16 +97,22 @@ const FAULT_STRICT_SCOPE: &[&str] = &[
     "crates/cli/src/protocol.rs",
 ];
 
-/// Files whose `compute_*` function bodies are the per-sweep hot path:
-/// the designs' tuple kernels, the resident array's H-compute, and the
-/// SRAM compute kernels. Allocation there is an N·R-per-sweep tax the
-/// bit-plane fast path exists to remove; the scalar reference paths are
-/// excused by audited `lint.allow.toml` entries.
+/// Files whose `compute_*` / `upload_*` / `writeback_*` function bodies
+/// are the per-sweep hot path: the designs' tuple kernels and spin-row
+/// upload/writeback helpers, the resident array's H-compute, the SoA
+/// tuple-plane writeback, and the SRAM compute kernels. Allocation there
+/// is an N·R-per-sweep tax the bit-plane fast path exists to remove; the
+/// scalar reference paths are excused by audited `lint.allow.toml`
+/// entries.
 const HOT_PATH_SCOPE: &[&str] = &[
     "crates/core/src/designs.rs",
     "crates/core/src/tiled.rs",
+    "crates/core/src/tuple.rs",
     "crates/mem/src/sram.rs",
 ];
+
+/// Function-name prefixes that mark a body as per-sweep hot path.
+const HOT_PATH_FN_PREFIXES: &[&str] = &["compute_", "upload_", "writeback_"];
 
 /// Heap-allocation spellings banned inside hot-path kernel bodies.
 const HOT_PATH_PATTERNS: &[&str] = &[
@@ -389,7 +395,7 @@ fn hot_path(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
             let mut seen: std::collections::BTreeSet<(usize, &str)> =
                 std::collections::BTreeSet::new();
             for f in &parsed.fns {
-                if f.is_test || !f.name.starts_with("compute_") {
+                if f.is_test || !HOT_PATH_FN_PREFIXES.iter().any(|p| f.name.starts_with(p)) {
                     continue;
                 }
                 // A bodyless trait declaration has nothing to scan.
@@ -538,13 +544,14 @@ mod tests {
         // hygiene violation: missing deny(missing_docs).
         mk("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n//! d\n");
         // hot-path violations: allocation AND inline instrumentation
-        // inside a compute kernel body; the allocation in `layout` must
-        // NOT fire (not a compute fn), nor the bodyless trait
+        // inside a compute kernel body, plus allocations in the upload
+        // and writeback sweep-loop helpers; the allocation in `layout`
+        // must NOT fire (not a hot-path prefix), nor the bodyless trait
         // declaration's surroundings, nor the registry export outside
         // any kernel (`harvest` is the sanctioned pattern).
         mk(
             "crates/core/src/designs.rs",
-            "//! d\ntrait T {\n    fn compute_tuple(&self) -> i64;\n}\npub fn layout() { let _ = vec![1]; }\npub fn harvest(reg: &mut R) { reg.counter_add(\"x\", 1); }\npub fn compute_h(reg: &mut R) -> i64 {\n    let v = vec![0u64; 4];\n    reg.counter_add(\"machine_xnor_ops\", 1);\n    i64::from(!v.is_empty())\n}\n",
+            "//! d\ntrait T {\n    fn compute_tuple(&self) -> i64;\n}\npub fn layout() { let _ = vec![1]; }\npub fn harvest(reg: &mut R) { reg.counter_add(\"x\", 1); }\npub fn compute_h(reg: &mut R) -> i64 {\n    let v = vec![0u64; 4];\n    reg.counter_add(\"machine_xnor_ops\", 1);\n    i64::from(!v.is_empty())\n}\npub fn upload_row() { let _ = Vec::with_capacity(4); }\npub fn writeback_row(xs: &[u64]) { let _ = xs.to_vec(); }\n",
         );
         mk("crates/core/Cargo.toml", "[package]\nname = \"c\"\n");
         mk(
@@ -566,14 +573,26 @@ mod tests {
         assert!(lints.contains(&"bench-registration"), "{findings:?}");
         assert!(lints.contains(&"hot-path"), "{findings:?}");
         assert!(lints.contains(&"hygiene"), "{findings:?}");
-        // hot-path scans compute kernels only: the `vec!` in `layout`,
-        // the registry export in `harvest`, and the bodyless trait
-        // declaration never fire — but both the allocation and the
-        // inline `counter_add` inside `compute_h` do.
+        // hot-path scans the compute/upload/writeback kernels only: the
+        // `vec!` in `layout`, the registry export in `harvest`, and the
+        // bodyless trait declaration never fire — but the allocation and
+        // inline `counter_add` inside `compute_h` do, as do the
+        // allocations in `upload_row` and `writeback_row`.
         let hot: Vec<&Finding> = findings.iter().filter(|f| f.lint == "hot-path").collect();
-        assert_eq!(hot.len(), 2, "{hot:?}");
+        assert_eq!(hot.len(), 4, "{hot:?}");
+        assert_eq!(
+            hot.iter()
+                .filter(|f| f.message.contains("compute_h"))
+                .count(),
+            2,
+            "{hot:?}"
+        );
         assert!(
-            hot.iter().all(|f| f.message.contains("compute_h")),
+            hot.iter().any(|f| f.message.contains("upload_row")),
+            "{hot:?}"
+        );
+        assert!(
+            hot.iter().any(|f| f.message.contains("writeback_row")),
             "{hot:?}"
         );
         assert!(

@@ -10,11 +10,17 @@
 //! spin-row residency elision, pinned by its own test below.
 
 use proptest::prelude::*;
-use sachi::arch::config::DesignKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sachi::arch::config::{DesignKind, SachiConfig};
 use sachi::arch::designs::{stationarity, ComputeContext, ComputeScratch};
 use sachi::arch::encoding::MixedEncoding;
-use sachi::arch::tuple::SpinTuple;
-use sachi::ising::spin::Spin;
+use sachi::arch::machine::SachiMachine;
+use sachi::arch::tuple::{SpinTuple, TuplePlanes};
+use sachi::ising::graph::topology;
+use sachi::ising::solver::SolveOptions;
+use sachi::ising::spin::{Spin, SpinVector};
+use sachi::mem::cache::{CacheGeometry, CacheHierarchy};
 use sachi::mem::sram::SramTile;
 
 /// Maps a raw draw into the R-bit two's-complement coefficient range.
@@ -42,16 +48,21 @@ fn build_tuple(r: u32, pairs: &[(u64, bool)], field_raw: u64) -> SpinTuple {
     }
 }
 
-/// Runs both paths on freshly-sized twin tiles and asserts bit-exact
-/// equality of (H, `ComputeContext`, `TileStats`).
+/// Runs all three paths (scalar, fast AoS, fast SoA) on freshly-sized
+/// twin tiles and asserts bit-exact equality of (H, `ComputeContext`,
+/// `TileStats`).
 fn assert_paths_agree(kind: DesignKind, enc: &MixedEncoding, tuple: &SpinTuple, target: Spin) {
     let design = stationarity(kind);
     let (rows, cols) = design.tile_requirements(tuple.degree(), enc.bits(), 800);
     let mut tile_scalar = SramTile::new(rows, cols);
     let mut tile_fast = SramTile::new(rows, cols);
+    let mut tile_soa = SramTile::new(rows, cols);
     let mut ctx_scalar = ComputeContext::new();
     let mut ctx_fast = ComputeContext::new();
+    let mut ctx_soa = ComputeContext::new();
     let mut scratch = ComputeScratch::new();
+    let mut scratch_soa = ComputeScratch::new();
+    let planes = TuplePlanes::from_tuples([tuple], enc).expect("coefficients fit R bits");
     let h_scalar = design.compute_tuple(&mut tile_scalar, enc, tuple, target, &mut ctx_scalar);
     let h_fast = design.compute_tuple_fast(
         &mut tile_fast,
@@ -61,10 +72,26 @@ fn assert_paths_agree(kind: DesignKind, enc: &MixedEncoding, tuple: &SpinTuple, 
         &mut ctx_fast,
         &mut scratch,
     );
+    let h_soa = design.compute_tuple_soa(
+        &mut tile_soa,
+        enc,
+        tuple,
+        planes.view(0),
+        target,
+        &mut ctx_soa,
+        &mut scratch_soa,
+    );
     assert_eq!(
         h_scalar,
         h_fast,
         "{kind} H diverged (R={}, degree={})",
+        enc.bits(),
+        tuple.degree()
+    );
+    assert_eq!(
+        h_scalar,
+        h_soa,
+        "{kind} SoA H diverged (R={}, degree={})",
         enc.bits(),
         tuple.degree()
     );
@@ -81,9 +108,23 @@ fn assert_paths_agree(kind: DesignKind, enc: &MixedEncoding, tuple: &SpinTuple, 
         tuple.degree()
     );
     assert_eq!(
+        ctx_scalar,
+        ctx_soa,
+        "{kind} SoA ComputeContext diverged (R={}, degree={})",
+        enc.bits(),
+        tuple.degree()
+    );
+    assert_eq!(
         tile_scalar.stats(),
         tile_fast.stats(),
         "{kind} TileStats diverged (R={}, degree={})",
+        enc.bits(),
+        tuple.degree()
+    );
+    assert_eq!(
+        tile_scalar.stats(),
+        tile_soa.stats(),
+        "{kind} SoA TileStats diverged (R={}, degree={})",
         enc.bits(),
         tuple.degree()
     );
@@ -133,20 +174,30 @@ proptest! {
                 .collect();
             let max_degree = tuples.iter().map(SpinTuple::degree).max().unwrap_or(1);
             let (rows, cols) = design.tile_requirements(max_degree, r, 800);
+            let planes = TuplePlanes::from_tuples(tuples.iter(), &enc).expect("coefficients fit");
             let mut tile_scalar = SramTile::new(rows, cols);
             let mut tile_fast = SramTile::new(rows, cols);
+            let mut tile_soa = SramTile::new(rows, cols);
             let mut ctx_scalar = ComputeContext::new();
             let mut ctx_fast = ComputeContext::new();
+            let mut ctx_soa = ComputeContext::new();
             let mut scratch = ComputeScratch::new();
-            for tuple in &tuples {
+            let mut scratch_soa = ComputeScratch::new();
+            for (i, tuple) in tuples.iter().enumerate() {
                 let hs = design.compute_tuple(&mut tile_scalar, &enc, tuple, Spin::Up, &mut ctx_scalar);
                 let hf = design.compute_tuple_fast(
                     &mut tile_fast, &enc, tuple, Spin::Up, &mut ctx_fast, &mut scratch,
                 );
+                let ho = design.compute_tuple_soa(
+                    &mut tile_soa, &enc, tuple, planes.view(i), Spin::Up, &mut ctx_soa, &mut scratch_soa,
+                );
                 prop_assert_eq!(hs, hf, "{} H diverged mid-stream", kind);
+                prop_assert_eq!(hs, ho, "{} SoA H diverged mid-stream", kind);
             }
             prop_assert_eq!(ctx_scalar, ctx_fast, "{} ComputeContext diverged", kind);
+            prop_assert_eq!(ctx_scalar, ctx_soa, "{} SoA ComputeContext diverged", kind);
             prop_assert_eq!(tile_scalar.stats(), tile_fast.stats(), "{} TileStats diverged", kind);
+            prop_assert_eq!(tile_scalar.stats(), tile_soa.stats(), "{} SoA TileStats diverged", kind);
         }
     }
 }
@@ -231,5 +282,193 @@ fn spin_row_elision_is_the_only_sanctioned_divergence() {
         assert_eq!(s.bits_read, f.bits_read);
         // Two skipped rewrites of the 17-bit spin row.
         assert_eq!(s.bits_written, f.bits_written + 2 * 17);
+    }
+}
+
+#[test]
+fn spin_row_elision_is_word_granular_across_word_boundaries() {
+    // A degree-100 tuple packs its spin row into two u64 words. The
+    // residency tag works per word: recomputing an unchanged tuple skips
+    // BOTH words; flipping a neighbor that lives in the second word
+    // rewrites only that word while the clean first word still skips.
+    // As with the single-word elision above, bits_written is the only
+    // divergence — H and all ComputeContext counters stay bit-identical.
+    let enc = MixedEncoding::new(4).expect("valid resolution");
+    let pairs: Vec<(u64, bool)> = (0..100).map(|k| (k * 13 + 1, k % 2 == 0)).collect();
+    let mut tuple = build_tuple(4, &pairs, 3);
+    for kind in [DesignKind::N1a, DesignKind::N1b] {
+        let design = stationarity(kind);
+        let (rows, cols) = design.tile_requirements(tuple.degree(), enc.bits(), 800);
+        let mut tile_scalar = SramTile::new(rows, cols);
+        let mut tile_fast = SramTile::new(rows, cols);
+        let mut ctx_scalar = ComputeContext::new();
+        let mut ctx_fast = ComputeContext::new();
+        let mut scratch = ComputeScratch::new();
+        // Pass 0 is cold (full upload); pass 1 recomputes the identical
+        // tuple, so both spin-row words are elided.
+        for _ in 0..2 {
+            let hs =
+                design.compute_tuple(&mut tile_scalar, &enc, &tuple, Spin::Up, &mut ctx_scalar);
+            let hf = design.compute_tuple_fast(
+                &mut tile_fast,
+                &enc,
+                &tuple,
+                Spin::Up,
+                &mut ctx_fast,
+                &mut scratch,
+            );
+            assert_eq!(hs, hf, "{kind} H diverged");
+        }
+        assert_eq!(
+            scratch.skipped_spin_writes, 2,
+            "{kind}: both words of an unchanged row must skip"
+        );
+        // Slot 70 lives in spin-row word 1 (bits 64..100); word 0 stays
+        // clean and must keep skipping.
+        tuple.neighbor_spins[70] = tuple.neighbor_spins[70].flipped();
+        let hs = design.compute_tuple(&mut tile_scalar, &enc, &tuple, Spin::Up, &mut ctx_scalar);
+        let hf = design.compute_tuple_fast(
+            &mut tile_fast,
+            &enc,
+            &tuple,
+            Spin::Up,
+            &mut ctx_fast,
+            &mut scratch,
+        );
+        assert_eq!(hs, hf, "{kind} H diverged after the word-1 flip");
+        assert_eq!(ctx_scalar, ctx_fast, "{kind} counters diverged");
+        assert_eq!(
+            scratch.skipped_spin_writes, 3,
+            "{kind}: the clean word 0 must still skip after a word-1 flip"
+        );
+        let s = tile_scalar.stats();
+        let f = tile_fast.stats();
+        assert_eq!(s.bits_read, f.bits_read, "{kind} reads diverged");
+        // Pass 1 elided the whole 100-bit row; pass 2 elided word 0
+        // (64 bits) and rewrote only the 36-bit tail word.
+        assert_eq!(
+            s.bits_written,
+            f.bits_written + 100 + 64,
+            "{kind}: elision must be exactly word-granular"
+        );
+    }
+}
+
+/// Hierarchy small enough that a dense 36-spin complete graph cannot be
+/// compute-resident for any design — the multi-round regime where
+/// banking and upload/compute overlap are observable at all.
+fn tiny_hierarchy() -> CacheHierarchy {
+    CacheHierarchy {
+        compute: CacheGeometry::new(2, 4, 64, 1),
+        storage: CacheGeometry::sachi_storage_default(),
+    }
+}
+
+fn solve_workload(
+    config: SachiConfig,
+) -> (
+    sachi::ising::solver::SolveResult,
+    sachi::arch::machine::RunReport,
+) {
+    let graph = topology::complete(36, |i, j| ((i + 2 * j) % 9) as i32 - 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(&graph, 17).with_trace();
+    SachiMachine::new(config).solve_detailed(&graph, &init, &opts)
+}
+
+#[test]
+fn bank_count_one_is_cycle_identical_to_unbanked() {
+    // `with_banks(1)` must be a no-op against the default (unbanked)
+    // machine: same result, same cycle accounting, bit for bit — the
+    // banked upload schedule degenerates to the serial one at B = 1.
+    for design in DesignKind::ALL {
+        let base = SachiConfig::new(design).with_hierarchy(tiny_hierarchy());
+        let (res_u, rep_u) = solve_workload(base.clone());
+        let (res_b, rep_b) = solve_workload(base.with_banks(1));
+        assert_eq!(res_u.energy, res_b.energy, "{design} energy");
+        assert_eq!(res_u.spins, res_b.spins, "{design} spins");
+        assert_eq!(res_u.trace, res_b.trace, "{design} trajectory");
+        assert_eq!(
+            rep_u.compute_cycles, rep_b.compute_cycles,
+            "{design} compute"
+        );
+        assert_eq!(rep_u.load_cycles, rep_b.load_cycles, "{design} load");
+        assert_eq!(rep_u.total_cycles, rep_b.total_cycles, "{design} total");
+        assert_eq!(rep_u.tile, rep_b.tile, "{design} tile stats");
+    }
+}
+
+#[test]
+fn banking_shrinks_load_without_touching_results_or_compute() {
+    // More banks -> fewer upload cycles per round, identical physics:
+    // the H trajectory, compute cycles, and tile stats are bit-identical
+    // while the load-side cycle count strictly drops on a multi-round
+    // sweep.
+    for design in DesignKind::ALL {
+        let base = SachiConfig::new(design).with_hierarchy(tiny_hierarchy());
+        let (res_1, rep_1) = solve_workload(base.clone());
+        let (res_8, rep_8) = solve_workload(base.with_banks(8));
+        assert!(
+            rep_1.rounds_per_sweep > 1,
+            "{design}: need multi-round sweeps"
+        );
+        assert_eq!(res_1.energy, res_8.energy, "{design} energy");
+        assert_eq!(res_1.trace, res_8.trace, "{design} trajectory");
+        assert_eq!(
+            rep_1.compute_cycles, rep_8.compute_cycles,
+            "{design} compute"
+        );
+        assert_eq!(rep_1.tile, rep_8.tile, "{design} tile stats");
+        assert!(
+            rep_8.load_cycles < rep_1.load_cycles,
+            "{design}: 8-bank load {} !< unbanked load {}",
+            rep_8.load_cycles,
+            rep_1.load_cycles
+        );
+        assert!(
+            rep_8.total_cycles <= rep_1.total_cycles,
+            "{design}: banked total exceeded unbanked"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The software-pipelined sweep (prefetch overlaps round k+1's upload
+    /// with round k's compute) must be an accounting-only optimization:
+    /// identical H trajectory, spins, and compute cycles as the serial
+    /// sweep, with a total critical path no longer than serial.
+    #[test]
+    fn pipelined_sweep_matches_serial_sweep(
+        seed in 0u64..512,
+        side in 4usize..=6,
+    ) {
+        let span = side * 2 + 1;
+        let graph = topology::complete(6 * side, move |i, j| {
+            ((i as usize * 3 + 2 * (j as usize) + seed as usize) % span) as i32 - side as i32
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let opts = SolveOptions::for_graph(&graph, seed).with_trace();
+        for design in DesignKind::ALL {
+            let base = SachiConfig::new(design).with_hierarchy(tiny_hierarchy());
+            let (res_p, rep_p) =
+                SachiMachine::new(base.clone()).solve_detailed(&graph, &init, &opts);
+            let (res_s, rep_s) =
+                SachiMachine::new(base.without_prefetch()).solve_detailed(&graph, &init, &opts);
+            prop_assert_eq!(&res_p.trace, &res_s.trace, "{} trajectory", design);
+            prop_assert_eq!(&res_p.spins, &res_s.spins, "{} spins", design);
+            prop_assert_eq!(res_p.energy, res_s.energy, "{} energy", design);
+            prop_assert_eq!(rep_p.compute_cycles, rep_s.compute_cycles, "{} compute", design);
+            prop_assert_eq!(rep_p.tile, rep_s.tile, "{} tile stats", design);
+            prop_assert!(
+                rep_p.total_cycles <= rep_s.total_cycles,
+                "{} pipelined total {} exceeded serial {}",
+                design, rep_p.total_cycles, rep_s.total_cycles
+            );
+        }
     }
 }
