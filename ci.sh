@@ -66,9 +66,12 @@ cargo run -q -p sachi-cli --bin sachi -- \
 
 # Solution-quality gate: the one-cell-per-family smoke subset of the
 # seeded corpus (3-SAT, coloring, scheduling) must stay within the
-# stated tolerances of the committed BENCH_quality.json, and the
-# committed baseline itself must pass sachi.quality.v1 schema + the
-# three-families x four-designs coverage check.
+# stated tolerances of the committed BENCH_quality.json — including the
+# replica-exchange (+pt) twins, which must also match or beat the
+# independent-restart best energy at an equal sweep budget in every
+# (cell, design) pair (the tempering dominance gate, enforced inside
+# disc_quality) — and the committed baseline itself must pass
+# sachi.quality.v1 schema + coverage + tempered-twin pairing checks.
 echo "==> disc_quality --smoke"
 cargo run -q -p sachi-bench --bin disc_quality -- --smoke
 
@@ -112,6 +115,20 @@ if [ "$GOT" != "$REF" ]; then
   exit 1
 fi
 echo "serve smoke: daemon result matches one-shot CLI"
+
+# Same contract for a replica-exchange job: the coupled rungs must be
+# byte-identical between the daemon's shared pool and the one-shot CLI.
+PTJOB=(--cop sat --size 12 --seed 9 --restarts 3 --step-budget 60000
+       --tempering --ladder adaptive)
+PTREF=$("$SACHI" solve "${PTJOB[@]}" | grep 'result  : H =')
+PTGOT=$("$SACHI" submit --addr "127.0.0.1:$PORT" "${PTJOB[@]}" | grep 'result  : H =')
+if [ "$PTGOT" != "$PTREF" ]; then
+  echo "serve smoke: tempered daemon result diverged from one-shot CLI" >&2
+  echo "  one-shot: $PTREF" >&2
+  echo "  daemon:   $PTGOT" >&2
+  exit 1
+fi
+echo "serve smoke: tempered daemon result matches one-shot CLI"
 
 set +e
 "$SACHI" submit --addr "127.0.0.1:$PORT" --raw 'this is not json' >/dev/null 2>&1

@@ -15,7 +15,10 @@
 //! any regression, exit 2 when the committed baseline is missing or
 //! malformed.
 
-use sachi_bench::quality::{compare, parse_report, run_cell, write_report, Tolerance};
+use sachi_bench::quality::{
+    compare, parse_report, run_cell_measured, run_cell_tempered, tempering_dominance, write_report,
+    Tolerance,
+};
 use sachi_bench::{section, Table};
 use sachi_core::prelude::*;
 use sachi_workloads::prelude::*;
@@ -34,27 +37,52 @@ fn main() {
         "quality corpus (full)"
     });
 
-    let mut rows = Vec::new();
+    let mut baseline_rows = Vec::new();
+    let mut tempered_rows = Vec::new();
     let mut table = Table::new([
         "cell", "family", "design", "spins", "energy", "cycles", "accuracy", "metric",
     ]);
     for case in &cases {
         for design in DesignKind::ALL {
-            let row = run_cell(case, design);
-            table.row([
-                row.id.clone(),
-                row.family.clone(),
-                row.design.clone(),
-                row.spins.to_string(),
-                row.best_energy.to_string(),
-                row.total_cycles.to_string(),
-                format!("{:.4}", row.accuracy),
-                format!("{} {}", row.domain_metric, row.domain_unit),
-            ]);
-            rows.push(row);
+            let (row, sweep_budget) = run_cell_measured(case, design);
+            let tempered = run_cell_tempered(case, design, sweep_budget);
+            for row in [&row, &tempered] {
+                table.row([
+                    row.id.clone(),
+                    row.family.clone(),
+                    row.design.clone(),
+                    row.spins.to_string(),
+                    row.best_energy.to_string(),
+                    row.total_cycles.to_string(),
+                    format!("{:.4}", row.accuracy),
+                    format!("{} {}", row.domain_metric, row.domain_unit),
+                ]);
+            }
+            baseline_rows.push(row);
+            tempered_rows.push(tempered);
         }
     }
     table.print();
+
+    // The tempering quality claim, enforced on every run (smoke and
+    // full): at an equal sweep budget, replica exchange must match or
+    // beat independent restarts in every (cell, design) pair.
+    let (violations, strict) = tempering_dominance(&baseline_rows, &tempered_rows);
+    if !violations.is_empty() {
+        eprintln!("\ntempering regressed against independent restarts:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\ntempering: matched or beat independent restarts on all {} pairs ({} strictly better)",
+        baseline_rows.len(),
+        strict
+    );
+
+    let mut rows = baseline_rows;
+    rows.extend(tempered_rows);
 
     if smoke {
         let text = match std::fs::read_to_string(BASELINE) {

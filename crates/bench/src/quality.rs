@@ -71,10 +71,18 @@ pub fn design_key(design: DesignKind) -> &'static str {
 /// kept, cycles summed. Fully deterministic — thread count, wall
 /// clock, and host never appear in the row.
 pub fn run_cell(case: &CorpusCase, design: DesignKind) -> QualityRow {
+    run_cell_measured(case, design).0
+}
+
+/// [`run_cell`] plus the total sweeps the restarts actually executed —
+/// the budget a tempered comparison run must live within (see
+/// [`run_cell_tempered`]).
+pub fn run_cell_measured(case: &CorpusCase, design: DesignKind) -> (QualityRow, u64) {
     let graph = case.graph();
     let mut machine = SachiMachine::new(SachiConfig::new(design));
     let mut best: Option<SolveResult> = None;
     let mut total_cycles = 0u64;
+    let mut total_sweeps = 0u64;
     for restart in 0..QUALITY_RESTARTS {
         let mut rng = StdRng::seed_from_u64(restart);
         let init = SpinVector::random(graph.num_spins(), &mut rng);
@@ -84,6 +92,7 @@ pub fn run_cell(case: &CorpusCase, design: DesignKind) -> QualityRow {
         };
         let (result, report) = machine.solve_detailed(graph, &init, &opts);
         total_cycles = total_cycles.saturating_add(report.total_cycles.get());
+        total_sweeps = total_sweeps.saturating_add(result.sweeps);
         if best.as_ref().is_none_or(|b| result.energy < b.energy) {
             best = Some(result);
         }
@@ -91,7 +100,7 @@ pub fn run_cell(case: &CorpusCase, design: DesignKind) -> QualityRow {
     let best = best.expect("QUALITY_RESTARTS > 0");
     let (domain_metric, unit) = case.domain_metric(&best.spins);
     let domain_unit = unit.to_string();
-    QualityRow {
+    let row = QualityRow {
         id: case.id.to_string(),
         family: case.kind().label().to_string(),
         design: design_key(design).to_string(),
@@ -102,7 +111,94 @@ pub fn run_cell(case: &CorpusCase, design: DesignKind) -> QualityRow {
         domain_metric,
         domain_unit,
         smoke: case.smoke,
+    };
+    (row, total_sweeps)
+}
+
+/// Suffix distinguishing tempered rows from their independent-restart
+/// twins in `BENCH_quality.json` (same cell, `+pt` appended to the id).
+pub const TEMPERED_SUFFIX: &str = "+pt";
+
+/// Solves one corpus cell with replica-exchange parallel tempering at
+/// an *equal sweep budget*: the [`QUALITY_RESTARTS`] independent
+/// restarts of [`run_cell`] become that many coupled rungs, and the
+/// per-rung sweep cap is `sweep_budget / QUALITY_RESTARTS` (rounded
+/// up), where `sweep_budget` is the total the baseline restarts
+/// actually executed. The row id carries the [`TEMPERED_SUFFIX`] so
+/// the tempered corpus regresses independently of the baseline one.
+pub fn run_cell_tempered(case: &CorpusCase, design: DesignKind, sweep_budget: u64) -> QualityRow {
+    let graph = case.graph();
+    let rungs = usize::try_from(QUALITY_RESTARTS).expect("small constant");
+    let per_rung = sweep_budget.div_ceil(QUALITY_RESTARTS).max(1);
+    let mut rng = StdRng::seed_from_u64(0);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions {
+        schedule: Schedule::new((2 * graph.max_abs_coefficient().max(1)) as f64, 0.95, 0.05),
+        ..SolveOptions::for_graph(graph, 0)
     }
+    .with_max_sweeps(per_rung)
+    .with_tempering(TemperingOptions::for_graph(
+        LadderKind::Adaptive,
+        graph,
+        rungs,
+    ));
+    let ledger = ReplicaLedger::new(rungs);
+    let best_of = EnsembleRunner::new(rungs)
+        .with_threads(1)
+        .run(graph, &init, &opts, |k| {
+            ReportingMachine::new(SachiMachine::new(SachiConfig::new(design)), k, &ledger)
+        });
+    let report = ledger.finish();
+    let total_cycles = report
+        .reports
+        .iter()
+        .fold(0u64, |acc, r| acc.saturating_add(r.total_cycles.get()));
+    let best = best_of.best();
+    let (domain_metric, unit) = case.domain_metric(&best.spins);
+    QualityRow {
+        id: format!("{}{}", case.id, TEMPERED_SUFFIX),
+        family: case.kind().label().to_string(),
+        design: design_key(design).to_string(),
+        spins: graph.num_spins() as u64,
+        best_energy: best.energy,
+        total_cycles,
+        accuracy: case.accuracy(&best.spins),
+        domain_metric,
+        domain_unit: unit.to_string(),
+        smoke: case.smoke,
+    }
+}
+
+/// Checks the tempering quality claim over paired rows: for every
+/// `(cell, design)` the tempered row must match or beat the baseline
+/// best energy at its equal sweep budget. Returns `(messages, strict)`
+/// — one message per violated pair, plus the count of cells the
+/// tempered run *strictly* improved.
+pub fn tempering_dominance(
+    baseline: &[QualityRow],
+    tempered: &[QualityRow],
+) -> (Vec<String>, usize) {
+    let mut violations = Vec::new();
+    let mut strict = 0usize;
+    for base in baseline {
+        let twin = format!("{}{}", base.id, TEMPERED_SUFFIX);
+        let Some(pt) = tempered
+            .iter()
+            .find(|r| r.id == twin && r.design == base.design)
+        else {
+            violations.push(format!("{}/{}: no tempered twin row", base.id, base.design));
+            continue;
+        };
+        if pt.best_energy > base.best_energy {
+            violations.push(format!(
+                "{}/{}: tempered energy {} worse than independent restarts {}",
+                base.id, base.design, pt.best_energy, base.best_energy
+            ));
+        } else if pt.best_energy < base.best_energy {
+            strict += 1;
+        }
+    }
+    (violations, strict)
 }
 
 /// Renders rows as a `sachi.quality.v1` document.

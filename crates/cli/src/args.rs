@@ -4,6 +4,7 @@
 use sachi_core::config::DesignKind;
 use sachi_core::serve::JobSpec;
 use sachi_ising::recovery::RecoveryPolicy;
+use sachi_ising::tempering::LadderKind;
 use sachi_mem::cache::CacheHierarchy;
 use sachi_workloads::spec::CopKind;
 use std::fmt;
@@ -155,6 +156,11 @@ pub struct SolveArgs {
     pub metrics: Option<MetricsFormat>,
     /// Record solve-phase spans and include them in the metrics output.
     pub trace_phases: bool,
+    /// Couple the restarts as parallel-tempering rungs with replica
+    /// exchange instead of independent runs.
+    pub tempering: bool,
+    /// Temperature-ladder construction used with `--tempering`.
+    pub ladder: LadderKind,
 }
 
 impl Default for SolveArgs {
@@ -177,6 +183,8 @@ impl Default for SolveArgs {
             step_budget: None,
             metrics: None,
             trace_phases: false,
+            tempering: false,
+            ladder: LadderKind::Geometric,
         }
     }
 }
@@ -377,6 +385,12 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
                 )
             }
             "--trace-phases" => args.trace_phases = true,
+            "--tempering" => args.tempering = true,
+            "--ladder" => {
+                args.ladder = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|e: String| err(format!("--ladder: {e}")))?
+            }
             other => return Err(err(format!("unknown flag '{other}' for solve/compare"))),
         }
     }
@@ -390,6 +404,9 @@ fn parse_solve_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SolveAr
     }
     if args.cop.is_none() && args.file.is_none() {
         return Err(err("need --cop or --file"));
+    }
+    if !args.tempering && args.ladder != LadderKind::Geometric {
+        return Err(err("--ladder needs --tempering"));
     }
     if args.gset && args.cnf {
         return Err(err("--gset and --cnf are mutually exclusive"));
@@ -563,6 +580,16 @@ fn parse_submit_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Submit
                     .parse()
                     .map_err(|e: String| err(format!("--fault-policy: {e}")))?;
             }
+            "--tempering" => {
+                job_flag = Some(flag);
+                spec.tempering = true;
+            }
+            "--ladder" => {
+                job_flag = Some(flag);
+                spec.ladder = take_value(flag, &mut it)?
+                    .parse()
+                    .map_err(|e: String| err(format!("--ladder: {e}")))?;
+            }
             other => return Err(err(format!("unknown flag '{other}' for submit"))),
         }
     }
@@ -595,6 +622,9 @@ fn parse_submit_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Submit
                 return Err(err(
                     "--step-budget 0 would run zero sweeps; omit the flag for unbounded",
                 ));
+            }
+            if !spec.tempering && spec.ladder != LadderKind::Geometric {
+                return Err(err("--ladder needs --tempering"));
             }
             args.op = SubmitOp::Solve(spec);
             Ok(args)
@@ -635,9 +665,17 @@ USAGE:
                  [--restarts K] [--threads T] [--hierarchy default|desktop|server]
                  [--fault-ber P] [--fault-seed S] [--fault-policy failfast|retry|retry:N]
                  [--metrics json|prom] [--trace-phases]
+                 [--tempering [--ladder geometric|adaptive]]
                  (--threads 0, the default, uses every core; restarts run
                   as a deterministic parallel replica ensemble — results
-                  are identical at any thread count. --fault-ber injects
+                  are identical at any thread count. --tempering couples
+                  the restarts as replica-exchange parallel-tempering
+                  rungs on a temperature ladder (--ladder picks the
+                  construction: geometric spacing, or adaptive endpoints
+                  tuned from the problem's coefficient statistics);
+                  swap decisions come from a salted deterministic
+                  stream, so tempered runs stay thread-count
+                  independent. --fault-ber injects
                   deterministic transient bit flips at probability P per
                   read bit; parity-detected faults follow --fault-policy,
                   retry:N by default. --metrics replaces the human report
@@ -670,7 +708,8 @@ USAGE:
                   Prometheus text exposition. All bounds reject 0.)
   sachi submit   [--addr HOST:PORT] [job flags: --cop --size --seed
                  --design --restarts --resolution --step-budget
-                 --fault-ber --fault-seed --fault-policy]
+                 --fault-ber --fault-seed --fault-policy
+                 --tempering --ladder]
                  | --ping | --shutdown | --fetch-metrics | --raw BODY
                  (one request to a running daemon; exits with the
                   daemon's response code — 0 ok, 2 usage/parse, 3 solve,
@@ -686,6 +725,7 @@ EXAMPLES:
   sachi solve --cop md --size 1024 --restarts 16 --threads 8
   sachi solve --file g05.gset --gset --design n3
   sachi solve --cop sat --size 40 --restarts 8
+  sachi solve --cop sat --size 40 --restarts 8 --tempering --ladder adaptive
   sachi solve --file data/example12.cnf --cnf --design n2
   sachi solve --cop md --size 1024 --fault-ber 1e-4 --fault-policy retry:5
   sachi solve --cop md --size 256 --metrics json --trace-phases
@@ -881,6 +921,52 @@ mod tests {
             .unwrap_err()
             .0
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn tempering_flags_parse_and_validate() {
+        match parse("solve --tempering --ladder adaptive --restarts 4".split_whitespace()).unwrap()
+        {
+            Command::Solve(a) => {
+                assert!(a.tempering);
+                assert_eq!(a.ladder, LadderKind::Adaptive);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(["solve", "--tempering"]).unwrap() {
+            Command::Solve(a) => {
+                assert!(a.tempering);
+                assert_eq!(a.ladder, LadderKind::Geometric);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["solve", "--ladder", "adaptive"])
+            .unwrap_err()
+            .0
+            .contains("--ladder needs --tempering"));
+        assert!(parse(["solve", "--tempering", "--ladder", "steep"])
+            .unwrap_err()
+            .0
+            .contains("unknown ladder"));
+        match parse("submit --tempering --ladder adaptive --restarts 4".split_whitespace()).unwrap()
+        {
+            Command::Submit(a) => match a.op {
+                SubmitOp::Solve(spec) => {
+                    assert!(spec.tempering);
+                    assert_eq!(spec.ladder, LadderKind::Adaptive);
+                }
+                other => panic!("wrong op {other:?}"),
+            },
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["submit", "--ladder", "adaptive"])
+            .unwrap_err()
+            .0
+            .contains("--ladder needs --tempering"));
+        assert!(parse(["submit", "--tempering", "--ping"])
+            .unwrap_err()
+            .0
+            .contains("mutually exclusive"));
     }
 
     #[test]

@@ -134,6 +134,13 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
 
     let replicas = usize::try_from(args.restarts.max(1))
         .map_err(|_| SachiError::Usage("--restarts too large".to_string()))?;
+    if args.tempering {
+        opts = opts.with_tempering(sachi_ising::tempering::TemperingOptions::for_graph(
+            args.ladder,
+            graph,
+            replicas,
+        ));
+    }
     let mut runner = EnsembleRunner::new(replicas);
     if args.threads > 0 {
         runner = runner.with_threads(args.threads);
@@ -161,6 +168,9 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
         for r in &best_of.replicas {
             r.export_metrics(&mut reg);
         }
+        for (name, value) in stats.export_tempering_metrics() {
+            reg.counter_add(name, value);
+        }
         l1.stats().export(&mut reg);
         reg.counter_add(
             "workload_coeff_saturations",
@@ -184,6 +194,15 @@ pub fn solve(args: &SolveArgs) -> Result<(), SachiError> {
             stats.converged,
             stats.total_sweeps
         );
+        if args.tempering {
+            println!(
+                "temper  : {} ladder, {} swaps accepted / {} attempted, {} rung restarts",
+                args.ladder.label(),
+                stats.swap_accepted,
+                stats.swap_attempts,
+                stats.tempering_restarts
+            );
+        }
         println!(
             "result  : H = {}  ({} iterations, converged: {})",
             result.energy, result.sweeps, result.converged

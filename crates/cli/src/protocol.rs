@@ -19,7 +19,7 @@
 
 use crate::args::{cop_label, design_label, parse_cop, parse_design};
 use sachi_core::prelude::{JobOutcome, JobSpec, SachiError};
-use sachi_ising::prelude::{RecoveryPolicy, Spin};
+use sachi_ising::prelude::{LadderKind, RecoveryPolicy, Spin};
 use sachi_obs::json::{escape, parse, JsonValue};
 use std::fmt;
 use std::io::{Read, Write};
@@ -247,6 +247,16 @@ fn parse_job(members: &[(String, JsonValue)]) -> Result<JobSpec, SachiError> {
                     .parse::<RecoveryPolicy>()
                     .map_err(|e| usage(format!("job.fault_policy: {e}")))?
             }
+            "tempering" => {
+                spec.tempering = value
+                    .as_bool()
+                    .ok_or_else(|| usage("job.tempering must be a boolean".to_string()))?
+            }
+            "ladder" => {
+                spec.ladder = str_field(value, "job.ladder")?
+                    .parse::<LadderKind>()
+                    .map_err(|e| usage(format!("job.ladder: {e}")))?
+            }
             other => return Err(usage(format!("unknown job field '{other}'"))),
         }
     }
@@ -320,6 +330,12 @@ pub fn solve_request_body(spec: &JobSpec) -> String {
         body.push_str(&format!(
             ",\"fault_ber\":{ber},\"fault_seed\":{},\"fault_policy\":\"{}\"",
             spec.fault_seed, spec.fault_policy
+        ));
+    }
+    if spec.tempering {
+        body.push_str(&format!(
+            ",\"tempering\":true,\"ladder\":\"{}\"",
+            spec.ladder.label()
         ));
     }
     body.push_str("}}");
@@ -411,6 +427,12 @@ pub fn ok_solve_body(name: &str, edges: usize, spec: &JobSpec, outcome: &JobOutc
          \"degraded\":{}}}",
         stats.replicas, stats.converged, stats.total_sweeps, stats.total_flips, stats.degraded,
     ));
+    if spec.tempering {
+        body.push_str(&format!(
+            ",\"tempering\":{{\"swap_attempts\":{},\"swap_accepted\":{},\"restarts\":{}}}",
+            stats.swap_attempts, stats.swap_accepted, stats.tempering_restarts,
+        ));
+    }
     let best_report = report.reports.get(outcome.best.best_index);
     body.push_str(&format!(
         ",\"report\":{{\"total_cycles\":{},\"compute_cycles\":{},\"load_cycles\":{},\
@@ -542,6 +564,8 @@ mod tests {
             fault_ber: Some(1e-4),
             fault_seed: 3,
             fault_policy: RecoveryPolicy::FailFast,
+            tempering: true,
+            ladder: LadderKind::Adaptive,
             ..JobSpec::default()
         };
         match parse_request(&solve_request_body(&spec)).unwrap() {
@@ -576,6 +600,9 @@ mod tests {
             "{\"op\":\"solve\",\"job\":{\"size\":-4}}",
             "{\"op\":\"solve\",\"job\":{\"seed\":1e300}}",
             "{\"op\":\"solve\",\"job\":{\"restarts\":\"many\"}}",
+            "{\"op\":\"solve\",\"job\":{\"tempering\":\"yes\"}}",
+            "{\"op\":\"solve\",\"job\":{\"ladder\":\"steep\"}}",
+            "{\"op\":\"solve\",\"job\":{\"ladder\":3}}",
         ] {
             let err = parse_request(body).unwrap_err();
             assert!(matches!(err, SachiError::Usage(_)), "{body}");

@@ -82,20 +82,27 @@ impl ReplicaLedger {
     /// Records `report` as replica `replica`'s accounting. Callable from
     /// any worker thread.
     ///
+    /// A replica that reports more than once — a parallel-tempering rung
+    /// runs one constant-temperature solve segment per exchange round,
+    /// each through a fresh [`ReportingMachine`] — has its reports
+    /// merged with [`RunReport::absorb`], so the slot holds the rung's
+    /// whole-run accounting. Segments arrive in round order within one
+    /// rung (the tempering engine barriers between rounds), so the merge
+    /// is deterministic.
+    ///
     /// # Panics
     ///
-    /// Panics if `replica` is out of range or was already recorded.
+    /// Panics if `replica` is out of range.
     pub fn record(&self, replica: usize, report: RunReport) {
         let mut slots = self
             .slots
             .lock()
             .expect("replica ledger mutex poisoned: a replica panicked");
         assert!(replica < slots.len(), "replica index within ledger");
-        assert!(
-            slots[replica].is_none(),
-            "each replica reports exactly once"
-        );
-        slots[replica] = Some(report);
+        match &mut slots[replica] {
+            Some(existing) => existing.absorb(&report),
+            empty => *empty = Some(report),
+        }
     }
 
     /// Folds the collected reports into an [`EnsembleReport`].
@@ -342,13 +349,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exactly once")]
-    fn double_record_rejected() {
+    fn repeated_records_merge_segment_reports() {
         let (g, init, opts) = setup();
         let ledger = ReplicaLedger::new(1);
         let mut m = SachiMachine::new(SachiConfig::new(DesignKind::N1a));
         let (_, report) = m.solve_detailed(&g, &init, &opts);
         ledger.record(0, report.clone());
-        ledger.record(0, report);
+        ledger.record(0, report.clone());
+        let folded = ledger.finish();
+        let merged = &folded.reports[0];
+        assert_eq!(merged.sweeps, 2 * report.sweeps);
+        assert_eq!(
+            merged.total_cycles,
+            report.total_cycles + report.total_cycles
+        );
+        assert_eq!(merged.xnor_ops, 2 * report.xnor_ops);
+        // Peaks take the max, ratios are recomputed — not doubled.
+        assert_eq!(merged.queue_peak_bits, report.queue_peak_bits);
+        assert!((merged.reuse - report.reuse).abs() < 1e-9);
+        assert!(merged.energy.total() > report.energy.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "replica index within ledger")]
+    fn out_of_range_record_rejected() {
+        let (g, init, opts) = setup();
+        let ledger = ReplicaLedger::new(1);
+        let mut m = SachiMachine::new(SachiConfig::new(DesignKind::N1a));
+        let (_, report) = m.solve_detailed(&g, &init, &opts);
+        ledger.record(1, report);
     }
 }

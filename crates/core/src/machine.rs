@@ -191,6 +191,65 @@ impl RunReport {
         self.faults.export(reg);
         self.energy.export(reg);
     }
+
+    /// Accumulates `other` — the report of a later solve segment of the
+    /// *same* logical replica — into `self`.
+    ///
+    /// Parallel-tempering rungs run as a sequence of constant-temperature
+    /// solve segments, each producing its own report; a rung's ledger
+    /// entry is the segment-wise sum. Counters, cycles, wall-time, and
+    /// energy add; `queue_peak_bits` takes the max (it is a peak, not a
+    /// flow); `reuse` is recomputed from the summed XNOR/RWL totals;
+    /// fault degradation is sticky (OR); `design`/`resolution_bits`
+    /// describe the machine and must match.
+    pub fn absorb(&mut self, other: &RunReport) {
+        debug_assert_eq!(self.design, other.design, "segments share one machine");
+        debug_assert_eq!(self.resolution_bits, other.resolution_bits);
+        self.sweeps += other.sweeps;
+        self.rounds_per_sweep = self.rounds_per_sweep.max(other.rounds_per_sweep);
+        self.compute_cycles += other.compute_cycles;
+        self.load_cycles += other.load_cycles;
+        self.total_cycles += other.total_cycles;
+        self.wall_time = self.wall_time + other.wall_time;
+        self.energy.merge(&other.energy);
+        self.xnor_ops += other.xnor_ops;
+        self.rwl_bits_fetched += other.rwl_bits_fetched;
+        self.reuse = if self.rwl_bits_fetched > 0 {
+            ratio_u64(self.xnor_ops, self.rwl_bits_fetched)
+        } else {
+            0.0
+        };
+        self.redundant_discharges += other.redundant_discharges;
+        self.queue_peak_bits = self.queue_peak_bits.max(other.queue_peak_bits);
+        self.spin_copy_updates += other.spin_copy_updates;
+        self.adjacency_reads += other.adjacency_reads;
+        self.cross_tuple_rereads += other.cross_tuple_rereads;
+        self.prefetches += other.prefetches;
+        self.fast_path_computes += other.fast_path_computes;
+        self.scalar_path_computes += other.scalar_path_computes;
+        self.skipped_spin_writes += other.skipped_spin_writes;
+        self.tile.rwl_activations += other.tile.rwl_activations;
+        self.tile.rbl_discharges += other.tile.rbl_discharges;
+        self.tile.redundant_discharges += other.tile.redundant_discharges;
+        self.tile.bits_written += other.tile.bits_written;
+        self.tile.bits_read += other.tile.bits_read;
+        self.tile.compute_accesses += other.tile.compute_accesses;
+        self.dram.loads += other.dram.loads;
+        self.dram.bits_loaded += other.dram.bits_loaded;
+        self.dram.prefetches_issued += other.dram.prefetches_issued;
+        self.dram.prefetch_hidden_cycles += other.dram.prefetch_hidden_cycles;
+        self.dram.prefetch_exposed_cycles += other.dram.prefetch_exposed_cycles;
+        self.dram.prefetch_late_arrivals += other.dram.prefetch_late_arrivals;
+        self.faults.injected_flips += other.faults.injected_flips;
+        self.faults.corrupted_fetches += other.faults.corrupted_fetches;
+        self.faults.detected += other.faults.detected;
+        self.faults.undetected += other.faults.undetected;
+        self.faults.retries += other.faults.retries;
+        self.faults.refetch_cycles += other.faults.refetch_cycles;
+        self.faults.dram_corrupted_bits += other.faults.dram_corrupted_bits;
+        self.faults.degraded |= other.faults.degraded;
+        self.phase_spans.extend(other.phase_spans.iter().cloned());
+    }
 }
 
 impl std::fmt::Display for RunReport {

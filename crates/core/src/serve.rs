@@ -30,14 +30,14 @@
 //! discard them rather than report them.
 
 use crate::config::{DesignKind, FaultProfile, SachiConfig};
-use crate::ensemble::EnsembleReport;
+use crate::ensemble::{EnsembleReport, ReplicaLedger, ReportingMachine};
 use crate::error::{SachiError, ServerReason};
 use crate::machine::{RunReport, SachiMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sachi_ising::prelude::{
-    BestOf, CancelToken, EnsembleRunner, IsingGraph, RecoveryPolicy, SolveOptions, SolveResult,
-    SpinVector,
+    BestOf, CancelToken, EnsembleRunner, IsingGraph, LadderKind, RecoveryPolicy, SolveOptions,
+    SolveResult, SpinVector, TemperingOptions,
 };
 use sachi_mem::fault::{FaultModel, FaultRate};
 use sachi_obs::registry::MetricsRegistry;
@@ -166,6 +166,11 @@ pub struct JobSpec {
     pub fault_seed: u64,
     /// Recovery policy applied when parity detects a fault.
     pub fault_policy: RecoveryPolicy,
+    /// Run the replicas as coupled parallel-tempering rungs instead of
+    /// independent restarts.
+    pub tempering: bool,
+    /// Temperature-ladder construction used when `tempering` is set.
+    pub ladder: LadderKind,
 }
 
 impl Default for JobSpec {
@@ -182,6 +187,8 @@ impl Default for JobSpec {
             fault_ber: None,
             fault_seed: 0,
             fault_policy: RecoveryPolicy::default(),
+            tempering: false,
+            ladder: LadderKind::Geometric,
         }
     }
 }
@@ -350,6 +357,14 @@ impl JobPlan {
         if let Some(budget) = spec.step_budget {
             options = options.with_step_budget(budget);
         }
+        if spec.tempering {
+            let rungs = usize::try_from(spec.restarts).unwrap_or(usize::MAX);
+            options = options.with_tempering(TemperingOptions::for_graph(
+                spec.ladder,
+                &problem.graph,
+                rungs,
+            ));
+        }
         let mut config = SachiConfig::new(spec.design);
         if let Some(r) = spec.resolution {
             config = config.with_resolution(r);
@@ -398,19 +413,55 @@ impl JobPlan {
         self.options.cancel.clone()
     }
 
+    /// True when this plan runs its replicas as *coupled*
+    /// parallel-tempering rungs. Coupled plans exchange state at round
+    /// boundaries, so they cannot be decomposed into independent
+    /// per-replica tasks — the pool runs them as one unit of work.
+    pub fn is_coupled(&self) -> bool {
+        self.options.tempering.as_ref().is_some_and(|t| t.exchange)
+    }
+
     /// Runs replica `k` on a fresh machine. Pure in `(plan, k)`: the
     /// same call returns the same bytes on any thread, in any host, at
     /// any co-tenancy — the multi-tenant determinism contract rests on
-    /// this function.
+    /// this function. Only meaningful for uncoupled plans (the
+    /// tempering engine owns replica scheduling for coupled ones).
     pub fn run_replica(&self, k: usize) -> (SolveResult, RunReport) {
         let options = EnsembleRunner::replica_options(&self.options, k);
         let mut machine = SachiMachine::new(self.config.clone());
         machine.solve_detailed(&self.graph, &self.init, &options)
     }
 
+    /// Runs the whole job as one coupled tempering run (single worker
+    /// thread — the run is deterministic at any thread count, and a
+    /// pooled coupled job occupies exactly one pool worker). Pure in
+    /// the plan alone.
+    fn run_coupled(&self) -> JobOutcome {
+        let ledger = ReplicaLedger::new(self.replicas);
+        let best = EnsembleRunner::new(self.replicas).with_threads(1).run(
+            &self.graph,
+            &self.init,
+            &self.options,
+            |k| ReportingMachine::new(SachiMachine::new(self.config.clone()), k, &ledger),
+        );
+        let report = ledger.finish();
+        let accuracy = (self.accuracy)(&best.best().spins);
+        JobOutcome {
+            best,
+            report,
+            accuracy,
+        }
+    }
+
     /// Runs every replica in-process, sequentially, and reduces — the
-    /// reference the pooled path must match byte-for-byte.
+    /// reference the pooled path must match byte-for-byte. Coupled
+    /// (tempering) plans route through the exchange engine; both the
+    /// solo and pooled paths call the same engine, so their equality is
+    /// by construction.
     pub fn run_solo(&self) -> JobOutcome {
+        if self.is_coupled() {
+            return self.run_coupled();
+        }
         let mut pairs = Vec::with_capacity(self.replicas);
         for k in 0..self.replicas {
             pairs.push(self.run_replica(k));
@@ -458,6 +509,9 @@ impl JobOutcome {
         let mut reg = self.report.metrics();
         for r in &self.best.replicas {
             r.export_metrics(&mut reg);
+        }
+        for (name, value) in self.best.stats.export_tempering_metrics() {
+            reg.counter_add(name, value);
         }
         reg
     }
@@ -608,12 +662,25 @@ impl SolverPool {
     /// more than the in-flight replicas. Submitting to a draining pool
     /// resolves immediately with [`ServerReason::ShuttingDown`].
     pub fn submit(&self, plan: JobPlan) -> JobHandle {
-        let replicas = plan.replica_count();
+        // A coupled (tempering) job is one indivisible unit of work:
+        // its rungs exchange state between rounds, so it enqueues as a
+        // single task and the worker sends the finished outcome itself
+        // (no per-replica slots to fill).
+        let tasks = if plan.is_coupled() {
+            1
+        } else {
+            plan.replica_count()
+        };
+        let slots = if plan.is_coupled() {
+            0
+        } else {
+            plan.replica_count()
+        };
         let (tx, rx) = mpsc::channel();
         let job = Arc::new(JobState {
             plan,
-            slots: Mutex::new((0..replicas).map(|_| None).collect()),
-            remaining: AtomicUsize::new(replicas),
+            slots: Mutex::new((0..slots).map(|_| None).collect()),
+            remaining: AtomicUsize::new(tasks),
             panicked: AtomicBool::new(false),
             started: AtomicBool::new(false),
             done: Mutex::new(Some(tx)),
@@ -630,7 +697,7 @@ impl SolverPool {
             );
             return JobHandle { job, rx };
         }
-        for replica in 0..replicas {
+        for replica in 0..tasks {
             state.tasks.push_back(Task {
                 job: Arc::clone(&job),
                 replica,
@@ -709,6 +776,16 @@ fn deposit(job: &Arc<JobState>, k: usize, pair: (SolveResult, RunReport)) {
 /// in replica order, reduce, send. A panicked replica poisons only this
 /// job — the waiter gets a typed solve error, co-tenants are untouched.
 fn complete_job(job: &Arc<JobState>) {
+    // Coupled jobs send their outcome from the worker; the taken sender
+    // marks them already resolved.
+    if job
+        .done
+        .lock()
+        .expect("job channel mutex poisoned")
+        .is_none()
+    {
+        return;
+    }
     if job.panicked.load(Ordering::Acquire) {
         send_result(
             job,
@@ -766,9 +843,16 @@ fn worker_loop(shared: &Arc<PoolShared>) {
         let Some(task) = task else {
             return;
         };
-        match catch_unwind(AssertUnwindSafe(|| task.job.plan.run_replica(task.replica))) {
-            Ok(pair) => deposit(&task.job, task.replica, pair),
-            Err(_) => task.job.panicked.store(true, Ordering::Release),
+        if task.job.plan.is_coupled() {
+            match catch_unwind(AssertUnwindSafe(|| task.job.plan.run_solo())) {
+                Ok(outcome) => send_result(&task.job, Ok(outcome)),
+                Err(_) => task.job.panicked.store(true, Ordering::Release),
+            }
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| task.job.plan.run_replica(task.replica))) {
+                Ok(pair) => deposit(&task.job, task.replica, pair),
+                Err(_) => task.job.panicked.store(true, Ordering::Release),
+            }
         }
         if task.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             complete_job(&task.job);
@@ -910,6 +994,44 @@ mod tests {
             }
             pool.join();
         }
+    }
+
+    #[test]
+    fn tempered_pooled_jobs_match_solo_runs_and_carry_swap_stats() {
+        let spec = JobSpec {
+            tempering: true,
+            ladder: LadderKind::Adaptive,
+            restarts: 4,
+            ..small_spec(CopKind::SatThree, 17)
+        };
+        let solo = JobPlan::from_spec(&spec).unwrap().run_solo();
+        assert!(solo.best.stats.swap_attempts > 0, "exchange rounds ran");
+        assert_eq!(solo.best.replicas.len(), 4);
+        assert_eq!(solo.report.reports.len(), 4);
+        for threads in [1, 3] {
+            let pool = SolverPool::with_workers(threads);
+            // A co-tenant uncoupled job shares the pool: coupling must
+            // not disturb it, nor it the coupled job.
+            let co = pool.submit(JobPlan::from_spec(&small_spec(CopKind::SatThree, 17)).unwrap());
+            let handle = pool.submit(JobPlan::from_spec(&spec).unwrap());
+            let got = handle.wait().unwrap();
+            assert_eq!(got.best, solo.best, "threads = {threads}");
+            assert_eq!(got.report.serial_cycles, solo.report.serial_cycles);
+            assert!((got.accuracy - solo.accuracy).abs() < 1e-12);
+            let co_want = JobPlan::from_spec(&small_spec(CopKind::SatThree, 17))
+                .unwrap()
+                .run_solo();
+            assert_eq!(co.wait().unwrap().best, co_want.best);
+            pool.join();
+        }
+        // Swaps disabled ⇒ the spec lowers to the uncoupled path and
+        // matches the plain ensemble byte-for-byte.
+        let plain = JobPlan::from_spec(&JobSpec {
+            tempering: false,
+            ..spec.clone()
+        })
+        .unwrap();
+        assert!(!plain.is_coupled());
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum Cooling {
     Geometric(f64),
     /// Subtract a positive step each sweep (clamped at zero).
     Linear(f64),
+    /// Hold the temperature constant (a parallel-tempering rung; never
+    /// descends on its own).
+    Hold,
 }
 
 /// Cooling schedule: geometric (the paper's) or linear.
@@ -95,6 +98,23 @@ impl Schedule {
         Schedule::new(t0, 0.9, 0.05)
     }
 
+    /// Creates a constant-temperature schedule (a parallel-tempering
+    /// rung). A hold *at or above* `freeze_threshold` never freezes; a
+    /// hold *below* it is a greedy-descent rung (frozen from sweep 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `temperature > 0` and `freeze_threshold > 0`.
+    pub fn constant(temperature: f64, freeze_threshold: f64) -> Self {
+        assert!(temperature > 0.0, "hold temperature must be positive");
+        assert!(freeze_threshold > 0.0, "freeze threshold must be positive");
+        Schedule {
+            initial_temperature: temperature,
+            cooling: Cooling::Hold,
+            freeze_threshold,
+        }
+    }
+
     /// Quick schedule for unit tests (few sweeps).
     pub fn fast() -> Self {
         Schedule::new(2.0, 0.5, 0.5)
@@ -115,6 +135,7 @@ impl Schedule {
         match self.cooling {
             Cooling::Geometric(f) => temperature * f,
             Cooling::Linear(step) => (temperature - step).max(0.0),
+            Cooling::Hold => temperature,
         }
     }
 
@@ -136,8 +157,18 @@ impl Schedule {
     }
 
     /// Number of sweeps until the temperature drops below the freeze
-    /// threshold.
+    /// threshold. A [`Cooling::Hold`] schedule at or above the threshold
+    /// never freezes and reports `u64::MAX` (the `while t >= threshold`
+    /// loop below would otherwise never terminate); a hold below it is
+    /// frozen from sweep 0.
     pub fn sweeps_until_frozen(&self) -> u64 {
+        if matches!(self.cooling, Cooling::Hold) {
+            return if self.initial_temperature >= self.freeze_threshold {
+                u64::MAX
+            } else {
+                0
+            };
+        }
         let mut t = self.initial_temperature;
         let mut sweeps = 0;
         while t >= self.freeze_threshold {
@@ -196,10 +227,19 @@ impl Annealer {
     }
 
     /// Probability of accepting a move with energy change `delta`.
+    ///
+    /// The `t = 0` path (a `Cooling::Linear` schedule clamps to exactly
+    /// `0.0`) is reached only through the frozen arm: `Schedule`
+    /// constructors assert `freeze_threshold > 0`, so `temperature = 0 <
+    /// threshold` always satisfies [`Annealer::is_frozen`] first and the
+    /// division never sees a zero denominator. The explicit
+    /// `temperature <= 0` arm pins that invariant structurally rather
+    /// than by check ordering — an uphill move at non-positive
+    /// temperature has probability exactly `0.0`, never `exp(Δ/0)`.
     pub fn acceptance_probability(&self, delta: i64) -> f64 {
         if delta <= 0 {
             1.0
-        } else if self.is_frozen() {
+        } else if self.is_frozen() || self.temperature <= 0.0 {
             0.0
         } else {
             (-(delta as f64) / self.temperature).exp()
@@ -382,6 +422,77 @@ mod tests {
                 "{schedule:?} left mixed state: {ups}"
             );
         }
+    }
+
+    /// ISSUE 10 satellite: pin the acceptance probability at and below
+    /// `freeze_threshold`, including the exact-`0.0` temperature a
+    /// `Cooling::Linear` schedule clamps to — never NaN/inf, never a
+    /// live `exp(Δ/0)`.
+    #[test]
+    fn acceptance_probability_pinned_at_and_below_freeze_threshold() {
+        // Linear schedule that clamps to exactly 0.0 after four steps.
+        let s = Schedule::linear(10.0, 3.0, 0.5);
+        let mut a = Annealer::new(s, 1);
+        // At the threshold itself (t == 0.5 is *not* frozen: `<` test),
+        // the probability is live, finite, and in (0, 1).
+        while a.temperature() > s.freeze_threshold() {
+            a.cool();
+        }
+        assert_eq!(a.temperature(), 0.0); // 10 → 7 → 4 → 1 → 0 skips 0.5
+                                          // Rebuild to land exactly on a just-below-threshold point.
+        let s = Schedule::linear(1.0, 0.75, 0.5);
+        let mut a = Annealer::new(s, 1);
+        a.cool(); // t = 0.25, below threshold but above zero
+        assert!(a.is_frozen());
+        let p = a.acceptance_probability(3);
+        assert_eq!(p, 0.0, "frozen-but-warm annealer must reject uphill");
+        a.cool(); // t = 0.0 exactly (linear clamp)
+        assert_eq!(a.temperature(), 0.0);
+        for delta in [1, 5, i64::MAX] {
+            let p = a.acceptance_probability(delta);
+            assert!(p.is_finite(), "t=0, Δ={delta}: p={p}");
+            assert_eq!(p, 0.0, "t=0, Δ={delta}");
+        }
+        // Downhill stays certain at t = 0.
+        assert_eq!(a.acceptance_probability(-1), 1.0);
+        assert_eq!(a.acceptance_probability(0), 1.0);
+        // And the hard-frozen path agrees.
+        a.freeze();
+        assert_eq!(a.acceptance_probability(1), 0.0);
+    }
+
+    #[test]
+    fn constant_schedule_holds_temperature() {
+        let s = Schedule::constant(2.5, 0.05);
+        let temps: Vec<f64> = s.temperatures().take(4).collect();
+        assert_eq!(temps, vec![2.5, 2.5, 2.5, 2.5]);
+        assert_eq!(s.cooling(), Cooling::Hold);
+        assert_eq!(s.cool_once(2.5), 2.5);
+        // A hold at/above the threshold never freezes — the closed form
+        // must report "never" instead of looping forever.
+        assert_eq!(s.sweeps_until_frozen(), u64::MAX);
+        let mut a = Annealer::new(s, 1);
+        for _ in 0..100 {
+            a.cool();
+        }
+        assert!(!a.is_frozen());
+        assert_eq!(a.temperature(), 2.5);
+    }
+
+    #[test]
+    fn constant_schedule_below_threshold_is_greedy_from_sweep_zero() {
+        let s = Schedule::constant(0.01, 0.05);
+        assert_eq!(s.sweeps_until_frozen(), 0);
+        let mut a = Annealer::new(s, 1);
+        assert!(a.is_frozen());
+        assert!(!a.accept(1));
+        assert!(a.accept(-1));
+    }
+
+    #[test]
+    #[should_panic(expected = "hold temperature")]
+    fn constant_schedule_validates_temperature() {
+        let _ = Schedule::constant(0.0, 0.05);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::Mutex;
 /// SplitMix64 finalizer: a bijection on `u64` (Steele, Lea & Flood,
 /// "Fast splittable pseudorandom number generators", OOPSLA 2014).
 #[inline]
-fn splitmix64_mix(mut z: u64) -> u64 {
+pub(crate) fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -48,7 +48,7 @@ fn splitmix64_mix(mut z: u64) -> u64 {
 
 /// The SplitMix64 stream increment (odd, so multiplying by it is a
 /// bijection mod 2^64).
-const SPLITMIX64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const SPLITMIX64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Derives the annealer seed of replica `replica_index` from the
 /// ensemble's `master_seed`.
@@ -86,6 +86,29 @@ pub struct EnsembleStats {
     /// Replicas flagged degraded by fault recovery (exhausted re-fetch
     /// budget or fail-fast abort).
     pub degraded: u64,
+    /// Replica-exchange swap decisions evaluated (0 unless the ensemble
+    /// ran with parallel tempering).
+    pub swap_attempts: u64,
+    /// Replica-exchange swaps accepted by the Metropolis criterion.
+    pub swap_accepted: u64,
+    /// Stalled tempering rungs reseeded by the restart policy.
+    pub tempering_restarts: u64,
+}
+
+impl EnsembleStats {
+    /// The replica-exchange counters as `(name, value)` metric pairs,
+    /// in a fixed order, for export through `sachi-obs` metric sinks.
+    /// Only the tempering counters live here: the per-replica solver
+    /// counters (`solver_*`) and the cycle-domain ensemble fold
+    /// (`ensemble_*`) are exported by their own layers, and this list
+    /// must not double-count them.
+    pub fn export_tempering_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("tempering_swap_attempts", self.swap_attempts),
+            ("tempering_swap_accepted", self.swap_accepted),
+            ("tempering_restarts", self.tempering_restarts),
+        ]
+    }
 }
 
 /// The reduction of an ensemble: every replica's result in replica
@@ -117,17 +140,16 @@ impl BestOf {
             replicas: replicas.len() as u64,
             ..EnsembleStats::default()
         };
+        // The winner is the replica minimizing the totally ordered key
+        // `(degraded, energy)` — health dominates energy — and on exact
+        // key ties the LOWEST replica index wins. Strict `<` against the
+        // incumbent makes the index rule explicit: a later replica can
+        // displace an earlier one only by a strictly smaller key, so the
+        // verdict is invariant under reduction order and identical for
+        // any permutation of equal-key replicas.
         for (k, r) in replicas.iter().enumerate() {
             let best = &replicas[best_index];
-            // Health dominates energy: a healthy replica always beats a
-            // degraded one; within the same health class, lower energy
-            // wins and ties keep the lowest index.
-            let better = match (r.degraded, best.degraded) {
-                (false, true) => true,
-                (true, false) => false,
-                _ => r.energy < best.energy,
-            };
-            if better {
+            if (r.degraded, r.energy) < (best.degraded, best.energy) {
                 best_index = k;
             }
             stats.converged += u64::from(r.converged);
@@ -269,6 +291,17 @@ impl EnsembleRunner {
         S: IterativeSolver,
         F: Fn(usize) -> S + Sync,
     {
+        if let Some(topts) = base.tempering.as_ref().filter(|t| t.exchange) {
+            return crate::tempering::run_exchange(
+                self.threads,
+                self.replicas,
+                graph,
+                initial,
+                base,
+                topts,
+                &factory,
+            );
+        }
         let per_replica: Vec<SolveOptions> = (0..self.replicas)
             .map(|k| Self::replica_options(base, k))
             .collect();
@@ -323,6 +356,16 @@ impl EnsembleRunner {
         initial: &SpinVector,
         base: &SolveOptions,
     ) -> BestOf {
+        if let Some(topts) = base.tempering.as_ref().filter(|t| t.exchange) {
+            return crate::tempering::run_exchange_sequential(
+                solver,
+                self.replicas,
+                graph,
+                initial,
+                base,
+                topts,
+            );
+        }
         let replicas: Vec<SolveResult> = (0..self.replicas)
             .map(|k| solver.solve(graph, initial, &Self::replica_options(base, k)))
             .collect();

@@ -18,6 +18,10 @@
 //! * [`ensemble`] — the deterministic parallel replica-ensemble engine
 //!   (`R` independent replicas over `T` scoped threads, bit-identical
 //!   at every `T`);
+//! * [`tempering`] — replica-exchange parallel tempering over the
+//!   ensemble: temperature ladders, deterministic Metropolis swaps from
+//!   a salted SplitMix64 stream, and restart policies for stalled
+//!   rungs;
 //! * [`recovery`] — the fault-recovery policy (`FailFast` /
 //!   `RefetchRetry`) the machines apply when parity detects a
 //!   corrupted tuple fetch.
@@ -51,6 +55,7 @@ pub mod io;
 pub mod recovery;
 pub mod solver;
 pub mod spin;
+pub mod tempering;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
@@ -65,4 +70,7 @@ pub mod prelude {
         SolveOptions, SolveResult,
     };
     pub use crate::spin::{Spin, SpinVector};
+    pub use crate::tempering::{
+        swap_stream_seed, swap_unit, LadderKind, RestartPolicy, TemperatureLadder, TemperingOptions,
+    };
 }

@@ -20,6 +20,7 @@ use crate::anneal::{Annealer, Schedule};
 use crate::graph::IsingGraph;
 use crate::hamiltonian::{energy, local_field, update_rule};
 use crate::spin::{Spin, SpinVector};
+use crate::tempering::TemperingOptions;
 use rand::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -76,6 +77,11 @@ pub struct SolveOptions {
     /// of one job. `None` (the default) is equivalent to a token that
     /// is never cancelled.
     pub cancel: Option<CancelToken>,
+    /// Optional replica-exchange (parallel tempering) configuration.
+    /// Read by [`crate::ensemble::EnsembleRunner`] only — individual
+    /// solvers ignore it, and `None` (the default) is the plain
+    /// independent-replica ensemble.
+    pub tempering: Option<TemperingOptions>,
 }
 
 impl SolveOptions {
@@ -88,6 +94,7 @@ impl SolveOptions {
             record_trace: false,
             step_budget: None,
             cancel: None,
+            tempering: None,
         }
     }
 
@@ -116,6 +123,14 @@ impl SolveOptions {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Enables replica-exchange parallel tempering for ensemble runs
+    /// (see [`TemperingOptions`]).
+    #[must_use]
+    pub fn with_tempering(mut self, tempering: TemperingOptions) -> Self {
+        self.tempering = Some(tempering);
         self
     }
 
@@ -151,6 +166,7 @@ impl Default for SolveOptions {
             record_trace: false,
             step_budget: None,
             cancel: None,
+            tempering: None,
         }
     }
 }

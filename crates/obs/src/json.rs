@@ -181,6 +181,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric value, if this is a number.
     pub fn as_num(&self) -> Option<f64> {
         match self {

@@ -14,6 +14,10 @@ pub const REQUIRED_FAMILIES: [&str; 3] = ["3-sat", "graph coloring", "job schedu
 /// The design keys `disc_quality` must cover (the `design` row field).
 pub const REQUIRED_DESIGNS: [&str; 4] = ["n1a", "n1b", "n2", "n3"];
 
+/// Id suffix of the replica-exchange twin `disc_quality` records for
+/// every baseline cell (mirrors `sachi_bench::quality::TEMPERED_SUFFIX`).
+pub const TEMPERED_SUFFIX: &str = "+pt";
+
 fn str_field<'a>(row: &'a JsonValue, key: &str, index: usize) -> Result<&'a str, String> {
     row.get(key)
         .and_then(JsonValue::as_str)
@@ -63,6 +67,7 @@ pub fn validate_quality(text: &str) -> Result<(), String> {
     }
 
     let mut covered: Vec<(String, String)> = Vec::new();
+    let mut ids: Vec<(String, String, String)> = Vec::new();
     for (i, row) in rows.iter().enumerate() {
         let id = str_field(row, "id", i)?;
         if id.is_empty() {
@@ -89,6 +94,24 @@ pub fn validate_quality(text: &str) -> Result<(), String> {
             _ => return Err(format!("rows[{i}]: missing boolean field 'smoke'")),
         }
         covered.push((family.to_string(), design.to_string()));
+        ids.push((id.to_string(), family.to_string(), design.to_string()));
+    }
+
+    // Tempered-twin pairing: disc_quality writes a replica-exchange
+    // twin (`<id>+pt`, same family/design) for every baseline cell and
+    // gates it on dominance, so a document missing either side of a
+    // pair is stale or hand-thinned.
+    for (id, family, design) in &ids {
+        let (twin, missing) = match id.strip_suffix(TEMPERED_SUFFIX) {
+            Some(base) => (base.to_string(), "baseline twin"),
+            None => (format!("{id}{TEMPERED_SUFFIX}"), "tempered twin"),
+        };
+        if !ids
+            .iter()
+            .any(|(i, f, d)| *i == twin && f == family && d == design)
+        {
+            return Err(format!("row '{id}' ({design}) has no {missing} '{twin}'"));
+        }
     }
 
     for family in REQUIRED_FAMILIES {
@@ -111,13 +134,16 @@ mod tests {
         let mut rows = Vec::new();
         for family in REQUIRED_FAMILIES {
             for design in REQUIRED_DESIGNS {
-                rows.push(format!(
-                    "{{\"id\": \"{f}_{design}\", \"family\": \"{family}\", \"design\": \"{design}\", \
-                     \"spins\": 100, \"best_energy\": -5, \"total_cycles\": 999, \
-                     \"accuracy\": 0.95, \"domain_metric\": 7, \"domain_unit\": \"u\", \
-                     \"smoke\": false}}",
-                    f = family.replace(' ', "_"),
-                ));
+                for suffix in ["", TEMPERED_SUFFIX] {
+                    rows.push(format!(
+                        "{{\"id\": \"{f}_{design}{suffix}\", \"family\": \"{family}\", \
+                         \"design\": \"{design}\", \
+                         \"spins\": 100, \"best_energy\": -5, \"total_cycles\": 999, \
+                         \"accuracy\": 0.95, \"domain_metric\": 7, \"domain_unit\": \"u\", \
+                         \"smoke\": false}}",
+                        f = family.replace(' ', "_"),
+                    ));
+                }
             }
         }
         format!(
@@ -148,6 +174,16 @@ mod tests {
         let thinned = doc.replace("\"design\": \"n3\"", "\"design\": \"n2\"");
         let err = validate_quality(&thinned).expect_err("missing n3 coverage");
         assert!(err.contains("n3"), "{err}");
+    }
+
+    #[test]
+    fn missing_tempered_twin_rejected() {
+        // Strip one tempered row's suffix: its baseline twin now has
+        // two copies and the orphaned pair must be named.
+        let doc = full_doc();
+        let thinned = doc.replacen("\"id\": \"3-sat_n1a+pt\"", "\"id\": \"3-sat_n1a\"", 1);
+        let err = validate_quality(&thinned).expect_err("missing tempered twin");
+        assert!(err.contains("3-sat_n1a") && err.contains("+pt"), "{err}");
     }
 
     #[test]

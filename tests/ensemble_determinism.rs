@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use sachi::prelude::*;
 
 /// A small frustrated instance whose anneal actually exercises uphill
@@ -237,6 +237,138 @@ proptest! {
         }
         pool.join();
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Golden agreement for the tempering upgrade: installing a
+    /// tempering config with `exchange = false` must be *byte-identical*
+    /// to the plain independent-replica ensemble — the swap machinery
+    /// is provably inert until switched on, so every pre-tempering
+    /// golden result stays valid.
+    #[test]
+    fn swaps_disabled_tempering_is_byte_identical_to_plain_ensemble(
+        salt in 0u64..500,
+        master in 0u64..500,
+        replicas in 2usize..6,
+        kind_adaptive in any::<bool>(),
+    ) {
+        let graph = frustrated_graph(4, 4, salt);
+        let mut rng = StdRng::seed_from_u64(salt ^ 0x7E41);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let kind = if kind_adaptive { LadderKind::Adaptive } else { LadderKind::Geometric };
+        let plain = SolveOptions::for_graph(&graph, master).with_max_sweeps(100);
+        let disabled = plain.clone().with_tempering(
+            TemperingOptions::for_graph(kind, &graph, replicas).without_exchange(),
+        );
+        let runner = EnsembleRunner::new(replicas).with_threads(2);
+        let want = runner.run_reference(&graph, &init, &plain);
+        let got = runner.run_reference(&graph, &init, &disabled);
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// The tempering determinism contract: with exchange *enabled*, the
+    /// swap decisions and segment streams are pure functions of the
+    /// master seed, so thread count stays unobservable — and the
+    /// borrowed-solver sequential path is the same function as the
+    /// thread-pool path.
+    #[test]
+    fn tempered_ensembles_are_thread_count_independent(
+        salt in 0u64..500,
+        master in 0u64..500,
+        rungs in 2usize..6,
+        kind_adaptive in any::<bool>(),
+    ) {
+        let graph = frustrated_graph(4, 5, salt);
+        let mut rng = StdRng::seed_from_u64(salt ^ 0x7E42);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let kind = if kind_adaptive { LadderKind::Adaptive } else { LadderKind::Geometric };
+        let mut topts = TemperingOptions::for_graph(kind, &graph, rungs);
+        topts.swap_interval = 8;
+        let opts = SolveOptions::for_graph(&graph, master)
+            .with_max_sweeps(96)
+            .with_tempering(topts);
+        let reference = EnsembleRunner::new(rungs)
+            .with_threads(1)
+            .run_reference(&graph, &init, &opts);
+        for threads in [2usize, 8] {
+            let got = EnsembleRunner::new(rungs)
+                .with_threads(threads)
+                .run_reference(&graph, &init, &opts);
+            prop_assert_eq!(&got, &reference, "threads = {}", threads);
+        }
+        let mut solver = CpuReferenceSolver::new();
+        let sequential = EnsembleRunner::new(rungs)
+            .with_threads(4)
+            .run_sequential(&mut solver, &graph, &init, &opts);
+        prop_assert_eq!(&sequential, &reference);
+    }
+
+    /// `BestOf::reduce` is permutation-stable in the *winning key*:
+    /// shuffling the replica vector never changes the `(degraded,
+    /// energy)` key of the winner — and within any presentation order
+    /// the winner is always the **first** replica achieving the minimal
+    /// key, so the lowest-index tie-break is observable directly.
+    /// (Distinct replicas can tie exactly on the key, so the winning
+    /// `SolveResult` itself may legitimately differ across orders; the
+    /// key and the first-minimal rule are the contract.)
+    #[test]
+    fn best_of_reduce_winner_is_permutation_stable(
+        salt in 0u64..500,
+        master in 0u64..500,
+        perm_seed in any::<u64>(),
+    ) {
+        // Fisher–Yates permutation of the replica slots, driven by a
+        // sampled seed so every case reshuffles differently.
+        let mut perm_rng = StdRng::seed_from_u64(perm_seed);
+        let mut perm: Vec<usize> = (0..6).collect();
+        for i in (1..perm.len()).rev() {
+            let j = (perm_rng.next_u64() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let graph = frustrated_graph(4, 4, salt);
+        let mut rng = StdRng::seed_from_u64(salt ^ 0x7E43);
+        let init = SpinVector::random(graph.num_spins(), &mut rng);
+        let opts = SolveOptions::for_graph(&graph, master).with_max_sweeps(80);
+        let original = EnsembleRunner::new(6)
+            .with_threads(2)
+            .run_reference(&graph, &init, &opts);
+        let shuffled: Vec<_> = perm.iter().map(|&k| original.replicas[k].clone()).collect();
+        let key = |r: &SolveResult| (r.degraded, r.energy);
+        let expected_index = shuffled
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| key(r))
+            .map(|(k, _)| k)
+            .expect("six replicas");
+        let reduced = sachi::ising::ensemble::BestOf::reduce(shuffled);
+        prop_assert_eq!(reduced.best_index, expected_index);
+        prop_assert_eq!(key(reduced.best()), key(original.best()));
+        // Aggregate statistics are order-invariant too.
+        prop_assert_eq!(reduced.stats, original.stats);
+    }
+}
+
+/// On *exact* key ties, `BestOf::reduce` picks the lowest replica
+/// index — pinned with duplicated results so the rule is observable.
+#[test]
+fn best_of_reduce_breaks_ties_to_the_lowest_index() {
+    let graph = frustrated_graph(4, 4, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let init = SpinVector::random(graph.num_spins(), &mut rng);
+    let opts = SolveOptions::for_graph(&graph, 9).with_max_sweeps(60);
+    let base = EnsembleRunner::new(2)
+        .with_threads(1)
+        .run_reference(&graph, &init, &opts);
+    let winner = base.best().clone();
+    let mut loser = winner.clone();
+    loser.energy = winner.energy + 1; // strictly worse key, same health
+                                      // Duplicate the winner at indices 1 and 3: index 1 must win.
+    let stacked = vec![loser.clone(), winner.clone(), loser, winner.clone()];
+    let reduced = sachi::ising::ensemble::BestOf::reduce(stacked);
+    assert_eq!(reduced.best_index, 1);
+    assert_eq!(reduced.best(), &winner);
 }
 
 /// Sequential (borrowed-solver) ensembles and threaded ensembles are the

@@ -137,3 +137,66 @@ fn phase_schedule_struct_mirrors_design_formulas() {
         }
     }
 }
+
+/// Reconciles `Schedule::sweeps_until_frozen` with the sweep loop the
+/// solvers actually run. The closed form counts cooling steps until the
+/// temperature first drops below the freeze threshold; the solver cools
+/// once *after* each sweep and checks frozen-ness *before* cooling, so a
+/// run that never flips a spin converges on sweep
+/// `sweeps_until_frozen() + 1` — the first sweep observed frozen. The
+/// differential is checked for both cooling families.
+#[test]
+fn sweeps_until_frozen_matches_the_solver_sweep_loop() {
+    use sachi::ising::anneal::{Annealer, Schedule};
+
+    let schedules = [
+        Schedule::new(8.0, 0.5, 0.1),    // geometric, doc example
+        Schedule::new(100.0, 0.9, 0.05), // geometric, long tail
+        Schedule::new(1.0, 0.25, 0.9),   // geometric, frozen almost at once
+        Schedule::linear(8.0, 2.0, 0.1), // linear, exact multiples
+        Schedule::linear(7.3, 1.7, 0.2), // linear, non-integral steps
+        Schedule::linear(0.5, 1.0, 0.6), // linear, frozen from sweep 0
+    ];
+
+    for schedule in schedules {
+        // Differential 1: stepping a live annealer cool-by-cool agrees
+        // with the closed form.
+        let mut annealer = Annealer::new(schedule, 0);
+        let mut cools = 0u64;
+        while !annealer.is_frozen() {
+            annealer.cool();
+            cools += 1;
+            assert!(cools < 100_000, "schedule never froze: {schedule:?}");
+        }
+        assert_eq!(
+            cools,
+            schedule.sweeps_until_frozen(),
+            "annealer stepping disagrees with closed form for {schedule:?}"
+        );
+
+        // Differential 2: a deterministically flip-free solve (a stiff
+        // complete-graph ferromagnet started in its ground state, so
+        // every proposal is a huge uphill move whose acceptance
+        // probability underflows to exactly zero) converges exactly one
+        // sweep after the closed-form freeze point.
+        let graph = topology::complete(8, |_, _| 1_000_000).expect("valid graph");
+        let init = SpinVector::filled(8, Spin::Up);
+        let opts = SolveOptions {
+            schedule,
+            ..SolveOptions::for_graph(&graph, 11)
+        }
+        .with_max_sweeps(200_000);
+        let mut solver = CpuReferenceSolver::new();
+        let result = solver.solve(&graph, &init, &opts);
+        assert!(
+            result.converged,
+            "flip-free run must converge: {schedule:?}"
+        );
+        assert_eq!(result.flips, 0, "{schedule:?}");
+        assert_eq!(
+            result.sweeps,
+            schedule.sweeps_until_frozen() + 1,
+            "solver sweep count disagrees with closed form for {schedule:?}"
+        );
+    }
+}
